@@ -1,0 +1,233 @@
+// Package repro_test hosts the top-level benchmark harness: one testing.B
+// benchmark per table/figure of the paper's evaluation (§IV), so
+//
+//	go test -bench=. -benchmem
+//
+// regenerates every result at the quick scale, and
+//
+//	go run ./cmd/benchrunner
+//
+// regenerates them at the paper scale. Benchmarks report domain metrics
+// (F-scores, false hits, storage, search latency) via b.ReportMetric, so a
+// single bench run doubles as a results table.
+package repro_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/embed"
+	"repro/internal/experiments"
+	"repro/internal/llmsim"
+)
+
+// lab is shared across benchmarks; building it (FL-training two encoders)
+// is itself part of the first benchmark that needs it.
+var (
+	labOnce sync.Once
+	lab     *experiments.Lab
+)
+
+func sharedLab() *experiments.Lab {
+	labOnce.Do(func() {
+		lab = experiments.NewLab(experiments.QuickConfig())
+	})
+	return lab
+}
+
+// BenchmarkTable1Standalone regenerates Table I's standalone block: the
+// 1000-cached/1000-probe protocol for GPTCache and MeanCache variants.
+func BenchmarkTable1Standalone(b *testing.B) {
+	l := sharedLab()
+	var res *experiments.Table1Result
+	for i := 0; i < b.N; i++ {
+		res = experiments.Table1(l)
+	}
+	gpt, mpnet := res.Standalone[0], res.Standalone[1]
+	b.ReportMetric(gpt.Scores.FScore, "gptcache-F0.5")
+	b.ReportMetric(mpnet.Scores.FScore, "meancache-F0.5")
+	b.ReportMetric(mpnet.Scores.Precision, "meancache-precision")
+}
+
+// BenchmarkTable1Contextual regenerates Table I's contextual block
+// (the §IV-C 450-query protocol).
+func BenchmarkTable1Contextual(b *testing.B) {
+	l := sharedLab()
+	var res *experiments.Table1Result
+	for i := 0; i < b.N; i++ {
+		res = experiments.Table1(l)
+	}
+	gpt, mean := res.Contextual[0], res.Contextual[1]
+	b.ReportMetric(gpt.Scores.FScore, "gptcache-F0.5")
+	b.ReportMetric(mean.Scores.FScore, "meancache-F0.5")
+}
+
+// BenchmarkFig4UserStudy regenerates the 20-participant study streams and
+// their analysis.
+func BenchmarkFig4UserStudy(b *testing.B) {
+	l := sharedLab()
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		ratio = experiments.Fig4(l).MeanRatio
+	}
+	b.ReportMetric(100*ratio, "dup-ratio-%")
+}
+
+// BenchmarkFig5ResponseTimes regenerates the three response-time series.
+func BenchmarkFig5ResponseTimes(b *testing.B) {
+	l := sharedLab()
+	var res *experiments.Fig5Result
+	for i := 0; i < b.N; i++ {
+		res = experiments.Fig5(l)
+	}
+	mean := func(lat []time.Duration) float64 {
+		var sum float64
+		for _, d := range lat {
+			sum += d.Seconds()
+		}
+		return sum / float64(len(lat)) * 1000
+	}
+	mc := res.Series[2].Latencies
+	b.ReportMetric(mean(mc[res.DupStart:]), "meancache-dup-ms")
+	b.ReportMetric(mean(res.Series[0].Latencies[res.DupStart:]), "nocache-dup-ms")
+}
+
+// BenchmarkFig6Labels regenerates the per-query hit/miss strips.
+func BenchmarkFig6Labels(b *testing.B) {
+	l := sharedLab()
+	for i := 0; i < b.N; i++ {
+		_ = experiments.Fig6(l)
+	}
+}
+
+// BenchmarkFig7Confusion regenerates the standalone confusion matrices.
+func BenchmarkFig7Confusion(b *testing.B) {
+	l := sharedLab()
+	var res *experiments.Fig7Result
+	for i := 0; i < b.N; i++ {
+		res = experiments.Fig7(l)
+	}
+	b.ReportMetric(float64(res.MeanCache.FP), "meancache-false-hits")
+	b.ReportMetric(float64(res.GPTCache.FP), "gptcache-false-hits")
+}
+
+// BenchmarkFig8Contextual regenerates the contextual label strips and
+// confusion matrices (Figures 8–9).
+func BenchmarkFig8Contextual(b *testing.B) {
+	l := sharedLab()
+	var res *experiments.Fig8Result
+	for i := 0; i < b.N; i++ {
+		res = experiments.Fig8(l)
+	}
+	count := func(v []bool) float64 {
+		n := 0.0
+		for _, x := range v {
+			if x {
+				n++
+			}
+		}
+		return n
+	}
+	b.ReportMetric(count(res.NonDupMean), "meancache-false-hits")
+	b.ReportMetric(count(res.NonDupGPT), "gptcache-false-hits")
+}
+
+// BenchmarkFig10Compression regenerates the storage/search/F-score grid.
+func BenchmarkFig10Compression(b *testing.B) {
+	l := sharedLab()
+	var res *experiments.Fig10Result
+	for i := 0; i < b.N; i++ {
+		res = experiments.Fig10(l)
+	}
+	b.ReportMetric(res.SavingsPct, "storage-saving-%")
+	b.ReportMetric(res.SpeedupPct, "search-speedup-%")
+}
+
+// BenchmarkFig11FLMPNet regenerates the MPNet FL curve (training happens
+// once in the shared lab; the benchmark measures curve extraction plus the
+// amortised training cost on first run).
+func BenchmarkFig11FLMPNet(b *testing.B) {
+	l := sharedLab()
+	var res *experiments.FLCurveResult
+	for i := 0; i < b.N; i++ {
+		res = experiments.Fig11(l)
+	}
+	last := res.Curve[len(res.Curve)-1].Scores
+	b.ReportMetric(last.FScore, "final-F1")
+	b.ReportMetric(last.Precision, "final-precision")
+}
+
+// BenchmarkFig12FLAlbert regenerates the Albert FL curve.
+func BenchmarkFig12FLAlbert(b *testing.B) {
+	l := sharedLab()
+	var res *experiments.FLCurveResult
+	for i := 0; i < b.N; i++ {
+		res = experiments.Fig12(l)
+	}
+	b.ReportMetric(res.Curve[len(res.Curve)-1].Scores.FScore, "final-F1")
+}
+
+// BenchmarkFig13SweepMPNet regenerates the MPNet threshold sweep.
+func BenchmarkFig13SweepMPNet(b *testing.B) {
+	l := sharedLab()
+	var res *experiments.SweepResult
+	for i := 0; i < b.N; i++ {
+		res = experiments.Fig13(l)
+	}
+	b.ReportMetric(res.Sweep.Optimal.Tau, "optimal-tau")
+	b.ReportMetric(res.Sweep.Optimal.Scores.FScore, "optimal-F1")
+}
+
+// BenchmarkFig14SweepAlbert regenerates the Albert threshold sweep.
+func BenchmarkFig14SweepAlbert(b *testing.B) {
+	l := sharedLab()
+	var res *experiments.SweepResult
+	for i := 0; i < b.N; i++ {
+		res = experiments.Fig14(l)
+	}
+	b.ReportMetric(res.Sweep.Optimal.Tau, "optimal-tau")
+}
+
+// BenchmarkFig15EmbedCost regenerates the embedding cost comparison.
+func BenchmarkFig15EmbedCost(b *testing.B) {
+	l := sharedLab()
+	var res *experiments.Fig15Result
+	for i := 0; i < b.N; i++ {
+		res = experiments.Fig15(l)
+	}
+	b.ReportMetric(res.Rows[0].EncodeTime.Seconds()*1e6, "llama-encode-us")
+	b.ReportMetric(res.Rows[1].EncodeTime.Seconds()*1e6, "mpnet-encode-us")
+}
+
+// BenchmarkFig16SweepLlama regenerates the frozen-Llama threshold sweep.
+func BenchmarkFig16SweepLlama(b *testing.B) {
+	l := sharedLab()
+	var res *experiments.SweepResult
+	for i := 0; i < b.N; i++ {
+		res = experiments.Fig16(l)
+	}
+	b.ReportMetric(res.Sweep.Optimal.Scores.FScore, "llama-optimal-F1")
+}
+
+// BenchmarkEndToEndQuery measures the deployed per-query path: encode,
+// search a 1000-entry cache, and decide — the overhead MeanCache adds to
+// every LLM query (Figure 5's unique region).
+func BenchmarkEndToEndQuery(b *testing.B) {
+	l := sharedLab()
+	tm := l.Trained(embed.MPNetSim)
+	w := dataset.GenerateCacheWorkload(l.Cfg.Corpus, 1000, 64, 0.3)
+	sys := experiments.NewMeanCacheSystem("bench", tm.Model, tm.Tau)
+	llm := llmsim.New(llmsim.DefaultConfig())
+	cached := make([]dataset.CtxQuery, len(w.Cached))
+	for i, q := range w.Cached {
+		cached[i] = dataset.CtxQuery{Text: q}
+	}
+	sys.Populate(cached, llm)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := w.Probes[i%len(w.Probes)]
+		sys.Probe(p.Text, nil, llm, false)
+	}
+}

@@ -1,0 +1,53 @@
+// Command llmserve runs the simulated LLM web service as a standalone
+// HTTP server, so cmd/meancache (and any other client) can front a
+// network-remote service — the deployment topology of Figure 1, where the
+// cache sits on the user's device and the LLM service is across the
+// network.
+//
+// Usage:
+//
+//	llmserve -addr 127.0.0.1:8080 -sleep
+//	curl -X POST localhost:8080/v1/query -d '{"query":"what is FL?"}'
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"time"
+
+	"repro/internal/llmsim"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:8080", "listen address")
+		sleep    = flag.Bool("sleep", true, "simulate inference latency with real sleeps")
+		base     = flag.Duration("base", 120*time.Millisecond, "base latency per query")
+		perToken = flag.Duration("per-token", 14*time.Millisecond, "latency per generated token")
+		tokens   = flag.Int("max-tokens", 50, "response length cap")
+		seed     = flag.Int64("seed", 1, "response generation seed")
+	)
+	flag.Parse()
+
+	svc := llmsim.New(llmsim.Config{
+		BaseLatency: *base,
+		PerToken:    *perToken,
+		JitterFrac:  0.15,
+		MaxTokens:   *tokens,
+		Sleep:       *sleep,
+		Seed:        *seed,
+	})
+	srv, err := llmsim.Serve(svc, *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("simulated LLM service listening on %s (sleep=%v)", srv.Addr(), *sleep)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	log.Printf("shutting down after %d queries", svc.Queries())
+	srv.Close()
+}

@@ -1,0 +1,87 @@
+// Largescale: semantic search beyond user-side cache sizes.
+//
+// §III-B notes the semantic search must scale toward a million cached
+// entries. This example indexes 100,000 PCA-compressed embeddings two
+// ways — the exact parallel flat scan and the approximate IVF inverted-
+// file index — and compares search latency and top-1 agreement.
+//
+// Run with: go run ./examples/largescale
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/index"
+	"repro/internal/vecmath"
+)
+
+func main() {
+	const (
+		n   = 100_000
+		dim = 64 // PCA-compressed dimensionality (§III-A.4)
+	)
+	fmt.Printf("generating %d compressed embeddings (%d-d)...\n", n, dim)
+	rng := rand.New(rand.NewSource(1))
+	// Clustered geometry, as real query embeddings are: topics form lobes.
+	anchors := make([][]float32, 256)
+	for i := range anchors {
+		anchors[i] = randUnit(rng, dim)
+	}
+	vecs := make([][]float32, n)
+	for i := range vecs {
+		v := vecmath.Clone(anchors[i%len(anchors)])
+		for j := range v {
+			v[j] += float32(rng.NormFloat64() * 0.25)
+		}
+		vecmath.Normalize(v)
+		vecs[i] = v
+	}
+
+	flat := index.NewFlat(dim)
+	ivf := index.NewIVF(dim, index.IVFConfig{NList: 317, NProbe: 16, Seed: 2})
+	for i, v := range vecs {
+		flat.Add(i, v)
+		ivf.Add(i, v)
+	}
+	ivf.Train()
+
+	const probes = 200
+	var flatTime, ivfTime time.Duration
+	agree := 0
+	for q := 0; q < probes; q++ {
+		probe := vecmath.Clone(vecs[rng.Intn(n)])
+		for j := range probe {
+			probe[j] += float32(rng.NormFloat64() * 0.1)
+		}
+		vecmath.Normalize(probe)
+
+		start := time.Now()
+		exact := flat.Search(probe, 1, 0.5)
+		flatTime += time.Since(start)
+
+		start = time.Now()
+		approx := ivf.Search(probe, 1, 0.5)
+		ivfTime += time.Since(start)
+
+		if len(exact) == 1 && len(approx) == 1 && exact[0].ID == approx[0].ID {
+			agree++
+		}
+	}
+
+	fmt.Printf("\n%-22s %14s\n", "index", "search/query")
+	fmt.Printf("%-22s %14v\n", "flat (exact)", (flatTime / probes).Round(time.Microsecond))
+	fmt.Printf("%-22s %14v\n", "ivf (nprobe=16)", (ivfTime / probes).Round(time.Microsecond))
+	fmt.Printf("\ntop-1 agreement with exact search: %d/%d\n", agree, probes)
+	fmt.Printf("speedup: %.1fx\n", float64(flatTime)/float64(ivfTime))
+}
+
+func randUnit(rng *rand.Rand, d int) []float32 {
+	v := make([]float32, d)
+	for i := range v {
+		v[i] = float32(rng.NormFloat64())
+	}
+	vecmath.Normalize(v)
+	return v
+}

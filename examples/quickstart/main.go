@@ -1,0 +1,78 @@
+// Quickstart: the minimal end-to-end MeanCache flow.
+//
+// A MeanCache client fronts a (simulated) LLM web service with a local
+// semantic cache: the first query goes to the LLM, a semantically similar
+// resubmission is served locally in milliseconds.
+//
+// The embedding encoder is briefly fine-tuned first and the similarity
+// threshold τ is searched on validation pairs — an untrained encoder
+// cannot separate paraphrases from unrelated queries, which is exactly the
+// deficiency the paper's training pipeline (§III-A) exists to fix. In a
+// real deployment both come from federated training (examples/federated).
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/embed"
+	"repro/internal/llmsim"
+	"repro/internal/train"
+)
+
+func main() {
+	// Fine-tune a compact encoder on a small paraphrase corpus and find
+	// the optimal cosine threshold (a few seconds).
+	fmt.Print("fine-tuning encoder... ")
+	corpusCfg := dataset.DefaultConfig()
+	corpusCfg.Intents = 800
+	corpus := dataset.GenerateCorpus(corpusCfg)
+	enc := embed.NewModel(embed.MPNetSim, 1)
+	trainCfg := train.DefaultConfig()
+	trainCfg.Epochs = 3
+	train.NewTrainer(enc, train.NewSGD(trainCfg.LR), trainCfg).Train(corpus.Train)
+	sweep := train.Sweep(enc, corpus.Val, 0.01, 0.5)
+	tau := sweep.Optimal.Tau
+	fmt.Printf("done (optimal tau = %.2f, F0.5 = %.2f)\n\n", tau, sweep.Optimal.Scores.FScore)
+
+	// The LLM web service MeanCache fronts. Sleep mode makes the latency
+	// difference tangible.
+	llmCfg := llmsim.DefaultConfig()
+	llmCfg.Sleep = true
+	llm := llmsim.New(llmCfg)
+
+	client := core.New(core.Options{
+		Encoder: enc,
+		LLM:     llm,
+		Tau:     float32(tau),
+	})
+
+	ask := func(q string) {
+		start := time.Now()
+		res, err := client.Query(q)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		source := "LLM"
+		if res.Hit {
+			source = fmt.Sprintf("cache (similarity %.2f)", res.Score)
+		}
+		fmt.Printf("%-62q %-26s %8v\n", q, source, time.Since(start).Round(time.Millisecond))
+	}
+
+	fmt.Println("query                                                          served from                latency")
+	fmt.Println("---------------------------------------------------------------------------------------------------")
+	ask("how can i increase the battery life of my phone")
+	ask("how do i extend the battery life of my smartphone") // paraphrase: cache hit
+	ask("what is the best way to learn the french language") // unrelated: miss
+	ask("how can i increase the battery life of my phone")   // resubmission: hit
+
+	s := client.Stats()
+	fmt.Printf("\n%d lookups, %d served from cache, %d LLM round trips avoided\n",
+		s.Lookups, s.CacheHits, s.CacheHits)
+}

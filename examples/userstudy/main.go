@@ -1,0 +1,43 @@
+// Userstudy: the motivation study of §III-C (Figure 4).
+//
+// Twenty participants' ChatGPT query streams are synthesised with the
+// published per-participant volumes; each participant's analysis runs
+// "locally" over the raw stream and only aggregate counts are collected —
+// the same privacy-preserving protocol as the paper's study. The headline:
+// about 31% of queries duplicate an earlier query, which is the caching
+// opportunity MeanCache exists to exploit.
+//
+// Run with: go run ./examples/userstudy
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+)
+
+func main() {
+	cfg := dataset.DefaultConfig()
+	streams := dataset.GenerateUserStudy(cfg)
+
+	fmt.Println("participant  queries  duplicates  ratio   bar")
+	res := dataset.AnalyzeStudy(streams)
+	for i := range res.Totals {
+		ratio := float64(res.Duplicates[i]) / float64(res.Totals[i])
+		bar := ""
+		for b := 0; b < int(ratio*50); b++ {
+			bar += "#"
+		}
+		fmt.Printf("%11d %8d %11d %5.1f%%  %s\n",
+			i+1, res.Totals[i], res.Duplicates[i], 100*ratio, bar)
+	}
+	total, dups := 0, 0
+	for i := range res.Totals {
+		total += res.Totals[i]
+		dups += res.Duplicates[i]
+	}
+	fmt.Printf("\n%d queries across 20 participants, %d duplicates\n", total, dups)
+	fmt.Printf("mean per-participant duplicate ratio: %.1f%% (paper: ≈31%%)\n", 100*res.MeanDupRatio())
+	fmt.Println("\nonly the aggregate counts above ever left the participants' devices;")
+	fmt.Println("raw queries stayed local, as in the paper's study protocol.")
+}

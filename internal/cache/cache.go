@@ -1,0 +1,402 @@
+// Package cache implements the local semantic cache of Figure 1: entries
+// holding a query, its LLM response, the query embedding, and the context
+// chain (parent entry), with cosine-similarity search over the embeddings,
+// a pluggable eviction policy, and optional persistence via internal/store.
+//
+// The cache is encoder-agnostic: it stores whatever unit-norm vectors it is
+// given, so the same index serves raw 768-d embeddings and PCA-compressed
+// 64-d embeddings (§III-A.4). Context semantics (matching a submitted
+// conversation against a cached chain) live in internal/core; the cache
+// only records and exposes chains.
+package cache
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/index"
+	"repro/internal/vecmath"
+)
+
+// NoParent marks a standalone entry (empty context chain).
+const NoParent = -1
+
+// Entry is one cached query/response with its embedding and chain link.
+type Entry struct {
+	ID        int
+	Query     string
+	Response  string
+	Embedding []float32 // unit norm, dimension fixed per cache
+	Parent    int       // entry ID of the conversational parent, or NoParent
+
+	// eviction bookkeeping
+	lastUsed int64
+	hits     int
+	seq      int64 // insertion order
+}
+
+// Match is a search result: a cached entry and its cosine similarity to
+// the probe embedding.
+type Match struct {
+	Entry *Entry
+	Score float32
+}
+
+// Cache is an in-memory semantic cache, safe for concurrent use.
+type Cache struct {
+	mu       sync.RWMutex
+	dim      int
+	capacity int // 0 = unbounded
+	policy   Policy
+
+	entries []*Entry    // dense scan order
+	byID    map[int]int // entry ID -> index in entries
+	nextID  int
+	clock   int64
+	// idx, when non-nil, owns similarity search (see NewWithIndex);
+	// otherwise FindSimilar runs the built-in parallel flat scan.
+	idx index.Index
+
+	// Lifetime counters; searches/hits are atomic because FindSimilar
+	// runs under the read lock.
+	puts, evictions int
+	searches, hits  atomic.Int64
+}
+
+// Stats counts cache operations.
+type Stats struct {
+	Puts      int
+	Searches  int
+	Hits      int // searches that returned at least one match
+	Evictions int
+}
+
+// New creates a cache for embeddings of the given dimension. capacity
+// bounds the entry count (0 = unbounded); policy picks the eviction victim
+// when full.
+func New(dim, capacity int, policy Policy) *Cache {
+	if dim <= 0 {
+		panic("cache: dim must be positive")
+	}
+	return &Cache{
+		dim:      dim,
+		capacity: capacity,
+		policy:   policy,
+		byID:     make(map[int]int),
+	}
+}
+
+// Dim reports the embedding dimensionality.
+func (c *Cache) Dim() int { return c.dim }
+
+// Len reports the number of live entries.
+func (c *Cache) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.entries)
+}
+
+// Stats returns a snapshot of the operation counters.
+func (c *Cache) Stats() Stats {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return Stats{
+		Puts:      c.puts,
+		Searches:  int(c.searches.Load()),
+		Hits:      int(c.hits.Load()),
+		Evictions: c.evictions,
+	}
+}
+
+// Put inserts a query/response with its embedding and parent link,
+// returning the new entry's ID. The embedding must have the cache's
+// dimension; parent must be NoParent or a live entry ID. If the cache is
+// full, the eviction policy selects a victim first (cascading to the
+// victim's descendants so no chain ever dangles).
+func (c *Cache) Put(query, response string, emb []float32, parent int) (int, error) {
+	if len(emb) != c.dim {
+		return 0, fmt.Errorf("cache: embedding dim %d, want %d", len(emb), c.dim)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if parent != NoParent {
+		if _, ok := c.byID[parent]; !ok {
+			return 0, fmt.Errorf("cache: parent entry %d not found", parent)
+		}
+	}
+	if c.capacity > 0 {
+		// The new entry's whole ancestor chain is protected: evicting any
+		// ancestor would cascade through the parent and leave the new
+		// entry's chain dangling.
+		protected := c.ancestorSet(parent)
+		for len(c.entries) >= c.capacity {
+			victim := c.policy.victim(c.entries)
+			if victim == nil {
+				break
+			}
+			if protected[victim.ID] {
+				victim = c.oldestExcluding(protected)
+				if victim == nil {
+					break // every entry is an ancestor: grow past capacity
+				}
+			}
+			c.removeCascade(victim.ID)
+		}
+	}
+	id := c.nextID
+	c.nextID++
+	c.clock++
+	e := &Entry{
+		ID:        id,
+		Query:     query,
+		Response:  response,
+		Embedding: vecmath.Clone(emb),
+		Parent:    parent,
+		lastUsed:  c.clock,
+		seq:       c.clock,
+	}
+	c.byID[id] = len(c.entries)
+	c.entries = append(c.entries, e)
+	if c.idx != nil {
+		if err := c.idx.Add(id, e.Embedding); err != nil {
+			// Roll back the entry so cache and index stay consistent.
+			c.entries = c.entries[:len(c.entries)-1]
+			delete(c.byID, id)
+			return 0, fmt.Errorf("cache: indexing entry: %w", err)
+		}
+	}
+	c.puts++
+	return id, nil
+}
+
+// ancestorSet returns id plus all its ancestors; empty for NoParent.
+// Callers hold the write lock.
+func (c *Cache) ancestorSet(id int) map[int]bool {
+	set := make(map[int]bool)
+	for id != NoParent {
+		if set[id] {
+			break // defensive: a cycle would otherwise loop forever
+		}
+		set[id] = true
+		idx, ok := c.byID[id]
+		if !ok {
+			break
+		}
+		id = c.entries[idx].Parent
+	}
+	return set
+}
+
+func (c *Cache) oldestExcluding(protected map[int]bool) *Entry {
+	var best *Entry
+	for _, e := range c.entries {
+		if protected[e.ID] {
+			continue
+		}
+		if best == nil || e.seq < best.seq {
+			best = e
+		}
+	}
+	return best
+}
+
+// Get returns the entry with the given ID.
+func (c *Cache) Get(id int) (*Entry, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	idx, ok := c.byID[id]
+	if !ok {
+		return nil, false
+	}
+	return c.entries[idx], true
+}
+
+// Touch records a cache hit on id for the eviction policy.
+func (c *Cache) Touch(id int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if idx, ok := c.byID[id]; ok {
+		c.clock++
+		c.entries[idx].lastUsed = c.clock
+		c.entries[idx].hits++
+	}
+}
+
+// Remove deletes the entry and, transitively, every entry whose chain
+// passes through it, so context chains never dangle.
+func (c *Cache) Remove(id int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.removeCascade(id)
+}
+
+func (c *Cache) removeCascade(id int) {
+	if _, ok := c.byID[id]; !ok {
+		return
+	}
+	// Collect descendants breadth-first.
+	doomed := map[int]bool{id: true}
+	for changed := true; changed; {
+		changed = false
+		for _, e := range c.entries {
+			if e.Parent != NoParent && doomed[e.Parent] && !doomed[e.ID] {
+				doomed[e.ID] = true
+				changed = true
+			}
+		}
+	}
+	for did := range doomed {
+		idx, ok := c.byID[did]
+		if !ok {
+			continue
+		}
+		last := len(c.entries) - 1
+		moved := c.entries[last]
+		c.entries[idx] = moved
+		c.byID[moved.ID] = idx
+		c.entries = c.entries[:last]
+		delete(c.byID, did)
+		if c.idx != nil {
+			c.idx.Remove(did)
+		}
+		c.evictions++
+	}
+}
+
+// Chain returns the ancestors of id, oldest first, excluding id itself.
+// A standalone entry yields an empty chain.
+func (c *Cache) Chain(id int) []*Entry {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var rev []*Entry
+	cur, ok := c.byID[id]
+	if !ok {
+		return nil
+	}
+	e := c.entries[cur]
+	for e.Parent != NoParent {
+		idx, ok := c.byID[e.Parent]
+		if !ok {
+			break
+		}
+		e = c.entries[idx]
+		rev = append(rev, e)
+	}
+	// Reverse to oldest-first.
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// FindSimilar returns up to k entries whose cosine similarity with emb is
+// at least tau, best first. The scan parallelises across the worker pool
+// for large caches. This is the FindSimilarQueriesinCache step of
+// Algorithm 1.
+func (c *Cache) FindSimilar(emb []float32, k int, tau float32) []Match {
+	if len(emb) != c.dim {
+		panic(fmt.Sprintf("cache: FindSimilar dim %d, want %d", len(emb), c.dim))
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	c.searches.Add(1)
+	n := len(c.entries)
+	if n == 0 || k <= 0 {
+		return nil
+	}
+	if c.idx != nil {
+		hits := c.idx.Search(emb, k, tau)
+		matches := make([]Match, 0, len(hits))
+		for _, h := range hits {
+			if pos, ok := c.byID[h.ID]; ok {
+				matches = append(matches, Match{Entry: c.entries[pos], Score: h.Score})
+			}
+		}
+		if len(matches) > 0 {
+			c.hits.Add(1)
+		}
+		return matches
+	}
+	workers := vecmath.Workers()
+	locals := make([][]Match, workers)
+	chunk := (n + workers - 1) / workers
+	vecmath.ParallelFor(workers, func(wlo, whi int) {
+		for w := wlo; w < whi; w++ {
+			lo, hi := w*chunk, (w+1)*chunk
+			if hi > n {
+				hi = n
+			}
+			var found []Match
+			for _, e := range c.entries[lo:hi] {
+				// Entries are unit-norm: dot is cosine.
+				if s := vecmath.Dot(emb, e.Embedding); s >= tau {
+					found = append(found, Match{Entry: e, Score: s})
+				}
+			}
+			locals[w] = found
+		}
+	})
+	var all []Match
+	for _, l := range locals {
+		all = append(all, l...)
+	}
+	sortMatches(all)
+	if len(all) > k {
+		all = all[:k]
+	}
+	if len(all) > 0 {
+		c.hits.Add(1)
+	}
+	return all
+}
+
+// sortMatches orders by descending score, breaking ties by ascending ID
+// for determinism.
+func sortMatches(ms []Match) {
+	// Insertion sort: k and candidate counts are small in practice.
+	for i := 1; i < len(ms); i++ {
+		for j := i; j > 0; j-- {
+			if ms[j].Score > ms[j-1].Score ||
+				(ms[j].Score == ms[j-1].Score && ms[j].Entry.ID < ms[j-1].Entry.ID) {
+				ms[j], ms[j-1] = ms[j-1], ms[j]
+			} else {
+				break
+			}
+		}
+	}
+}
+
+// EmbeddingBytes reports the memory consumed by stored embeddings (4 bytes
+// per float32 element) — the quantity Figure 10a tracks.
+func (c *Cache) EmbeddingBytes() int64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var total int64
+	for _, e := range c.entries {
+		total += int64(len(e.Embedding)) * 4
+	}
+	return total
+}
+
+// StorageBytes reports total cache storage: embeddings plus query and
+// response text.
+func (c *Cache) StorageBytes() int64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var total int64
+	for _, e := range c.entries {
+		total += int64(len(e.Embedding))*4 + int64(len(e.Query)) + int64(len(e.Response))
+	}
+	return total
+}
+
+// Entries returns a snapshot slice of all live entries in unspecified
+// order. The entries are shared; callers must not mutate them.
+func (c *Cache) Entries() []*Entry {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]*Entry, len(c.entries))
+	copy(out, c.entries)
+	return out
+}

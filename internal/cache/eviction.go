@@ -1,0 +1,70 @@
+package cache
+
+// Policy selects the entry to evict when the cache is full. Figure 1 lists
+// a per-entry eviction policy column with LRU as the paper's default; this
+// package also provides LFU and FIFO, the classic alternatives studied in
+// the web-caching literature the paper builds on.
+type Policy interface {
+	// victim picks the entry to evict from a non-empty snapshot. Returning
+	// nil disables eviction (the cache then grows past capacity).
+	victim(entries []*Entry) *Entry
+	// Name identifies the policy.
+	Name() string
+}
+
+// LRU evicts the least-recently used entry (insertion or Touch).
+type LRU struct{}
+
+// Name implements Policy.
+func (LRU) Name() string { return "lru" }
+
+func (LRU) victim(entries []*Entry) *Entry {
+	var best *Entry
+	for _, e := range entries {
+		if best == nil || e.lastUsed < best.lastUsed {
+			best = e
+		}
+	}
+	return best
+}
+
+// LFU evicts the least-frequently hit entry, breaking ties by recency.
+type LFU struct{}
+
+// Name implements Policy.
+func (LFU) Name() string { return "lfu" }
+
+func (LFU) victim(entries []*Entry) *Entry {
+	var best *Entry
+	for _, e := range entries {
+		if best == nil || e.hits < best.hits ||
+			(e.hits == best.hits && e.lastUsed < best.lastUsed) {
+			best = e
+		}
+	}
+	return best
+}
+
+// FIFO evicts the oldest entry by insertion order regardless of use.
+type FIFO struct{}
+
+// Name implements Policy.
+func (FIFO) Name() string { return "fifo" }
+
+func (FIFO) victim(entries []*Entry) *Entry {
+	var best *Entry
+	for _, e := range entries {
+		if best == nil || e.seq < best.seq {
+			best = e
+		}
+	}
+	return best
+}
+
+// None disables eviction; Put grows the cache without bound.
+type None struct{}
+
+// Name implements Policy.
+func (None) Name() string { return "none" }
+
+func (None) victim([]*Entry) *Entry { return nil }

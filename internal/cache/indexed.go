@@ -1,0 +1,27 @@
+package cache
+
+import (
+	"fmt"
+
+	"repro/internal/index"
+)
+
+// NewWithIndex creates a cache whose similarity search is delegated to the
+// given vector index instead of the built-in parallel flat scan. Use an
+// index.IVF for very large caches (§III-B cites million-entry semantic
+// search); the built-in scan remains the default for user-side cache
+// sizes. The index must be empty and match dim.
+func NewWithIndex(dim, capacity int, policy Policy, idx index.Index) *Cache {
+	if idx.Dim() != dim {
+		panic(fmt.Sprintf("cache: index dim %d != cache dim %d", idx.Dim(), dim))
+	}
+	if idx.Len() != 0 {
+		panic("cache: index must start empty")
+	}
+	c := New(dim, capacity, policy)
+	c.idx = idx
+	return c
+}
+
+// Indexed reports whether an external vector index is attached.
+func (c *Cache) Indexed() bool { return c.idx != nil }

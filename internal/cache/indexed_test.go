@@ -1,0 +1,83 @@
+package cache
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/index"
+)
+
+func TestIndexedCacheMatchesFlatCache(t *testing.T) {
+	// A cache backed by a full-probe IVF (exact) must make the same
+	// decisions as the built-in scan.
+	flat := New(16, 0, LRU{})
+	ivf := NewWithIndex(16, 0, LRU{}, index.NewIVF(16, index.IVFConfig{
+		NList: 8, NProbe: 8, TrainSize: 30, Seed: 1,
+	}))
+	if !ivf.Indexed() || flat.Indexed() {
+		t.Fatal("Indexed() wiring wrong")
+	}
+	for i := int64(0); i < 120; i++ {
+		e := unit(16, i)
+		if _, err := flat.Put(fmt.Sprintf("q%d", i), "r", e, NoParent); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ivf.Put(fmt.Sprintf("q%d", i), "r", e, NoParent); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for probe := int64(200); probe < 250; probe++ {
+		p := unit(16, probe)
+		a := flat.FindSimilar(p, 3, 0.2)
+		b := ivf.FindSimilar(p, 3, 0.2)
+		if len(a) != len(b) {
+			t.Fatalf("probe %d: %d vs %d hits", probe, len(a), len(b))
+		}
+		for i := range a {
+			if a[i].Entry.ID != b[i].Entry.ID {
+				t.Fatalf("probe %d hit %d: %d vs %d", probe, i, a[i].Entry.ID, b[i].Entry.ID)
+			}
+		}
+	}
+}
+
+func TestIndexedCacheEviction(t *testing.T) {
+	c := NewWithIndex(8, 5, LRU{}, index.NewFlat(8))
+	ids := make([]int, 0, 10)
+	for i := int64(0); i < 10; i++ {
+		id, err := c.Put("q", "r", unit(8, i), NoParent)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	if c.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", c.Len())
+	}
+	// Evicted entries must be gone from the index too: searching for an
+	// evicted embedding must not return it.
+	for i := 0; i < 5; i++ {
+		ms := c.FindSimilar(unit(8, int64(i)), 1, 0.999)
+		for _, m := range ms {
+			if m.Entry.ID == ids[i] {
+				t.Fatalf("evicted entry %d still searchable", ids[i])
+			}
+		}
+	}
+	// Live entries remain searchable.
+	for i := 5; i < 10; i++ {
+		ms := c.FindSimilar(unit(8, int64(i)), 1, 0.999)
+		if len(ms) != 1 || ms[0].Entry.ID != ids[i] {
+			t.Fatalf("live entry %d not found", ids[i])
+		}
+	}
+}
+
+func TestNewWithIndexValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("dim mismatch accepted")
+		}
+	}()
+	NewWithIndex(8, 0, LRU{}, index.NewFlat(9))
+}

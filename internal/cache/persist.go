@@ -1,0 +1,115 @@
+package cache
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sort"
+	"strconv"
+
+	"repro/internal/store"
+)
+
+// entryWire is the persistent form of an Entry.
+type entryWire struct {
+	ID        int
+	Query     string
+	Response  string
+	Embedding []float32
+	Parent    int
+}
+
+// SaveTo writes every live entry into st (one record per entry, keyed by
+// entry ID). Existing records in st under colliding keys are overwritten;
+// records for entries that no longer exist are deleted, so st mirrors the
+// cache exactly after the call.
+func (c *Cache) SaveTo(st *store.Store) error {
+	c.mu.RLock()
+	entries := make([]*Entry, len(c.entries))
+	copy(entries, c.entries)
+	c.mu.RUnlock()
+
+	live := make(map[string]bool, len(entries))
+	for _, e := range entries {
+		key := entryKey(e.ID)
+		live[key] = true
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(entryWire{
+			ID: e.ID, Query: e.Query, Response: e.Response,
+			Embedding: e.Embedding, Parent: e.Parent,
+		}); err != nil {
+			return fmt.Errorf("cache: encoding entry %d: %w", e.ID, err)
+		}
+		if err := st.Put(key, buf.Bytes()); err != nil {
+			return fmt.Errorf("cache: persisting entry %d: %w", e.ID, err)
+		}
+	}
+	for _, key := range st.Keys() {
+		if !live[key] {
+			if err := st.Delete(key); err != nil {
+				return fmt.Errorf("cache: pruning stale record %s: %w", key, err)
+			}
+		}
+	}
+	return nil
+}
+
+// LoadFrom rebuilds a cache from records written by SaveTo. Entry IDs are
+// preserved (so parent links stay valid); the next allocated ID continues
+// past the maximum loaded ID. Parents are inserted before children.
+func LoadFrom(st *store.Store, dim, capacity int, policy Policy) (*Cache, error) {
+	c := New(dim, capacity, policy)
+	var wires []entryWire
+	for _, key := range st.Keys() {
+		raw, err := st.Get(key)
+		if err != nil {
+			return nil, fmt.Errorf("cache: reading %s: %w", key, err)
+		}
+		var w entryWire
+		if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&w); err != nil {
+			return nil, fmt.Errorf("cache: decoding %s: %w", key, err)
+		}
+		if len(w.Embedding) != dim {
+			return nil, fmt.Errorf("cache: entry %d has dim %d, cache wants %d", w.ID, len(w.Embedding), dim)
+		}
+		wires = append(wires, w)
+	}
+	// Topological insert: standalone entries first, then children whose
+	// parents are present; cycles or orphans are dropped with an error.
+	sort.Slice(wires, func(i, j int) bool { return wires[i].ID < wires[j].ID })
+	inserted := make(map[int]bool)
+	pending := wires
+	for len(pending) > 0 {
+		var next []entryWire
+		progress := false
+		for _, w := range pending {
+			if w.Parent != NoParent && !inserted[w.Parent] {
+				next = append(next, w)
+				continue
+			}
+			c.mu.Lock()
+			e := &Entry{
+				ID: w.ID, Query: w.Query, Response: w.Response,
+				Embedding: w.Embedding, Parent: w.Parent,
+			}
+			c.clock++
+			e.lastUsed = c.clock
+			e.seq = c.clock
+			c.byID[w.ID] = len(c.entries)
+			c.entries = append(c.entries, e)
+			if w.ID >= c.nextID {
+				c.nextID = w.ID + 1
+			}
+			c.mu.Unlock()
+			inserted[w.ID] = true
+			progress = true
+		}
+		if !progress {
+			return nil, fmt.Errorf("cache: %d entries with missing or cyclic parents", len(next))
+		}
+		pending = next
+	}
+	return c, nil
+}
+
+func entryKey(id int) string { return "entry/" + strconv.Itoa(id) }

@@ -1,0 +1,251 @@
+// Package core implements MeanCache itself: the user-centric semantic cache
+// of §III. A Client owns a local semantic cache and an embedding encoder;
+// queries are served from the cache when a semantically similar cached
+// query with a matching context chain exists, and forwarded to the LLM web
+// service otherwise (Algorithm 1). The encoder and the similarity threshold
+// are typically produced by federated fine-tuning (internal/fl), and the
+// encoder may carry a PCA compression layer (internal/pca via
+// embed.WithProjection).
+//
+// The package exposes two query surfaces:
+//
+//   - Session: stateful conversations. Session.Ask tracks the conversation
+//     history and parent entry, so contextual queries are cached with their
+//     chain automatically.
+//   - Client.Lookup / Client.Insert: the stateless primitives used by the
+//     benchmark harness, where probes arrive with explicit contexts.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/embed"
+	"repro/internal/vecmath"
+)
+
+// LLM is the upstream web service MeanCache fronts. Query returns the
+// response text and how long the service took (simulated or wall-clock).
+type LLM interface {
+	Query(q string) (response string, took time.Duration)
+}
+
+// Options configures a Client.
+type Options struct {
+	// Encoder produces query embeddings. Required.
+	Encoder embed.Encoder
+	// LLM is the upstream service. Required for Query/Ask; Lookup-only
+	// harness use may leave it nil.
+	LLM LLM
+	// Tau is the cosine-similarity threshold for a query match — the
+	// τ of §III-A.2, learnt per user and aggregated globally by FL.
+	Tau float32
+	// CtxTau is the threshold for matching conversation context turns
+	// against a cached entry's chain. Defaults to Tau when zero.
+	CtxTau float32
+	// TopK bounds how many similar candidates are context-checked per
+	// query (Algorithm 1 retrieves the top-k similar cached queries).
+	TopK int
+	// Capacity bounds the local cache (0 = unbounded); Policy picks
+	// eviction victims (default LRU, as in Figure 1).
+	Capacity int
+	Policy   cache.Policy
+	// FeedbackStep is how much a false-hit report raises Tau (§III-A.2:
+	// the threshold adapts from user feedback). Zero disables adjustment.
+	FeedbackStep float32
+}
+
+// Client is a MeanCache instance: one user's local semantic cache plus the
+// machinery to consult it. Client is safe for concurrent use; Tau updates
+// from feedback are serialized by the cache's own synchronisation being
+// independent of the (rare) feedback path.
+type Client struct {
+	opts  Options
+	cache *cache.Cache
+	tau   float32
+
+	// counters for the experiments
+	llmQueries  int
+	cacheHits   int
+	searchTime  time.Duration
+	searchCount int
+}
+
+// New builds a Client. It panics if no encoder is supplied, because every
+// other operation is meaningless without one.
+func New(opts Options) *Client {
+	if opts.Encoder == nil {
+		panic("core: Options.Encoder is required")
+	}
+	if opts.TopK <= 0 {
+		opts.TopK = 5
+	}
+	if opts.Policy == nil {
+		opts.Policy = cache.LRU{}
+	}
+	if opts.CtxTau == 0 {
+		opts.CtxTau = opts.Tau
+	}
+	return &Client{
+		opts:  opts,
+		cache: cache.New(opts.Encoder.Dim(), opts.Capacity, opts.Policy),
+		tau:   opts.Tau,
+	}
+}
+
+// Cache exposes the underlying semantic cache (for persistence and the
+// storage experiments).
+func (c *Client) Cache() *cache.Cache { return c.cache }
+
+// Tau reports the current similarity threshold.
+func (c *Client) Tau() float32 { return c.tau }
+
+// Result is the outcome of one query.
+type Result struct {
+	// Response is the text returned to the user.
+	Response string
+	// Hit reports whether the response came from the local cache.
+	Hit bool
+	// Entry is the matched cache entry on a hit, nil otherwise.
+	Entry *cache.Entry
+	// Score is the cosine similarity of the match (hits only).
+	Score float32
+	// Latency is the end-to-end time: semantic search for hits, search
+	// plus LLM time for misses.
+	Latency time.Duration
+	// SearchTime isolates the semantic-search component of Latency.
+	SearchTime time.Duration
+}
+
+// Lookup runs the cache-decision half of Algorithm 1: embed q, find similar
+// cached queries, and verify the context chain of each candidate against
+// ctxTexts (the conversation history, oldest first; empty for standalone
+// queries). It performs no insertion and no LLM call.
+func (c *Client) Lookup(q string, ctxTexts []string) Result {
+	start := time.Now()
+	eq := c.opts.Encoder.Encode(q)
+	matches := c.cache.FindSimilar(eq, c.opts.TopK, c.tau)
+	var res Result
+	for _, m := range matches {
+		if c.contextMatches(m.Entry, ctxTexts) {
+			c.cache.Touch(m.Entry.ID)
+			res = Result{
+				Response: m.Entry.Response,
+				Hit:      true,
+				Entry:    m.Entry,
+				Score:    m.Score,
+			}
+			break
+		}
+	}
+	res.SearchTime = time.Since(start)
+	res.Latency = res.SearchTime
+	c.searchTime += res.SearchTime
+	c.searchCount++
+	if res.Hit {
+		c.cacheHits++
+	}
+	return res
+}
+
+// contextMatches verifies Algorithm 1's context check: a standalone entry
+// (empty chain) matches only an empty conversation context, and a
+// contextual entry matches when each turn of its chain is semantically
+// similar (≥ CtxTau) to the corresponding trailing turn of the submitted
+// context.
+func (c *Client) contextMatches(e *cache.Entry, ctxTexts []string) bool {
+	chain := c.cache.Chain(e.ID)
+	if len(chain) == 0 {
+		return len(ctxTexts) == 0
+	}
+	if len(ctxTexts) < len(chain) {
+		return false
+	}
+	tail := ctxTexts[len(ctxTexts)-len(chain):]
+	for i, ancestor := range chain {
+		ce := c.opts.Encoder.Encode(tail[i])
+		if vecmath.Dot(ce, ancestor.Embedding) < c.opts.CtxTau {
+			return false
+		}
+	}
+	return true
+}
+
+// Insert caches a query/response pair. parent is the cache entry ID of the
+// conversational parent, or cache.NoParent for standalone queries. Returns
+// the new entry's ID.
+func (c *Client) Insert(q, response string, parent int) (int, error) {
+	eq := c.opts.Encoder.Encode(q)
+	return c.cache.Put(q, response, eq, parent)
+}
+
+// Query is the full Algorithm 1 for a standalone query: Lookup, then on a
+// miss consult the LLM and enrol the result in the cache.
+func (c *Client) Query(q string) (Result, error) {
+	return c.queryWithContext(q, nil, cache.NoParent)
+}
+
+func (c *Client) queryWithContext(q string, ctxTexts []string, parent int) (Result, error) {
+	res := c.Lookup(q, ctxTexts)
+	if res.Hit {
+		return res, nil
+	}
+	if c.opts.LLM == nil {
+		return res, fmt.Errorf("core: cache miss and no LLM configured")
+	}
+	resp, took := c.opts.LLM.Query(q)
+	c.llmQueries++
+	id, err := c.Insert(q, resp, parent)
+	if err != nil {
+		return res, fmt.Errorf("core: enrolling response: %w", err)
+	}
+	entry, _ := c.cache.Get(id)
+	res.Response = resp
+	res.Entry = entry
+	res.Latency = res.SearchTime + took
+	return res, nil
+}
+
+// ReportFalseHit is the user-feedback signal of §III-A.2: the user re-asked
+// the LLM after a cache hit, so the hit was wrong. The threshold rises by
+// FeedbackStep (clamped to 1) to make future matches stricter.
+func (c *Client) ReportFalseHit() {
+	if c.opts.FeedbackStep <= 0 {
+		return
+	}
+	c.tau += c.opts.FeedbackStep
+	if c.tau > 1 {
+		c.tau = 1
+	}
+}
+
+// SetTau installs a new threshold (e.g. a freshly aggregated τ_global).
+func (c *Client) SetTau(tau float32) { c.tau = tau }
+
+// Stats summarises the client's activity.
+type Stats struct {
+	LLMQueries    int
+	CacheHits     int
+	Lookups       int
+	MeanSearch    time.Duration
+	CacheEntries  int
+	StorageBytes  int64
+	EmbeddingDims int
+}
+
+// Stats returns a snapshot of activity counters.
+func (c *Client) Stats() Stats {
+	s := Stats{
+		LLMQueries:    c.llmQueries,
+		CacheHits:     c.cacheHits,
+		Lookups:       c.searchCount,
+		CacheEntries:  c.cache.Len(),
+		StorageBytes:  c.cache.StorageBytes(),
+		EmbeddingDims: c.opts.Encoder.Dim(),
+	}
+	if c.searchCount > 0 {
+		s.MeanSearch = c.searchTime / time.Duration(c.searchCount)
+	}
+	return s
+}

@@ -1,0 +1,45 @@
+package core
+
+import "repro/internal/cache"
+
+// Session is a stateful conversation with the LLM service through the
+// cache. It tracks the conversation history and the cache entry of the
+// previous turn, so follow-up queries are looked up against — and enrolled
+// with — the correct context chain (Figure 1's workflow).
+type Session struct {
+	client  *Client
+	history []string
+	parent  int
+}
+
+// NewSession starts an empty conversation.
+func (c *Client) NewSession() *Session {
+	return &Session{client: c, parent: cache.NoParent}
+}
+
+// Turns reports how many queries this session has asked.
+func (s *Session) Turns() int { return len(s.history) }
+
+// Ask submits the next query of the conversation. The first query of a
+// session is standalone; each subsequent query is contextual, verified
+// against cached context chains and cached with the previous turn as its
+// parent.
+func (s *Session) Ask(q string) (Result, error) {
+	res, err := s.client.queryWithContext(q, s.history, s.parent)
+	if err != nil {
+		return res, err
+	}
+	s.history = append(s.history, q)
+	if res.Entry != nil {
+		// Continue the conversation from the matched or inserted entry, so
+		// a later follow-up chains onto it.
+		s.parent = res.Entry.ID
+	}
+	return res, nil
+}
+
+// Reset starts a new conversation in place, clearing history and context.
+func (s *Session) Reset() {
+	s.history = s.history[:0]
+	s.parent = cache.NoParent
+}

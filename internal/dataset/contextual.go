@@ -1,0 +1,155 @@
+package dataset
+
+import (
+	"math/rand"
+	"strconv"
+	"strings"
+)
+
+// CtxQuery is a query together with its conversational context: the texts
+// of its ancestor queries, oldest first. A standalone query has an empty
+// Context. DupOf indexes the cached entry this query duplicates (same
+// intent AND same context chain), or -1.
+type CtxQuery struct {
+	Text    string
+	Context []string
+	DupOf   int
+}
+
+// ContextualWorkload is the §IV-C protocol: 200 cached queries (100
+// standalone + their 100 follow-ups), then 250 probes — 75 standalone
+// duplicates, 75 contextual duplicates, and 100 non-duplicates of which a
+// large share are follow-ups under a *different* parent. Those
+// context-mismatched follow-ups are lexically near-identical to cached
+// follow-ups, which is exactly what defeats a cache that ignores context.
+type ContextualWorkload struct {
+	Cached []CtxQuery
+	Probes []CtxQuery
+}
+
+// followUpTemplates are generic follow-up intents (like the paper's
+// "Change the color to red"): the same follow-up phrasing is meaningful
+// under many different parents, so context is the only disambiguator.
+// Each template has synonym slots resolved by the generator's lexicon.
+var followUpTemplates = []string{
+	"change the color to red",
+	"make it bigger",
+	"now do the opposite",
+	"add a title to it",
+	"convert it to json",
+	"explain that in simpler terms",
+	"give me an example",
+	"can you shorten it",
+	"translate it to french",
+	"what about on windows",
+	"show the code for that",
+	"make it faster",
+	"remove the last part",
+	"use a different approach",
+	"why does that work",
+}
+
+// realizeFollowUp renders template variant v (0 = canonical) by light
+// paraphrase: swapping the opening word set. Variants of the same template
+// index are duplicates of each other under the same parent.
+func realizeFollowUp(template string, v int, rng *rand.Rand) string {
+	if v == 0 {
+		return template
+	}
+	openers := []string{"please", "ok now", "next", "could you", "also"}
+	return openers[rng.Intn(len(openers))] + " " + template
+}
+
+// GenerateContextualWorkload builds the §IV-C dataset: nConv standalone
+// conversations each with one follow-up (cache population), then the probe
+// mix. With nConv=100 this reproduces the paper's 450-query dataset:
+// 200 cached + 250 probes.
+func GenerateContextualWorkload(cfg CorpusConfig, nConv int) *ContextualWorkload {
+	rng := rand.New(rand.NewSource(cfg.Seed + 2000))
+	gen := NewGenerator(cfg, rng)
+	w := &ContextualWorkload{}
+
+	// Cache population: standalone parents and their follow-ups.
+	parents := make([]Intent, nConv)
+	parentTexts := make([]string, nConv)
+	followIdx := make([]int, nConv) // template index per conversation
+	for i := 0; i < nConv; i++ {
+		parents[i] = gen.NewIntent(i)
+		parentTexts[i] = gen.Realize(parents[i])
+		w.Cached = append(w.Cached, CtxQuery{Text: parentTexts[i], DupOf: -1})
+	}
+	for i := 0; i < nConv; i++ {
+		followIdx[i] = rng.Intn(len(followUpTemplates))
+		w.Cached = append(w.Cached, CtxQuery{
+			Text:    realizeFollowUp(followUpTemplates[followIdx[i]], 0, rng),
+			Context: []string{parentTexts[i]},
+			DupOf:   -1,
+		})
+	}
+
+	nDupStandalone := nConv * 3 / 4
+	nDupCtx := nConv * 3 / 4
+	nNonDup := nConv
+
+	// Standalone duplicates: new realisations of cached parents.
+	perm := rng.Perm(nConv)
+	for i := 0; i < nDupStandalone; i++ {
+		p := perm[i]
+		w.Probes = append(w.Probes, CtxQuery{Text: gen.Realize(parents[p]), DupOf: p})
+	}
+	// Contextual duplicates: same follow-up under the same parent (the
+	// submitted context is a fresh realisation of the same parent intent).
+	perm = rng.Perm(nConv)
+	for i := 0; i < nDupCtx; i++ {
+		p := perm[i]
+		w.Probes = append(w.Probes, CtxQuery{
+			Text:    realizeFollowUp(followUpTemplates[followIdx[p]], 1+rng.Intn(3), rng),
+			Context: []string{gen.Realize(parents[p])},
+			DupOf:   nConv + p,
+		})
+	}
+	// Non-duplicates. Half are context-mismatched follow-ups: the same
+	// follow-up text as a cached entry but under a brand-new parent (the
+	// paper's Q4 example) — these must miss, and they are what defeats a
+	// context-blind cache. The rest are fresh standalone queries; unlike
+	// the standalone workload they carry no adversarial hard negatives,
+	// matching the paper's GPT-4-generated non-duplicates.
+	for i := 0; i < nNonDup; i++ {
+		if i%2 == 0 {
+			tpl := followIdx[rng.Intn(nConv)]
+			freshParent := gen.NewIntent(-1)
+			w.Probes = append(w.Probes, CtxQuery{
+				Text:    realizeFollowUp(followUpTemplates[tpl], rng.Intn(4), rng),
+				Context: []string{gen.Realize(freshParent)},
+				DupOf:   -1,
+			})
+		} else {
+			w.Probes = append(w.Probes, CtxQuery{Text: gen.Realize(gen.NewIntent(-1)), DupOf: -1})
+		}
+	}
+	rng.Shuffle(len(w.Probes), func(a, b int) { w.Probes[a], w.Probes[b] = w.Probes[b], w.Probes[a] })
+	return w
+}
+
+// Size reports total queries (cached + probes), 450 for the paper's
+// configuration.
+func (w *ContextualWorkload) Size() int { return len(w.Cached) + len(w.Probes) }
+
+// String summarises the workload composition for logs.
+func (w *ContextualWorkload) String() string {
+	var b strings.Builder
+	dups := 0
+	for _, p := range w.Probes {
+		if p.DupOf >= 0 {
+			dups++
+		}
+	}
+	b.WriteString("contextual workload: ")
+	b.WriteString(strconv.Itoa(len(w.Cached)))
+	b.WriteString(" cached, ")
+	b.WriteString(strconv.Itoa(len(w.Probes)))
+	b.WriteString(" probes (")
+	b.WriteString(strconv.Itoa(dups))
+	b.WriteString(" dup)")
+	return b.String()
+}

@@ -1,0 +1,288 @@
+package dataset
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func smallConfig() CorpusConfig {
+	cfg := DefaultConfig()
+	cfg.Concepts = 80
+	cfg.Intents = 200
+	return cfg
+}
+
+func TestLexiconValidate(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	lx := NewLexicon(500, rng)
+	if err := lx.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if lx.Concepts() != 500 {
+		t.Fatalf("Concepts = %d, want 500", lx.Concepts())
+	}
+}
+
+func TestLexiconDeterministic(t *testing.T) {
+	a := NewLexicon(100, rand.New(rand.NewSource(9)))
+	b := NewLexicon(100, rand.New(rand.NewSource(9)))
+	for c := 0; c < 100; c++ {
+		sa, sb := a.Synonyms(c), b.Synonyms(c)
+		if len(sa) != len(sb) {
+			t.Fatal("lexicon not deterministic")
+		}
+		for i := range sa {
+			if sa[i] != sb[i] {
+				t.Fatal("lexicon not deterministic")
+			}
+		}
+	}
+}
+
+func TestLexiconWordClamps(t *testing.T) {
+	lx := NewLexicon(10, rand.New(rand.NewSource(2)))
+	// Any pick index must resolve without panicking.
+	for pick := 0; pick < 20; pick++ {
+		if lx.Word(0, pick) == "" {
+			t.Fatal("empty synonym")
+		}
+	}
+}
+
+func TestGenerateCorpusSplits(t *testing.T) {
+	c := GenerateCorpus(smallConfig())
+	if len(c.Train) == 0 || len(c.Val) == 0 || len(c.Test) == 0 {
+		t.Fatal("empty split")
+	}
+	// Pairs per split = 2 × intents in split.
+	if len(c.Train) != 2*(200*6/10) {
+		t.Fatalf("train pairs = %d, want %d", len(c.Train), 2*(200*6/10))
+	}
+	for _, split := range [][]Pair{c.Train, c.Val, c.Test} {
+		dups := 0
+		for _, p := range split {
+			if p.A == "" || p.B == "" {
+				t.Fatal("empty pair text")
+			}
+			if p.Dup {
+				dups++
+			}
+		}
+		if dups != len(split)/2 {
+			t.Fatalf("split not class-balanced: %d dup of %d", dups, len(split))
+		}
+	}
+}
+
+func TestCorpusDeterministic(t *testing.T) {
+	a := GenerateCorpus(smallConfig())
+	b := GenerateCorpus(smallConfig())
+	for i := range a.Train {
+		if a.Train[i] != b.Train[i] {
+			t.Fatal("corpus generation not deterministic")
+		}
+	}
+}
+
+func TestDuplicatePairsDiffer(t *testing.T) {
+	// Duplicate pairs should usually be lexically different realisations —
+	// that is the whole point of semantic caching. Allow a small fraction
+	// of accidental identical realisations.
+	c := GenerateCorpus(smallConfig())
+	same := 0
+	total := 0
+	for _, p := range c.Train {
+		if p.Dup {
+			total++
+			if p.A == p.B {
+				same++
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no duplicate pairs")
+	}
+	if float64(same)/float64(total) > 0.2 {
+		t.Fatalf("too many identical duplicate realisations: %d/%d", same, total)
+	}
+}
+
+func TestSplitPairsPartition(t *testing.T) {
+	c := GenerateCorpus(smallConfig())
+	rng := rand.New(rand.NewSource(5))
+	shards := SplitPairs(c.Train, 7, rng)
+	if len(shards) != 7 {
+		t.Fatalf("shards = %d, want 7", len(shards))
+	}
+	total := 0
+	for _, s := range shards {
+		total += len(s)
+	}
+	if total != len(c.Train) {
+		t.Fatalf("partition loses pairs: %d vs %d", total, len(c.Train))
+	}
+	for _, s := range shards {
+		if len(s) < len(c.Train)/7-1 || len(s) > len(c.Train)/7+1 {
+			t.Fatalf("unbalanced shard size %d", len(s))
+		}
+	}
+}
+
+func TestGenerateCacheWorkload(t *testing.T) {
+	w := GenerateCacheWorkload(smallConfig(), 100, 100, 0.3)
+	if len(w.Cached) != 100 || len(w.Probes) != 100 {
+		t.Fatalf("sizes = %d/%d, want 100/100", len(w.Cached), len(w.Probes))
+	}
+	if got := w.DupCount(); got != 30 {
+		t.Fatalf("DupCount = %d, want 30", got)
+	}
+	for _, p := range w.Probes {
+		if p.DupOf >= len(w.Cached) {
+			t.Fatalf("DupOf out of range: %d", p.DupOf)
+		}
+	}
+}
+
+func TestOrderedSubset(t *testing.T) {
+	w := GenerateCacheWorkload(smallConfig(), 200, 200, 0.3)
+	probes := w.OrderedSubset(70, 30)
+	if len(probes) != 100 {
+		t.Fatalf("OrderedSubset len = %d, want 100", len(probes))
+	}
+	for i := 0; i < 70; i++ {
+		if probes[i].DupOf >= 0 {
+			t.Fatalf("probe %d should be unique", i)
+		}
+	}
+	for i := 70; i < 100; i++ {
+		if probes[i].DupOf < 0 {
+			t.Fatalf("probe %d should be duplicate", i)
+		}
+	}
+}
+
+func TestGenerateContextualWorkload(t *testing.T) {
+	w := GenerateContextualWorkload(smallConfig(), 100)
+	if len(w.Cached) != 200 {
+		t.Fatalf("cached = %d, want 200", len(w.Cached))
+	}
+	if len(w.Probes) != 250 {
+		t.Fatalf("probes = %d, want 250", len(w.Probes))
+	}
+	if w.Size() != 450 {
+		t.Fatalf("Size = %d, want 450 (the paper's dataset size)", w.Size())
+	}
+	dups, ctxDups := 0, 0
+	for _, p := range w.Probes {
+		if p.DupOf >= 0 {
+			dups++
+			if len(p.Context) > 0 {
+				ctxDups++
+			}
+			if p.DupOf >= len(w.Cached) {
+				t.Fatalf("DupOf %d out of range", p.DupOf)
+			}
+			// Contextual duplicates must point at contextual cached
+			// entries and standalone at standalone.
+			if (len(p.Context) > 0) != (len(w.Cached[p.DupOf].Context) > 0) {
+				t.Fatal("probe/cached context arity mismatch")
+			}
+		}
+	}
+	if dups != 150 {
+		t.Fatalf("duplicate probes = %d, want 150", dups)
+	}
+	if ctxDups != 75 {
+		t.Fatalf("contextual duplicate probes = %d, want 75", ctxDups)
+	}
+	if s := w.String(); !strings.Contains(s, "450") && !strings.Contains(s, "250") {
+		t.Fatalf("String() = %q lacks sizes", s)
+	}
+}
+
+func TestContextualFirstHalfOfCacheIsStandalone(t *testing.T) {
+	w := GenerateContextualWorkload(smallConfig(), 50)
+	for i := 0; i < 50; i++ {
+		if len(w.Cached[i].Context) != 0 {
+			t.Fatalf("cached[%d] should be standalone", i)
+		}
+	}
+	for i := 50; i < 100; i++ {
+		if len(w.Cached[i].Context) != 1 {
+			t.Fatalf("cached[%d] should have one parent", i)
+		}
+	}
+}
+
+func TestUserStudyReproducesFigure4(t *testing.T) {
+	cfg := smallConfig()
+	streams := GenerateUserStudy(cfg)
+	if len(streams) != 20 {
+		t.Fatalf("participants = %d, want 20", len(streams))
+	}
+	got := AnalyzeStudy(streams)
+	want := PublishedStudyResult()
+	for i := range want.Totals {
+		if got.Totals[i] != want.Totals[i] {
+			t.Errorf("participant %d total = %d, want %d", i+1, got.Totals[i], want.Totals[i])
+		}
+		if got.Duplicates[i] != want.Duplicates[i] {
+			t.Errorf("participant %d dups = %d, want %d", i+1, got.Duplicates[i], want.Duplicates[i])
+		}
+	}
+	ratio := got.MeanDupRatio()
+	if ratio < 0.28 || ratio < 0 || ratio > 0.40 {
+		t.Fatalf("mean duplicate ratio = %.3f, paper reports ≈0.31", ratio)
+	}
+}
+
+func TestStudyTotalQueries(t *testing.T) {
+	want := 0
+	for _, c := range participantCounts {
+		want += c.Total
+	}
+	if want < 27000 {
+		t.Fatalf("study total = %d, paper says over 27K", want)
+	}
+}
+
+func TestRealizeUsesSynonyms(t *testing.T) {
+	cfg := smallConfig()
+	rng := rand.New(rand.NewSource(17))
+	gen := NewGenerator(cfg, rng)
+	it := gen.NewIntent(0)
+	// Across many realisations we should see more than one surface form
+	// for at least one concept.
+	forms := make(map[string]bool)
+	for i := 0; i < 30; i++ {
+		forms[gen.Realize(it)] = true
+	}
+	if len(forms) < 2 {
+		t.Fatal("Realize produces a single surface form; no paraphrases")
+	}
+}
+
+func TestNewIntentSharingSharesConcepts(t *testing.T) {
+	cfg := smallConfig()
+	rng := rand.New(rand.NewSource(23))
+	gen := NewGenerator(cfg, rng)
+	base := gen.NewIntent(0)
+	neg := gen.NewIntentSharing(1, base, 2)
+	shared := 0
+	baseSet := make(map[int]bool)
+	for _, c := range base.Concepts {
+		baseSet[c] = true
+	}
+	for _, c := range neg.Concepts {
+		if baseSet[c] {
+			shared++
+		}
+	}
+	if shared < 2 {
+		t.Fatalf("hard negative shares %d concepts, want >= 2", shared)
+	}
+	if neg.Prefix != base.Prefix {
+		t.Fatal("hard negative should share the question prefix")
+	}
+}

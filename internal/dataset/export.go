@@ -1,0 +1,71 @@
+package dataset
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// JSON export/import of generated corpora, so a generated benchmark can be
+// archived alongside results for exact reproducibility, inspected by hand,
+// or consumed by non-Go tooling.
+
+// pairRecord is the JSONL row format: one labelled pair per line.
+type pairRecord struct {
+	A     string `json:"a"`
+	B     string `json:"b"`
+	Dup   bool   `json:"dup"`
+	Split string `json:"split"`
+}
+
+// ExportCorpus writes the corpus's train/val/test pairs as JSON Lines.
+func ExportCorpus(w io.Writer, c *Corpus) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	write := func(split string, pairs []Pair) error {
+		for _, p := range pairs {
+			if err := enc.Encode(pairRecord{A: p.A, B: p.B, Dup: p.Dup, Split: split}); err != nil {
+				return fmt.Errorf("dataset: encoding %s pair: %w", split, err)
+			}
+		}
+		return nil
+	}
+	for _, s := range []struct {
+		name  string
+		pairs []Pair
+	}{{"train", c.Train}, {"val", c.Val}, {"test", c.Test}} {
+		if err := write(s.name, s.pairs); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ImportCorpus reads pairs written by ExportCorpus back into splits. The
+// returned corpus carries only the pairs (no generator state); that is all
+// training and evaluation need.
+func ImportCorpus(r io.Reader) (*Corpus, error) {
+	c := &Corpus{}
+	dec := json.NewDecoder(bufio.NewReader(r))
+	for {
+		var rec pairRecord
+		if err := dec.Decode(&rec); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("dataset: decoding pair: %w", err)
+		}
+		p := Pair{A: rec.A, B: rec.B, Dup: rec.Dup}
+		switch rec.Split {
+		case "train":
+			c.Train = append(c.Train, p)
+		case "val":
+			c.Val = append(c.Val, p)
+		case "test":
+			c.Test = append(c.Test, p)
+		default:
+			return nil, fmt.Errorf("dataset: unknown split %q", rec.Split)
+		}
+	}
+	return c, nil
+}

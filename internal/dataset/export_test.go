@@ -1,0 +1,52 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestExportImportRoundTrip(t *testing.T) {
+	c := GenerateCorpus(smallConfig())
+	var buf bytes.Buffer
+	if err := ExportCorpus(&buf, c); err != nil {
+		t.Fatalf("Export: %v", err)
+	}
+	c2, err := ImportCorpus(&buf)
+	if err != nil {
+		t.Fatalf("Import: %v", err)
+	}
+	if len(c2.Train) != len(c.Train) || len(c2.Val) != len(c.Val) || len(c2.Test) != len(c.Test) {
+		t.Fatalf("split sizes changed: %d/%d/%d vs %d/%d/%d",
+			len(c2.Train), len(c2.Val), len(c2.Test),
+			len(c.Train), len(c.Val), len(c.Test))
+	}
+	for i := range c.Train {
+		if c.Train[i] != c2.Train[i] {
+			t.Fatalf("train pair %d changed: %+v vs %+v", i, c.Train[i], c2.Train[i])
+		}
+	}
+}
+
+func TestImportRejectsBadSplit(t *testing.T) {
+	in := strings.NewReader(`{"a":"x","b":"y","dup":true,"split":"bogus"}`)
+	if _, err := ImportCorpus(in); err == nil {
+		t.Fatal("bad split accepted")
+	}
+}
+
+func TestImportRejectsGarbage(t *testing.T) {
+	if _, err := ImportCorpus(strings.NewReader("not json at all")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestImportEmpty(t *testing.T) {
+	c, err := ImportCorpus(strings.NewReader(""))
+	if err != nil {
+		t.Fatalf("empty import: %v", err)
+	}
+	if len(c.Train)+len(c.Val)+len(c.Test) != 0 {
+		t.Fatal("empty input produced pairs")
+	}
+}

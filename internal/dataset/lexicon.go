@@ -1,0 +1,169 @@
+// Package dataset generates the synthetic corpora that stand in for the
+// paper's data dependencies: the GPTCache duplicate-query benchmark
+// (Quora-style paraphrase pairs), the 450-query GPT-4-generated contextual
+// dataset of §IV-C, and the 20-participant ChatGPT usage study of §III-C.
+//
+// The central construct is a seeded generative grammar over *intents*. An
+// intent is a sequence of concept slots plus filler words; each concept has
+// several synonym surface forms. Two realisations of the same intent are a
+// duplicate pair (semantically equal, lexically different); realisations of
+// different intents are non-duplicates, with controllable concept overlap to
+// produce hard negatives. This reproduces the two properties every
+// experiment relies on: paraphrases that keyword matching misses, and
+// confusable non-pairs that stress precision.
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// seedLexicon is a hand-written set of synonym groups spanning the domains
+// the paper's examples use (tech support, plotting, science, cooking). The
+// generator extends it with pseudo-word groups to reach the configured
+// concept count, so examples read naturally while the corpus scales.
+var seedLexicon = [][]string{
+	{"increase", "extend", "boost", "improve"},
+	{"battery", "power", "charge"},
+	{"phone", "smartphone", "handset", "device"},
+	{"draw", "plot", "sketch", "render"},
+	{"line", "curve", "trace"},
+	{"graph", "chart", "figure", "diagram"},
+	{"python", "matplotlib"},
+	{"color", "hue", "shade"},
+	{"explain", "describe", "clarify"},
+	{"quickly", "rapidly", "fast"},
+	{"remove", "delete", "erase", "drop"},
+	{"create", "make", "build", "construct"},
+	{"sort", "order", "arrange", "rank"},
+	{"list", "array", "sequence"},
+	{"reduce", "decrease", "lower", "shrink"},
+	{"cost", "price", "expense"},
+	{"recipe", "instructions", "directions"},
+	{"chocolate", "cocoa"},
+	{"cake", "dessert", "pastry"},
+	{"install", "setup", "configure"},
+	{"server", "host", "machine"},
+	{"network", "internet", "connection"},
+	{"fix", "repair", "resolve", "debug"},
+	{"error", "bug", "fault", "failure"},
+	{"learn", "study", "master"},
+	{"language", "tongue", "dialect"},
+	{"travel", "journey", "trip"},
+	{"cheap", "affordable", "inexpensive", "budget"},
+	{"summary", "overview", "synopsis", "digest"},
+	{"document", "file", "paper"},
+	{"convert", "transform", "translate"},
+	{"image", "picture", "photo"},
+	{"resize", "rescale", "downscale"},
+	{"weather", "forecast", "climate"},
+	{"tomorrow", "later"},
+	{"capital", "metropolis"},
+	{"france", "paris"},
+	{"energy", "fuel", "electricity"},
+	{"save", "store", "persist", "keep"},
+	{"money", "cash", "funds", "savings"},
+}
+
+// fillerWords are connective tokens shared across realisations. They make
+// unrelated queries lexically overlap the way real natural-language queries
+// do, which is what stresses the precision of semantic matching.
+var fillerWords = []string{
+	"how", "what", "the", "my", "of", "for", "a", "to", "in", "is",
+	"can", "do", "best", "way", "me",
+}
+
+// questionPrefixes open a realisation, giving queries a natural query shape.
+var questionPrefixes = [][]string{
+	{"how", "can", "i"},
+	{"how", "do", "i"},
+	{"what", "is", "the", "best", "way", "to"},
+	{"tips", "for"},
+	{"please"},
+	{"whats", "a", "good", "way", "to"},
+	{},
+}
+
+// syllables compose deterministic pseudo-words for generated synonym groups.
+var syllables = []string{
+	"ba", "ke", "mi", "ro", "tu", "sha", "len", "dor", "vex", "pol",
+	"gran", "fi", "zu", "mar", "tel", "qui", "nos", "var", "lim", "dra",
+}
+
+// Lexicon holds the synonym groups available to a corpus generator.
+type Lexicon struct {
+	groups [][]string
+}
+
+// NewLexicon builds a lexicon with exactly concepts synonym groups: the
+// hand-written seed groups first, then deterministic pseudo-word groups
+// derived from rng. Every group has at least two surface forms.
+func NewLexicon(concepts int, rng *rand.Rand) *Lexicon {
+	if concepts <= 0 {
+		panic("dataset: concepts must be positive")
+	}
+	lx := &Lexicon{groups: make([][]string, 0, concepts)}
+	for i := 0; i < concepts && i < len(seedLexicon); i++ {
+		lx.groups = append(lx.groups, seedLexicon[i])
+	}
+	seen := make(map[string]bool)
+	for _, g := range lx.groups {
+		for _, w := range g {
+			seen[w] = true
+		}
+	}
+	for len(lx.groups) < concepts {
+		size := 2 + rng.Intn(3) // 2–4 synonyms
+		group := make([]string, 0, size)
+		for len(group) < size {
+			w := pseudoWord(rng)
+			if !seen[w] {
+				seen[w] = true
+				group = append(group, w)
+			}
+		}
+		lx.groups = append(lx.groups, group)
+	}
+	return lx
+}
+
+// Concepts reports the number of synonym groups.
+func (lx *Lexicon) Concepts() int { return len(lx.groups) }
+
+// Synonyms returns the surface forms of concept c. The slice must not be
+// modified.
+func (lx *Lexicon) Synonyms(c int) []string { return lx.groups[c] }
+
+// Word returns surface form pick of concept c, clamping pick into range so
+// callers can pass unbounded indices.
+func (lx *Lexicon) Word(c, pick int) string {
+	g := lx.groups[c]
+	return g[pick%len(g)]
+}
+
+func pseudoWord(rng *rand.Rand) string {
+	n := 2 + rng.Intn(2) // 2–3 syllables
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		b.WriteString(syllables[rng.Intn(len(syllables))])
+	}
+	return b.String()
+}
+
+// Validate checks structural invariants (used by tests and on load paths).
+func (lx *Lexicon) Validate() error {
+	seen := make(map[string]int)
+	for i, g := range lx.groups {
+		if len(g) < 2 {
+			return fmt.Errorf("dataset: concept %d has %d synonyms, want >= 2", i, len(g))
+		}
+		for _, w := range g {
+			if prev, dup := seen[w]; dup && prev != i {
+				return fmt.Errorf("dataset: word %q in concepts %d and %d", w, prev, i)
+			}
+			seen[w] = i
+		}
+	}
+	return nil
+}

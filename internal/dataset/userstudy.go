@@ -1,0 +1,121 @@
+package dataset
+
+import "math/rand"
+
+// participantCounts reproduces Figure 4 of the paper: the total and
+// duplicate query counts of the 20 ChatGPT-user study participants
+// (professors, developers, graduate students), over 27K queries in all.
+var participantCounts = []struct{ Total, Dup int }{
+	{1571, 573}, {457, 194}, {428, 144}, {180, 61}, {2530, 798},
+	{1531, 547}, {427, 132}, {2647, 700}, {1480, 404}, {119, 54},
+	{3367, 1269}, {91, 19}, {345, 120}, {116, 18}, {352, 88},
+	{3710, 1247}, {242, 58}, {466, 83}, {104, 36}, {6984, 2850},
+}
+
+// ParticipantStream is one participant's query stream. IntentIDs carries
+// the ground-truth intent of each query; a query is a duplicate if its
+// intent appeared earlier in the stream (matching the study's local
+// analysis scripts, which counted resubmissions).
+type ParticipantStream struct {
+	Queries   []string
+	IntentIDs []int
+}
+
+// StudyResult is the aggregated, privacy-preserving output of the study:
+// per-participant totals only, as in the paper (raw queries never leave
+// the participant in §III-C; here they never leave the generator).
+type StudyResult struct {
+	Totals     []int
+	Duplicates []int
+}
+
+// MeanDupRatio returns the mean per-participant duplicate fraction.
+func (r *StudyResult) MeanDupRatio() float64 {
+	if len(r.Totals) == 0 {
+		return 0
+	}
+	var sum float64
+	for i := range r.Totals {
+		if r.Totals[i] > 0 {
+			sum += float64(r.Duplicates[i]) / float64(r.Totals[i])
+		}
+	}
+	return sum / float64(len(r.Totals))
+}
+
+// GenerateUserStudy synthesises the 20 participant streams with the
+// published per-participant totals and duplicate counts. Duplicate queries
+// are fresh realisations of intents the participant already queried,
+// placed uniformly after their first occurrence.
+func GenerateUserStudy(cfg CorpusConfig) []ParticipantStream {
+	rng := rand.New(rand.NewSource(cfg.Seed + 3000))
+	gen := NewGenerator(cfg, rng)
+	streams := make([]ParticipantStream, len(participantCounts))
+	nextIntent := 0
+	for p, counts := range participantCounts {
+		unique := counts.Total - counts.Dup
+		// Positions of duplicate queries: anywhere after index 0.
+		isDup := make([]bool, counts.Total)
+		placed := 0
+		for placed < counts.Dup {
+			pos := 1 + rng.Intn(counts.Total-1)
+			if !isDup[pos] {
+				isDup[pos] = true
+				placed++
+			}
+		}
+		stream := ParticipantStream{
+			Queries:   make([]string, 0, counts.Total),
+			IntentIDs: make([]int, 0, counts.Total),
+		}
+		var seen []Intent
+		for i := 0; i < counts.Total; i++ {
+			var it Intent
+			if isDup[i] && len(seen) > 0 {
+				it = seen[rng.Intn(len(seen))]
+			} else {
+				it = gen.NewIntent(nextIntent)
+				nextIntent++
+				seen = append(seen, it)
+			}
+			stream.Queries = append(stream.Queries, gen.Realize(it))
+			stream.IntentIDs = append(stream.IntentIDs, it.ID)
+		}
+		// Exactness check is deferred to AnalyzeStudy; unique count is
+		// implied: len(seen) == unique.
+		_ = unique
+		streams[p] = stream
+	}
+	return streams
+}
+
+// AnalyzeStudy runs the participants' local analysis: count, per stream,
+// the queries whose intent occurred earlier. Only aggregates are returned.
+func AnalyzeStudy(streams []ParticipantStream) *StudyResult {
+	res := &StudyResult{
+		Totals:     make([]int, len(streams)),
+		Duplicates: make([]int, len(streams)),
+	}
+	for i, s := range streams {
+		seen := make(map[int]bool)
+		for _, id := range s.IntentIDs {
+			if seen[id] {
+				res.Duplicates[i]++
+			}
+			seen[id] = true
+		}
+		res.Totals[i] = len(s.Queries)
+	}
+	return res
+}
+
+// PublishedStudyResult returns the paper's Figure 4 numbers directly, used
+// by tests to confirm the generator reproduces them.
+func PublishedStudyResult() *StudyResult {
+	res := &StudyResult{}
+	for _, c := range participantCounts {
+		res.Totals = append(res.Totals, c.Total)
+		res.Duplicates = append(res.Duplicates, c.Dup)
+	}
+	return res
+}

@@ -1,0 +1,85 @@
+package dataset
+
+import "math/rand"
+
+// Probe is one query submitted to a cache-enabled service, with ground
+// truth: DupOf is the index of the cached query it duplicates, or -1 if it
+// is new (the correct outcome is a cache miss).
+type Probe struct {
+	Text  string
+	DupOf int
+}
+
+// CacheWorkload is the standalone-query evaluation protocol of §IV-B: a set
+// of queries pre-loaded into the cache, then a probe stream with a known
+// duplicate fraction.
+type CacheWorkload struct {
+	Cached []string
+	Probes []Probe
+}
+
+// GenerateCacheWorkload builds a workload with nCached cached queries and
+// nProbes probes of which dupFraction are duplicates (fresh realisations of
+// cached intents) and the rest are new intents — 30% in the paper,
+// following the resubmission rate observed for web services. Non-duplicate
+// probes include hard negatives at the corpus's configured rate.
+func GenerateCacheWorkload(cfg CorpusConfig, nCached, nProbes int, dupFraction float64) *CacheWorkload {
+	rng := rand.New(rand.NewSource(cfg.Seed + 1000))
+	gen := NewGenerator(cfg, rng)
+	w := &CacheWorkload{
+		Cached: make([]string, nCached),
+		Probes: make([]Probe, 0, nProbes),
+	}
+	intents := make([]Intent, nCached)
+	for i := range intents {
+		intents[i] = gen.NewIntent(i)
+		w.Cached[i] = gen.Realize(intents[i])
+	}
+	nDup := int(float64(nProbes)*dupFraction + 0.5)
+	for i := 0; i < nDup; i++ {
+		idx := rng.Intn(nCached)
+		w.Probes = append(w.Probes, Probe{Text: gen.Realize(intents[idx]), DupOf: idx})
+	}
+	for i := nDup; i < nProbes; i++ {
+		var it Intent
+		if rng.Float64() < cfg.HardNegativeRate {
+			it = gen.NewIntentSharing(-1, intents[rng.Intn(nCached)], cfg.SharedConcepts)
+		} else {
+			it = gen.NewIntent(-1)
+		}
+		w.Probes = append(w.Probes, Probe{Text: gen.Realize(it), DupOf: -1})
+	}
+	rng.Shuffle(len(w.Probes), func(a, b int) { w.Probes[a], w.Probes[b] = w.Probes[b], w.Probes[a] })
+	return w
+}
+
+// OrderedSubset returns a workload view of n probes arranged so that
+// non-duplicates come first and duplicates last, matching the presentation
+// of Figures 5–6 (queries 0–69 unique, 70–99 duplicates).
+func (w *CacheWorkload) OrderedSubset(nUnique, nDup int) []Probe {
+	probes := make([]Probe, 0, nUnique+nDup)
+	for _, p := range w.Probes {
+		if p.DupOf < 0 && nUnique > 0 {
+			probes = append(probes, p)
+			nUnique--
+		}
+	}
+	for _, p := range w.Probes {
+		if p.DupOf >= 0 && nDup > 0 {
+			probes = append(probes, p)
+			nDup--
+		}
+	}
+	return probes
+}
+
+// DupCount reports how many probes are duplicates.
+func (w *CacheWorkload) DupCount() int {
+	n := 0
+	for _, p := range w.Probes {
+		if p.DupOf >= 0 {
+			n++
+		}
+	}
+	return n
+}

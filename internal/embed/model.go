@@ -1,0 +1,247 @@
+package embed
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/tokenizer"
+	"repro/internal/vecmath"
+)
+
+// Model is a trainable sentence encoder:
+//
+//	ids    = tokenize(text)                    hashed token features
+//	pooled = mean(E[ids])                      EmbDim
+//	h      = W·pooled + b                      OutDim
+//	a      = tanh(h)                           OutDim
+//	out    = a / ‖a‖                           OutDim, unit norm
+//
+// The analytic backward pass for this pipeline is in Backward. Model also
+// implements Encoder for inference. Encode is safe for concurrent use as
+// long as no training step runs concurrently.
+type Model struct {
+	Cfg Arch
+	Tok *tokenizer.Tokenizer
+
+	// E is the embedding table (Vocab × EmbDim).
+	E *vecmath.Matrix
+	// W is the projection (OutDim × EmbDim); B the bias (OutDim).
+	W *vecmath.Matrix
+	B []float32
+}
+
+// NewModel builds a model with weights initialised from seed. Two models
+// built from the same Arch and seed are identical, which the FL experiments
+// rely on for a common starting point across clients.
+func NewModel(cfg Arch, seed int64) *Model {
+	rng := rand.New(rand.NewSource(seed))
+	m := &Model{
+		Cfg: cfg,
+		Tok: tokenizer.New(cfg.Mode, cfg.Vocab),
+		// Row cfg.Vocab (one past the hash range) is the shared anchor
+		// used when cfg.AnchorWeight > 0; allocating it unconditionally
+		// keeps the weight layout independent of the anchor setting.
+		E: vecmath.NewMatrix(cfg.Vocab+1, cfg.EmbDim),
+		W: vecmath.NewMatrix(cfg.OutDim, cfg.EmbDim),
+		B: make([]float32, cfg.OutDim),
+	}
+	// Unit-variance token rows; variance-preserving projection.
+	m.E.RandomizeNormal(rng, 1)
+	m.W.RandomizeNormal(rng, 1/float32Sqrt(cfg.EmbDim))
+	return m
+}
+
+// anchorRow is the index of the shared anchor row in E.
+func (m *Model) anchorRow() int { return m.Cfg.Vocab }
+
+func float32Sqrt(n int) float64 { return math.Sqrt(float64(n)) }
+
+// Name implements Encoder.
+func (m *Model) Name() string { return m.Cfg.Name }
+
+// Dim implements Encoder.
+func (m *Model) Dim() int { return m.Cfg.OutDim }
+
+// Trainable reports whether fine-tuning is supported for this architecture.
+func (m *Model) Trainable() bool { return m.Cfg.Trainable }
+
+// Activations holds every intermediate value of one forward pass that the
+// backward pass needs. Reused across calls to avoid per-sample allocation
+// in training loops.
+type Activations struct {
+	IDs    []int
+	Pooled []float32
+	Act    []float32 // tanh(h)
+	Norm   float32   // ‖a‖ before normalisation
+	Out    []float32 // final unit-norm embedding
+}
+
+// NewActivations allocates buffers sized for m.
+func (m *Model) NewActivations() *Activations {
+	return &Activations{
+		Pooled: make([]float32, m.Cfg.EmbDim),
+		Act:    make([]float32, m.Cfg.OutDim),
+		Out:    make([]float32, m.Cfg.OutDim),
+	}
+}
+
+// Forward runs the encoder on text, filling acts. The returned slice is
+// acts.Out (not a copy).
+func (m *Model) Forward(text string, acts *Activations) []float32 {
+	acts.IDs = m.Tok.Tokenize(text)
+	vecmath.Zero(acts.Pooled)
+	aw := m.Cfg.AnchorWeight
+	if len(acts.IDs) > 0 {
+		inv := (1 - aw) / float32(len(acts.IDs))
+		for _, id := range acts.IDs {
+			vecmath.Axpy(inv, m.E.Row(id), acts.Pooled)
+		}
+	}
+	if aw > 0 {
+		vecmath.Axpy(aw, m.E.Row(m.anchorRow()), acts.Pooled)
+	}
+	m.W.MulVec(acts.Act, acts.Pooled)
+	for i := range acts.Act {
+		acts.Act[i] = tanh32(acts.Act[i] + m.B[i])
+	}
+	copy(acts.Out, acts.Act)
+	acts.Norm = vecmath.Normalize(acts.Out)
+	if acts.Norm == 0 {
+		// Degenerate (empty) input: emit a fixed unit vector so cosine
+		// comparisons stay well-defined.
+		acts.Out[0] = 1
+		acts.Norm = 1
+	}
+	// Synthetic extra compute modelling a deep transformer stack. The loop
+	// touches Act so it cannot be optimised away, but contributes nothing
+	// to the output (it re-normalises an already-normalised vector).
+	for k := 0; k < m.Cfg.ExtraCost; k++ {
+		vecmath.Normalize(acts.Out)
+	}
+	return acts.Out
+}
+
+// Encode implements Encoder. It allocates fresh activations per call so it
+// can be used concurrently.
+func (m *Model) Encode(text string) []float32 {
+	acts := m.NewActivations()
+	m.Forward(text, acts)
+	return vecmath.Clone(acts.Out)
+}
+
+// EncodeBatch encodes texts in parallel and returns a len(texts)×Dim matrix
+// whose row i is the embedding of texts[i].
+func (m *Model) EncodeBatch(texts []string) *vecmath.Matrix {
+	out := vecmath.NewMatrix(len(texts), m.Cfg.OutDim)
+	vecmath.ParallelFor(len(texts), func(lo, hi int) {
+		acts := m.NewActivations()
+		for i := lo; i < hi; i++ {
+			m.Forward(texts[i], acts)
+			copy(out.Row(i), acts.Out)
+		}
+	})
+	return out
+}
+
+// Grads accumulates parameter gradients across a mini-batch.
+type Grads struct {
+	E *vecmath.Matrix
+	W *vecmath.Matrix
+	B []float32
+	// touched tracks which embedding rows received gradient, so Zero and
+	// the optimiser can skip the (large) untouched remainder.
+	touched map[int]struct{}
+}
+
+// NewGrads allocates zeroed gradient buffers shaped like m's parameters.
+func (m *Model) NewGrads() *Grads {
+	return &Grads{
+		E:       vecmath.NewMatrix(m.Cfg.Vocab+1, m.Cfg.EmbDim),
+		W:       vecmath.NewMatrix(m.Cfg.OutDim, m.Cfg.EmbDim),
+		B:       make([]float32, m.Cfg.OutDim),
+		touched: make(map[int]struct{}),
+	}
+}
+
+// Zero clears the accumulated gradients.
+func (g *Grads) Zero() {
+	for id := range g.touched {
+		vecmath.Zero(g.E.Row(id))
+		delete(g.touched, id)
+	}
+	vecmath.Zero(g.W.Data)
+	vecmath.Zero(g.B)
+}
+
+// TouchedRows returns the embedding-table rows that received gradient since
+// the last Zero, in unspecified order.
+func (g *Grads) TouchedRows() []int {
+	rows := make([]int, 0, len(g.touched))
+	for id := range g.touched {
+		rows = append(rows, id)
+	}
+	return rows
+}
+
+// Backward accumulates into g the parameter gradients of a scalar loss L
+// given dOut = ∂L/∂out for the forward pass recorded in acts.
+//
+// Derivation (a = tanh(h), out = a/‖a‖):
+//
+//	∂L/∂a  = (dOut − out·(out⋅dOut)) / ‖a‖     (L2-normalisation Jacobian)
+//	∂L/∂h  = ∂L/∂a ⊙ (1 − a²)                   (tanh)
+//	∂L/∂W  = ∂L/∂h ⊗ pooled,  ∂L/∂b = ∂L/∂h
+//	∂L/∂pooled = Wᵀ·∂L/∂h
+//	∂L/∂E[id] += ∂L/∂pooled / |ids|  for each token id
+func (m *Model) Backward(acts *Activations, dOut []float32, g *Grads) {
+	if len(dOut) != m.Cfg.OutDim {
+		panic(fmt.Sprintf("embed: Backward dOut dim %d, want %d", len(dOut), m.Cfg.OutDim))
+	}
+	n := m.Cfg.OutDim
+	// Through L2 normalisation.
+	dot := vecmath.Dot(acts.Out, dOut)
+	dh := make([]float32, n)
+	invNorm := 1 / acts.Norm
+	for i := 0; i < n; i++ {
+		da := (dOut[i] - acts.Out[i]*dot) * invNorm
+		dh[i] = da * (1 - acts.Act[i]*acts.Act[i])
+	}
+	// Projection gradients.
+	for i := 0; i < n; i++ {
+		if dh[i] != 0 {
+			vecmath.Axpy(dh[i], acts.Pooled, g.W.Row(i))
+		}
+		g.B[i] += dh[i]
+	}
+	// Into the embedding table.
+	aw := m.Cfg.AnchorWeight
+	if len(acts.IDs) == 0 && aw == 0 {
+		return
+	}
+	dPooled := make([]float32, m.Cfg.EmbDim)
+	m.W.MulVecT(dPooled, dh)
+	if len(acts.IDs) > 0 {
+		inv := (1 - aw) / float32(len(acts.IDs))
+		for _, id := range acts.IDs {
+			vecmath.Axpy(inv, dPooled, g.E.Row(id))
+			g.touched[id] = struct{}{}
+		}
+	}
+	if aw > 0 {
+		vecmath.Axpy(aw, dPooled, g.E.Row(m.anchorRow()))
+		g.touched[m.anchorRow()] = struct{}{}
+	}
+}
+
+// tanh32 is a float32 tanh with cheap saturation cut-offs; |x| ≥ 9 is
+// indistinguishable from ±1 in float32.
+func tanh32(x float32) float32 {
+	if x > 9 {
+		return 1
+	}
+	if x < -9 {
+		return -1
+	}
+	return float32(math.Tanh(float64(x)))
+}

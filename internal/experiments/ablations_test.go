@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAblationContext(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment tests skipped in -short mode")
+	}
+	res := AblationContext(quickLab)
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(res.Rows))
+	}
+	with, without := res.Rows[0], res.Rows[1]
+	// Removing context verification must hurt precision on the contextual
+	// workload: the whole point of the mechanism.
+	if with.Scores.Precision <= without.Scores.Precision {
+		t.Errorf("context chains did not improve precision: %.3f vs %.3f",
+			with.Scores.Precision, without.Scores.Precision)
+	}
+	if !strings.Contains(res.String(), "context") {
+		t.Error("String lacks title")
+	}
+}
+
+func TestAblationThresholdCalibration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment tests skipped in -short mode")
+	}
+	res := AblationThresholdCalibration(quickLab)
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(res.Rows))
+	}
+	pairwise, cacheAware := res.Rows[0], res.Rows[1]
+	// The cache-aware objective must improve deployment precision over the
+	// pairwise objective (the max-over-N tail effect).
+	if cacheAware.Scores.Precision < pairwise.Scores.Precision {
+		t.Errorf("cache-aware tau precision %.3f below pairwise %.3f",
+			cacheAware.Scores.Precision, pairwise.Scores.Precision)
+	}
+}
+
+func TestAblationAggregator(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment tests skipped in -short mode")
+	}
+	res := AblationAggregator(quickLab)
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.Scores.FScore <= 0 || row.Scores.FScore > 1 {
+			t.Errorf("%s: implausible F0.5 %.3f", row.Config, row.Scores.FScore)
+		}
+	}
+}
+
+func TestAblationPCADims(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment tests skipped in -short mode")
+	}
+	res := AblationPCADims(quickLab)
+	if len(res.Rows) < 4 {
+		t.Fatalf("rows = %d, want >= 4", len(res.Rows))
+	}
+	// Quality must be monotone-ish in k: 128-d at least as good as 16-d.
+	var f16, f128 float64
+	for _, row := range res.Rows {
+		switch row.Config {
+		case "pca 16-d":
+			f16 = row.Scores.FScore
+		case "pca 128-d":
+			f128 = row.Scores.FScore
+		}
+	}
+	if f128 < f16-0.02 {
+		t.Errorf("128-d F1 %.3f below 16-d %.3f", f128, f16)
+	}
+	// Raw must be within reach of the best compressed config (compression
+	// trades little accuracy — Fig. 10c's claim).
+	raw := res.Rows[0].Scores.FScore
+	best := 0.0
+	for _, row := range res.Rows[1:] {
+		if row.Scores.FScore > best {
+			best = row.Scores.FScore
+		}
+	}
+	if best < raw-0.1 {
+		t.Errorf("best compressed F1 %.3f far below raw %.3f", best, raw)
+	}
+}
+
+func TestAblationQuantize(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment tests skipped in -short mode")
+	}
+	res := AblationQuantize(quickLab)
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(res.Rows))
+	}
+	raw := res.Rows[0].Scores.FScore
+	for _, row := range res.Rows[1:] {
+		// Every compressed format must stay within 10 F1 points of raw:
+		// storage formats are lossy but not destructive.
+		if row.Scores.FScore < raw-0.10 {
+			t.Errorf("%s F1 %.3f far below raw %.3f", row.Config, row.Scores.FScore, raw)
+		}
+	}
+}
+
+func TestAblationEviction(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment tests skipped in -short mode")
+	}
+	res := AblationEviction(quickLab)
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.Scores.Recall <= 0 || row.Scores.Recall > 1 {
+			t.Errorf("%s: hit rate %.3f out of range", row.Config, row.Scores.Recall)
+		}
+	}
+	// On a Zipf stream with a 25% capacity cache, recency/frequency-aware
+	// policies must beat FIFO or at least match it.
+	byName := map[string]float64{}
+	for _, row := range res.Rows {
+		byName[row.Config] = row.Scores.Recall
+	}
+	if byName["lru"] < byName["fifo"]-0.05 {
+		t.Errorf("LRU hit rate %.3f well below FIFO %.3f", byName["lru"], byName["fifo"])
+	}
+}
+
+func TestSavingsReplay(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment tests skipped in -short mode")
+	}
+	res := Savings(quickLab)
+	if len(res.PerUser) != 20 {
+		t.Fatalf("users = %d, want 20", len(res.PerUser))
+	}
+	if res.Total == 0 || res.Served == 0 {
+		t.Fatalf("empty replay: %d/%d", res.Served, res.Total)
+	}
+	// The cache must capture a substantial share of the duplicate ceiling
+	// without exceeding it by much (false hits can push it slightly over).
+	if res.Saving < res.DupRatio*0.4 {
+		t.Errorf("saving %.2f captures under 40%% of the %.2f duplicate ceiling",
+			res.Saving, res.DupRatio)
+	}
+	if res.Saving > res.DupRatio+0.15 {
+		t.Errorf("saving %.2f implausibly above the %.2f duplicate ceiling",
+			res.Saving, res.DupRatio)
+	}
+}

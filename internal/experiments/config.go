@@ -1,0 +1,82 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation (§IV). Each driver returns a structured result whose
+// String method renders the same rows/series the paper reports, so
+// cmd/benchrunner and the top-level benchmarks regenerate the full
+// evaluation. The Lab type owns the expensive shared artifacts (the
+// corpus, the FL-trained models and their aggregated thresholds) and
+// memoises them across experiments.
+package experiments
+
+import (
+	"repro/internal/dataset"
+	"repro/internal/train"
+)
+
+// Config scales the evaluation. DefaultConfig reproduces the paper's
+// protocol sizes; QuickConfig shrinks everything for tests.
+type Config struct {
+	// Corpus is the synthetic duplicate-query benchmark configuration.
+	Corpus dataset.CorpusConfig
+	// Train holds the local-training hyperparameters (6 epochs in §IV-E).
+	Train train.Config
+
+	// FLClients is the fleet size (20 in §IV-A.2); FLPerRound the sample
+	// per round (4); FLRounds the round count (50).
+	FLClients, FLPerRound, FLRounds int
+
+	// NCached and NProbes size the standalone cache workload (1000 and
+	// 1000 in §IV-B); DupFraction is the duplicate probe share (0.30).
+	NCached, NProbes int
+	DupFraction      float64
+
+	// CtxConversations sizes the contextual dataset (100 conversations =
+	// the paper's 450-query protocol).
+	CtxConversations int
+
+	// PCADim is the compressed embedding dimensionality (64 in §IV-D).
+	// PCASamples bounds how many corpus queries the projector is fitted on.
+	PCADim, PCASamples int
+
+	// SweepStep is the threshold-sweep granularity for Figures 13/14/16.
+	SweepStep float64
+
+	// Seed drives every derived random stream.
+	Seed int64
+}
+
+// DefaultConfig is the paper-scale configuration.
+func DefaultConfig() Config {
+	return Config{
+		Corpus:           dataset.DefaultConfig(),
+		Train:            train.DefaultConfig(),
+		FLClients:        20,
+		FLPerRound:       4,
+		FLRounds:         50,
+		NCached:          1000,
+		NProbes:          1000,
+		DupFraction:      0.30,
+		CtxConversations: 100,
+		PCADim:           64,
+		PCASamples:       1500,
+		SweepStep:        0.01,
+		Seed:             1,
+	}
+}
+
+// QuickConfig is a scaled-down configuration for tests: the same code
+// paths at a fraction of the cost.
+func QuickConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Corpus.Concepts = 600
+	cfg.Corpus.Intents = 900
+	cfg.Train.Epochs = 4
+	cfg.FLClients = 6
+	cfg.FLPerRound = 3
+	cfg.FLRounds = 12
+	cfg.NCached = 400
+	cfg.NProbes = 150
+	cfg.CtxConversations = 30
+	cfg.PCASamples = 300
+	cfg.SweepStep = 0.05
+	return cfg
+}

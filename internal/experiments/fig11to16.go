@@ -1,0 +1,171 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/embed"
+	"repro/internal/train"
+)
+
+// FLCurveResult is the per-round metric curve of Figures 11 (MPNet) and
+// 12 (Albert).
+type FLCurveResult struct {
+	Arch  string
+	Curve []RoundScores
+}
+
+// Fig11 returns the MPNet-sim FL training curve.
+func Fig11(lab *Lab) *FLCurveResult {
+	return &FLCurveResult{Arch: embed.MPNetSim.Name, Curve: lab.Trained(embed.MPNetSim).Curve}
+}
+
+// Fig12 returns the Albert-sim FL training curve.
+func Fig12(lab *Lab) *FLCurveResult {
+	return &FLCurveResult{Arch: embed.AlbertSim.Name, Curve: lab.Trained(embed.AlbertSim).Curve}
+}
+
+// String renders the curve as rows of round/metric values.
+func (r *FLCurveResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "FL training curve (%s): global-model scores per round\n\n", r.Arch)
+	fmt.Fprintf(&b, "  %5s %6s %6s %6s %6s %6s\n", "round", "F1", "prec", "rec", "acc", "tau")
+	step := 1
+	if len(r.Curve) > 20 {
+		step = len(r.Curve) / 20
+	}
+	for i, rs := range r.Curve {
+		if i%step != 0 && i != len(r.Curve)-1 {
+			continue
+		}
+		fmt.Fprintf(&b, "  %5d %6.3f %6.3f %6.3f %6.3f %6.2f\n",
+			rs.Round, rs.Scores.FScore, rs.Scores.Precision, rs.Scores.Recall,
+			rs.Scores.Accuracy, rs.Tau)
+	}
+	if n := len(r.Curve); n > 0 {
+		fmt.Fprintf(&b, "\n  F1 %.3f -> %.3f, precision %.3f -> %.3f over %d rounds\n",
+			r.Curve[0].Scores.FScore, r.Curve[n-1].Scores.FScore,
+			r.Curve[0].Scores.Precision, r.Curve[n-1].Scores.Precision, n)
+	}
+	return b.String()
+}
+
+// SweepResult is a threshold sweep (Figures 13, 14, 16).
+type SweepResult struct {
+	Label string
+	Sweep train.SweepResult
+}
+
+// Fig13 sweeps the FL-trained MPNet-sim model over τ on balanced
+// validation pairs.
+func Fig13(lab *Lab) *SweepResult {
+	tm := lab.Trained(embed.MPNetSim)
+	return &SweepResult{
+		Label: "MPNet (FL-trained)",
+		Sweep: train.Sweep(tm.Model, lab.Corpus().Val, lab.Cfg.SweepStep, 1),
+	}
+}
+
+// Fig14 sweeps the FL-trained Albert-sim model.
+func Fig14(lab *Lab) *SweepResult {
+	tm := lab.Trained(embed.AlbertSim)
+	return &SweepResult{
+		Label: "Albert (FL-trained)",
+		Sweep: train.Sweep(tm.Model, lab.Corpus().Val, lab.Cfg.SweepStep, 1),
+	}
+}
+
+// Fig16 sweeps the frozen Llama2-sim encoder: even at its optimal τ its
+// F1 stays well below the fine-tuned small models (§IV-G).
+func Fig16(lab *Lab) *SweepResult {
+	return &SweepResult{
+		Label: "Llama 2 (frozen)",
+		Sweep: train.Sweep(lab.Llama(), lab.Corpus().Val, lab.Cfg.SweepStep, 1),
+	}
+}
+
+// String renders the sweep curve and its optimum.
+func (r *SweepResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Threshold sweep: %s\n\n", r.Label)
+	fmt.Fprintf(&b, "  %5s %6s %6s %6s %6s\n", "tau", "F1", "prec", "rec", "acc")
+	step := 1
+	if len(r.Sweep.Points) > 21 {
+		step = len(r.Sweep.Points) / 21
+	}
+	for i, pt := range r.Sweep.Points {
+		if i%step != 0 && i != len(r.Sweep.Points)-1 {
+			continue
+		}
+		fmt.Fprintf(&b, "  %5.2f %6.3f %6.3f %6.3f %6.3f\n",
+			pt.Tau, pt.Scores.FScore, pt.Scores.Precision, pt.Scores.Recall, pt.Scores.Accuracy)
+	}
+	opt := r.Sweep.Optimal
+	fmt.Fprintf(&b, "\n  optimal tau %.2f: F1=%.3f precision=%.3f accuracy=%.3f\n",
+		opt.Tau, opt.Scores.FScore, opt.Scores.Precision, opt.Scores.Accuracy)
+	return b.String()
+}
+
+// Fig15Row is one model's embedding-cost measurement.
+type Fig15Row struct {
+	Model       string
+	EncodeTime  time.Duration
+	StorageKB   float64 // per-embedding storage
+	Dim         int
+	WeightCount int
+}
+
+// Fig15Result compares embedding computation cost and storage across the
+// three encoders.
+type Fig15Result struct {
+	Rows []Fig15Row
+}
+
+// Fig15 measures mean per-query encode time (wall clock over corpus
+// queries) and per-embedding storage for Llama2-sim, MPNet-sim and
+// Albert-sim.
+func Fig15(lab *Lab) *Fig15Result {
+	corpus := lab.Corpus()
+	n := min(200, len(corpus.Val))
+	texts := make([]string, 0, n)
+	for _, p := range corpus.Val[:n] {
+		texts = append(texts, p.A)
+	}
+	models := []*embed.Model{
+		lab.Llama(),
+		lab.Trained(embed.MPNetSim).Model,
+		lab.Trained(embed.AlbertSim).Model,
+	}
+	res := &Fig15Result{}
+	for _, m := range models {
+		// Warm up once, then time sequential single-query encodes — the
+		// deployment pattern (queries arrive one at a time).
+		m.Encode(texts[0])
+		start := time.Now()
+		for _, t := range texts {
+			m.Encode(t)
+		}
+		per := time.Since(start) / time.Duration(len(texts))
+		res.Rows = append(res.Rows, Fig15Row{
+			Model:       m.Name(),
+			EncodeTime:  per,
+			StorageKB:   float64(m.Dim()) * 4 / 1024,
+			Dim:         m.Dim(),
+			WeightCount: m.WeightCount(),
+		})
+	}
+	return res
+}
+
+// String renders the two panels of Figure 15.
+func (r *Fig15Result) String() string {
+	var b strings.Builder
+	b.WriteString("Figure 15: embedding computation cost and storage\n\n")
+	fmt.Fprintf(&b, "  %-12s %14s %14s %6s %12s\n", "Model", "Encode/query", "Embed size", "Dim", "Params")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "  %-12s %14v %12.1fKB %6d %12d\n",
+			row.Model, row.EncodeTime.Round(time.Microsecond), row.StorageKB, row.Dim, row.WeightCount)
+	}
+	return b.String()
+}

@@ -1,0 +1,243 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/embed"
+	"repro/internal/gptcache"
+	"repro/internal/llmsim"
+	"repro/internal/metrics"
+)
+
+// Fig4Result is the user-study summary of Figure 4.
+type Fig4Result struct {
+	Totals     []int
+	Duplicates []int
+	MeanRatio  float64
+}
+
+// Fig4 regenerates the 20 participant streams and runs the local analysis,
+// reproducing the published per-participant totals and duplicate counts.
+func Fig4(lab *Lab) *Fig4Result {
+	streams := dataset.GenerateUserStudy(lab.Cfg.Corpus)
+	res := dataset.AnalyzeStudy(streams)
+	return &Fig4Result{
+		Totals:     res.Totals,
+		Duplicates: res.Duplicates,
+		MeanRatio:  res.MeanDupRatio(),
+	}
+}
+
+// String renders the per-participant bars of Figure 4 as a table.
+func (r *Fig4Result) String() string {
+	var b strings.Builder
+	b.WriteString("Figure 4: ChatGPT user study (20 participants)\n\n")
+	fmt.Fprintf(&b, "  %-12s %8s %11s %7s\n", "Participant", "Queries", "Duplicates", "Ratio")
+	for i := range r.Totals {
+		fmt.Fprintf(&b, "  %-12d %8d %11d %6.1f%%\n", i+1, r.Totals[i], r.Duplicates[i],
+			100*float64(r.Duplicates[i])/float64(r.Totals[i]))
+	}
+	fmt.Fprintf(&b, "\n  mean duplicate ratio: %.1f%% (paper: ≈31%%)\n", 100*r.MeanRatio)
+	return b.String()
+}
+
+// Fig5Series is one scenario's per-query response times.
+type Fig5Series struct {
+	Name      string
+	Latencies []time.Duration
+}
+
+// Fig5Result holds the three response-time series of Figure 5 over the
+// 100-probe visualisation subset (70 unique then 30 duplicates).
+type Fig5Result struct {
+	Series []Fig5Series
+	// DupStart is the index where duplicate probes begin (70).
+	DupStart int
+}
+
+// Fig5 measures response times for the Llama-2-sim service without a
+// cache, behind GPTCache, and behind MeanCache.
+func Fig5(lab *Lab) *Fig5Result {
+	w := lab.Workload()
+	probes := w.OrderedSubset(70, 30)
+	res := &Fig5Result{DupStart: 70}
+
+	// Scenario 1: no cache.
+	llm := llmsim.New(llmsim.DefaultConfig())
+	var noCache []time.Duration
+	for _, p := range probes {
+		_, took := llm.Query(p.Text)
+		noCache = append(noCache, took)
+	}
+	res.Series = append(res.Series, Fig5Series{Name: "Llama 2", Latencies: noCache})
+
+	// Scenarios 2–3: populated caches, probes replayed end-to-end. The
+	// baseline pays a server round trip on every query.
+	systems := []System{
+		NewGPTCacheSystem("Llama 2+GPTCache", lab.UntrainedModel(embed.AlbertSim), gptcache.DefaultTau, 20*time.Millisecond),
+		NewMeanCacheSystem("Llama 2+MeanCache", lab.Trained(embed.MPNetSim).Model, lab.Trained(embed.MPNetSim).Tau),
+	}
+	cached := make([]dataset.CtxQuery, len(w.Cached))
+	for i, q := range w.Cached {
+		cached[i] = dataset.CtxQuery{Text: q, DupOf: -1}
+	}
+	for _, sys := range systems {
+		sysLLM := llmsim.New(llmsim.DefaultConfig())
+		sys.Populate(cached, sysLLM)
+		var lats []time.Duration
+		for _, p := range probes {
+			_, lat := sys.Probe(p.Text, nil, sysLLM, true)
+			lats = append(lats, lat)
+		}
+		res.Series = append(res.Series, Fig5Series{Name: sys.Name(), Latencies: lats})
+	}
+	return res
+}
+
+// String renders summary statistics per scenario and region.
+func (r *Fig5Result) String() string {
+	var b strings.Builder
+	b.WriteString("Figure 5: response times, 100 probes (0-69 unique, 70-99 duplicate)\n\n")
+	fmt.Fprintf(&b, "  %-20s %14s %14s\n", "Scenario", "mean(unique)", "mean(dup)")
+	for _, s := range r.Series {
+		var uniq, dup metrics.LatencyRecorder
+		for i, lat := range s.Latencies {
+			if i < r.DupStart {
+				uniq.Record(lat)
+			} else {
+				dup.Record(lat)
+			}
+		}
+		fmt.Fprintf(&b, "  %-20s %14v %14v\n", s.Name,
+			uniq.Mean().Round(time.Millisecond), dup.Mean().Round(time.Millisecond))
+	}
+	return b.String()
+}
+
+// Fig6Result is the per-query hit/miss label strip of Figure 6.
+type Fig6Result struct {
+	Real      []bool // true = should hit
+	GPTCache  []bool
+	MeanCache []bool
+}
+
+// Fig6 replays the 100-probe subset and records each system's decisions.
+func Fig6(lab *Lab) *Fig6Result {
+	w := lab.Workload()
+	probes := w.OrderedSubset(70, 30)
+	res := &Fig6Result{}
+	for _, p := range probes {
+		res.Real = append(res.Real, p.DupOf >= 0)
+	}
+	cached := make([]dataset.CtxQuery, len(w.Cached))
+	for i, q := range w.Cached {
+		cached[i] = dataset.CtxQuery{Text: q, DupOf: -1}
+	}
+	run := func(sys System) []bool {
+		llm := llmsim.New(llmsim.DefaultConfig())
+		sys.Populate(cached, llm)
+		var preds []bool
+		for _, p := range probes {
+			hit, _ := sys.Probe(p.Text, nil, llm, true)
+			preds = append(preds, hit)
+		}
+		return preds
+	}
+	res.GPTCache = run(NewGPTCacheSystem("GPTCache", lab.UntrainedModel(embed.AlbertSim), gptcache.DefaultTau, 0))
+	res.MeanCache = run(NewMeanCacheSystem("MeanCache", lab.Trained(embed.MPNetSim).Model, lab.Trained(embed.MPNetSim).Tau))
+	return res
+}
+
+// String renders the three label strips plus false-hit counts on the
+// unique region.
+func (r *Fig6Result) String() string {
+	var b strings.Builder
+	b.WriteString("Figure 6: hit/miss labels, 100 probes (H = hit, . = miss)\n\n")
+	strip := func(name string, labels []bool) {
+		fmt.Fprintf(&b, "  %-10s ", name)
+		for _, hit := range labels {
+			if hit {
+				b.WriteByte('H')
+			} else {
+				b.WriteByte('.')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	strip("Real", r.Real)
+	strip("GPTCache", r.GPTCache)
+	strip("MeanCache", r.MeanCache)
+	fh := func(pred []bool) int {
+		n := 0
+		for i, hit := range pred {
+			if hit && !r.Real[i] {
+				n++
+			}
+		}
+		return n
+	}
+	fmt.Fprintf(&b, "\n  false hits on unique probes: GPTCache=%d MeanCache=%d\n",
+		fh(r.GPTCache), fh(r.MeanCache))
+	return b.String()
+}
+
+// Fig8Result carries the contextual label strips (Figure 8) and confusion
+// matrices (Figure 9).
+type Fig8Result struct {
+	// NonDup are outcomes for probes that must all miss (Figure 8a);
+	// Dup for probes that should hit (Figure 8b).
+	NonDupReal, NonDupGPT, NonDupMean []bool
+	DupReal, DupGPT, DupMean          []bool
+	GPTMatrix, MeanMatrix             metrics.Confusion
+}
+
+// Fig8 replays the contextual workload through both systems.
+func Fig8(lab *Lab) *Fig8Result {
+	w := lab.CtxWorkload()
+	res := &Fig8Result{}
+
+	run := func(sys System) []ProbeOutcome {
+		llm := llmsim.New(llmsim.DefaultConfig())
+		return RunContextual(sys, w, llm)
+	}
+	gpt := run(NewGPTCacheSystem("GPTCache", lab.UntrainedModel(embed.AlbertSim), gptcache.DefaultTau, 0))
+	mean := run(NewMeanCacheSystem("MeanCache", lab.Trained(embed.MPNetSim).Model, lab.Trained(embed.MPNetSim).Tau))
+	res.GPTMatrix = Confusion(gpt)
+	res.MeanMatrix = Confusion(mean)
+	for i, o := range gpt {
+		if o.Dup {
+			res.DupReal = append(res.DupReal, true)
+			res.DupGPT = append(res.DupGPT, o.Hit)
+			res.DupMean = append(res.DupMean, mean[i].Hit)
+		} else {
+			res.NonDupReal = append(res.NonDupReal, false)
+			res.NonDupGPT = append(res.NonDupGPT, o.Hit)
+			res.NonDupMean = append(res.NonDupMean, mean[i].Hit)
+		}
+	}
+	return res
+}
+
+// String renders Figures 8 and 9 as counts plus matrices.
+func (r *Fig8Result) String() string {
+	count := func(v []bool) int {
+		n := 0
+		for _, x := range v {
+			if x {
+				n++
+			}
+		}
+		return n
+	}
+	var b strings.Builder
+	b.WriteString("Figures 8-9: contextual queries\n\n")
+	fmt.Fprintf(&b, "(a) %d non-duplicate probes (all should miss): false hits GPTCache=%d MeanCache=%d\n",
+		len(r.NonDupReal), count(r.NonDupGPT), count(r.NonDupMean))
+	fmt.Fprintf(&b, "(b) %d duplicate probes (all should hit):  true hits  GPTCache=%d MeanCache=%d\n\n",
+		len(r.DupReal), count(r.DupGPT), count(r.DupMean))
+	fmt.Fprintf(&b, "Figure 9 (a) MeanCache\n%s\n\n(b) GPTCache\n%s\n", r.MeanMatrix, r.GPTMatrix)
+	return b.String()
+}

@@ -1,0 +1,196 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/dataset"
+	"repro/internal/embed"
+	"repro/internal/fl"
+	"repro/internal/metrics"
+	"repro/internal/pca"
+	"repro/internal/train"
+	"repro/internal/vecmath"
+)
+
+// RoundScores is one point of the FL training curves (Figures 11–12).
+type RoundScores struct {
+	Round  int
+	Tau    float64
+	Scores metrics.Scores // F1-based, evaluated on held-out pairs at τ_global
+}
+
+// TrainedModel bundles an FL-trained encoder with its aggregated global
+// threshold and per-round curve.
+type TrainedModel struct {
+	Model *embed.Model
+	Tau   float64
+	Curve []RoundScores
+}
+
+// Lab memoises the expensive shared artifacts across experiments.
+type Lab struct {
+	Cfg Config
+
+	corpus  *dataset.Corpus
+	table1  *Table1Result
+	trained map[string]*TrainedModel
+	llama   *embed.Model
+	proj    map[string]*pca.Projector
+	logf    func(format string, args ...any)
+}
+
+// NewLab creates an empty lab; artifacts are built on first use.
+func NewLab(cfg Config) *Lab {
+	return &Lab{
+		Cfg:     cfg,
+		trained: make(map[string]*TrainedModel),
+		proj:    make(map[string]*pca.Projector),
+		logf:    func(string, ...any) {},
+	}
+}
+
+// SetLogf installs a progress logger (benchrunner wires this to stderr).
+func (l *Lab) SetLogf(f func(string, ...any)) { l.logf = f }
+
+// Corpus returns the shared synthetic corpus.
+func (l *Lab) Corpus() *dataset.Corpus {
+	if l.corpus == nil {
+		l.logf("generating corpus (%d intents)...", l.Cfg.Corpus.Intents)
+		l.corpus = dataset.GenerateCorpus(l.Cfg.Corpus)
+	}
+	return l.corpus
+}
+
+// UntrainedModel returns a fresh pre-training model for arch, seeded
+// identically to the FL starting point.
+func (l *Lab) UntrainedModel(arch embed.Arch) *embed.Model {
+	return embed.NewModel(arch, l.Cfg.Seed+100)
+}
+
+// Llama returns the shared frozen Llama2-sim encoder.
+func (l *Lab) Llama() *embed.Model {
+	if l.llama == nil {
+		l.llama = embed.NewModel(embed.Llama2Sim, l.Cfg.Seed+100)
+	}
+	return l.llama
+}
+
+// Trained returns the FL-trained model for arch, running the federated
+// training of §IV-E on first use: FLClients clients over disjoint shards,
+// FLPerRound sampled per round, FLRounds rounds, with the global model
+// evaluated on held-out pairs after every aggregation.
+func (l *Lab) Trained(arch embed.Arch) *TrainedModel {
+	if tm, ok := l.trained[arch.Name]; ok {
+		return tm
+	}
+	corpus := l.Corpus()
+	l.logf("FL training %s: %d clients, %d/round, %d rounds...",
+		arch.Name, l.Cfg.FLClients, l.Cfg.FLPerRound, l.Cfg.FLRounds)
+
+	rng := rand.New(rand.NewSource(l.Cfg.Seed + 200))
+	shards := dataset.SplitPairs(corpus.Train, l.Cfg.FLClients, rng)
+	clients := make([]fl.Client, l.Cfg.FLClients)
+	for i := range clients {
+		// β=0.5: clients tune τ for deployment, where precision is twice
+		// as valuable as recall (§IV-B).
+		clients[i] = fl.NewLocalClient(i, arch, l.Cfg.Seed+100, shards[i], l.Cfg.Train, 0.5)
+	}
+	global := embed.NewModel(arch, l.Cfg.Seed+100)
+	srv := fl.NewServer(global, clients, fl.ServerConfig{
+		Rounds:          l.Cfg.FLRounds,
+		ClientsPerRound: l.Cfg.FLPerRound,
+		Seed:            l.Cfg.Seed + 300,
+		InitialTau:      0.7,
+	})
+	tm := &TrainedModel{Model: global}
+	evalPairs := corpus.Val
+	if err := srv.Run(func(ri fl.RoundInfo) {
+		conf := train.EvaluateAt(global, evalPairs, ri.GlobalTau)
+		rs := RoundScores{
+			Round:  ri.Round + 1,
+			Tau:    ri.GlobalTau,
+			Scores: metrics.ScoresFrom(conf, 1),
+		}
+		tm.Curve = append(tm.Curve, rs)
+		if (ri.Round+1)%10 == 0 || ri.Round == 0 {
+			l.logf("  round %d: F1=%.3f prec=%.3f tau=%.2f",
+				rs.Round, rs.Scores.FScore, rs.Scores.Precision, rs.Tau)
+		}
+	}); err != nil {
+		// FL over in-process clients cannot fail except by programming
+		// error; surface it loudly rather than returning a half-built lab.
+		panic(fmt.Sprintf("experiments: FL training failed: %v", err))
+	}
+	tm.Tau = srv.Tau()
+	l.trained[arch.Name] = tm
+	return tm
+}
+
+// Projector returns the PCA projector for arch's trained encoder, fitted
+// on embeddings of corpus training queries (§III-A.4, Figure 3a).
+func (l *Lab) Projector(arch embed.Arch) *pca.Projector {
+	if p, ok := l.proj[arch.Name]; ok {
+		return p
+	}
+	tm := l.Trained(arch)
+	corpus := l.Corpus()
+	n := min(l.Cfg.PCASamples, len(corpus.Train))
+	texts := make([]string, 0, n)
+	for _, pair := range corpus.Train[:n] {
+		texts = append(texts, pair.A)
+	}
+	l.logf("fitting PCA %d->%d on %d embeddings...", tm.Model.Dim(), l.Cfg.PCADim, len(texts))
+	samples := tm.Model.EncodeBatch(texts)
+	p, err := pca.Fit(samples, l.Cfg.PCADim, pca.Options{Seed: l.Cfg.Seed})
+	if err != nil {
+		panic(fmt.Sprintf("experiments: PCA fit failed: %v", err))
+	}
+	l.proj[arch.Name] = p
+	return p
+}
+
+// CompressedEncoder returns the trained encoder for arch with the PCA
+// projection attached as its final layer (Figure 3b).
+func (l *Lab) CompressedEncoder(arch embed.Arch) embed.Encoder {
+	tm := l.Trained(arch)
+	p := l.Projector(arch)
+	return embed.WithCenteredProjection(tm.Model, p.Components, p.Mean)
+}
+
+// CompressedTau recalibrates the similarity threshold for the compressed
+// space: PCA projection changes the cosine scale, so the raw-space τ would
+// be miscalibrated. The threshold is re-searched on the validation pairs
+// under the compressed encoder, exactly as a client would re-run its local
+// threshold search after enabling compression.
+func (l *Lab) CompressedTau(arch embed.Arch) float64 {
+	enc := l.CompressedEncoder(arch)
+	// Cache-aware search with β=0.5, exactly as the FL clients calibrate
+	// the raw-space threshold: projection changes the cosine scale, so the
+	// whole calibration re-runs in the compressed space.
+	sweep := train.CacheSweep(enc, l.Corpus().Val, 0.01, 0.5)
+	return sweep.Optimal.Tau
+}
+
+// Workload returns the standalone cache workload of §IV-B.
+func (l *Lab) Workload() *dataset.CacheWorkload {
+	return dataset.GenerateCacheWorkload(l.Cfg.Corpus, l.Cfg.NCached, l.Cfg.NProbes, l.Cfg.DupFraction)
+}
+
+// CtxWorkload returns the contextual workload of §IV-C.
+func (l *Lab) CtxWorkload() *dataset.ContextualWorkload {
+	return dataset.GenerateContextualWorkload(l.Cfg.Corpus, l.Cfg.CtxConversations)
+}
+
+// meanCosine is a shared helper: mean pairwise score of enc over pairs.
+func meanCosine(enc embed.Encoder, pairs []dataset.Pair) float64 {
+	if len(pairs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, p := range pairs {
+		a, b := enc.Encode(p.A), enc.Encode(p.B)
+		sum += float64(vecmath.Dot(a, b))
+	}
+	return sum / float64(len(pairs))
+}

@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Runner executes one experiment against a lab and returns its printable
+// result.
+type Runner func(*Lab) fmt.Stringer
+
+// registry maps experiment IDs (benchrunner -exp flags) to runners.
+var registry = map[string]Runner{
+	"table1": func(l *Lab) fmt.Stringer { return Table1(l) },
+	"fig4":   func(l *Lab) fmt.Stringer { return Fig4(l) },
+	"fig5":   func(l *Lab) fmt.Stringer { return Fig5(l) },
+	"fig6":   func(l *Lab) fmt.Stringer { return Fig6(l) },
+	"fig7":   func(l *Lab) fmt.Stringer { return Fig7(l) },
+	"fig8":   func(l *Lab) fmt.Stringer { return Fig8(l) },
+	"fig10":  func(l *Lab) fmt.Stringer { return Fig10(l) },
+	"fig11":  func(l *Lab) fmt.Stringer { return Fig11(l) },
+	"fig12":  func(l *Lab) fmt.Stringer { return Fig12(l) },
+	"fig13":  func(l *Lab) fmt.Stringer { return Fig13(l) },
+	"fig14":  func(l *Lab) fmt.Stringer { return Fig14(l) },
+	"fig15":  func(l *Lab) fmt.Stringer { return Fig15(l) },
+	"fig16":  func(l *Lab) fmt.Stringer { return Fig16(l) },
+
+	// Ablations (beyond the paper's figures; see DESIGN.md).
+	"abl-context":    func(l *Lab) fmt.Stringer { return AblationContext(l) },
+	"abl-threshold":  func(l *Lab) fmt.Stringer { return AblationThresholdCalibration(l) },
+	"abl-aggregator": func(l *Lab) fmt.Stringer { return AblationAggregator(l) },
+	"abl-pcadims":    func(l *Lab) fmt.Stringer { return AblationPCADims(l) },
+	"abl-eviction":   func(l *Lab) fmt.Stringer { return AblationEviction(l) },
+	"abl-quantize":   func(l *Lab) fmt.Stringer { return AblationQuantize(l) },
+
+	// The paper's concluding cost-saving claim, replayed over the Figure 4
+	// user-study streams.
+	"savings": func(l *Lab) fmt.Stringer { return Savings(l) },
+}
+
+// Names returns the registered experiment IDs in stable order.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Lookup resolves an experiment ID.
+func Lookup(name string) (Runner, error) {
+	r, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (known: %v)", name, Names())
+	}
+	return r, nil
+}

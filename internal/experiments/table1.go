@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/embed"
+	"repro/internal/gptcache"
+	"repro/internal/llmsim"
+	"repro/internal/metrics"
+)
+
+// Table1Row is one system column of Table I.
+type Table1Row struct {
+	System string
+	Scores metrics.Scores // F0.5-based, as §IV-B sets β=0.5
+	Matrix metrics.Confusion
+}
+
+// Table1Result reproduces Table I: standalone and contextual metrics for
+// the baseline and MeanCache variants.
+type Table1Result struct {
+	Standalone []Table1Row
+	Contextual []Table1Row
+}
+
+// Table1 runs the §IV-B standalone protocol (1000 cached queries, 1000
+// probes with 30% duplicates, misses enrolled) and the §IV-C contextual
+// protocol, producing every cell of Table I plus the Figure 7 and Figure 9
+// confusion matrices.
+func Table1(lab *Lab) *Table1Result {
+	if lab.table1 != nil {
+		return lab.table1
+	}
+	res := &Table1Result{}
+
+	// Standalone: GPTCache (untrained Albert at fixed 0.7) vs MeanCache
+	// with FL-trained MPNet and Albert at their aggregated thresholds.
+	w := lab.Workload()
+	for _, sys := range []System{
+		NewGPTCacheSystem("GPTCache", lab.UntrainedModel(embed.AlbertSim), gptcache.DefaultTau, 0),
+		NewMeanCacheSystem("MeanCache (MPNet)", lab.Trained(embed.MPNetSim).Model, lab.Trained(embed.MPNetSim).Tau),
+		NewMeanCacheSystem("MeanCache (Albert)", lab.Trained(embed.AlbertSim).Model, lab.Trained(embed.AlbertSim).Tau),
+	} {
+		llm := llmsim.New(llmsim.DefaultConfig())
+		outcomes := RunStandalone(sys, w, llm)
+		m := Confusion(outcomes)
+		res.Standalone = append(res.Standalone, Table1Row{
+			System: sys.Name(),
+			Scores: metrics.ScoresFrom(m, 0.5),
+			Matrix: m,
+		})
+	}
+
+	// Contextual: GPTCache vs MeanCache (MPNet), fixed population.
+	cw := lab.CtxWorkload()
+	for _, sys := range []System{
+		NewGPTCacheSystem("GPTCache", lab.UntrainedModel(embed.AlbertSim), gptcache.DefaultTau, 0),
+		NewMeanCacheSystem("MeanCache", lab.Trained(embed.MPNetSim).Model, lab.Trained(embed.MPNetSim).Tau),
+	} {
+		llm := llmsim.New(llmsim.DefaultConfig())
+		outcomes := RunContextual(sys, cw, llm)
+		m := Confusion(outcomes)
+		res.Contextual = append(res.Contextual, Table1Row{
+			System: sys.Name(),
+			Scores: metrics.ScoresFrom(m, 0.5),
+			Matrix: m,
+		})
+	}
+	lab.table1 = res
+	return res
+}
+
+// String renders the Table I layout.
+func (r *Table1Result) String() string {
+	var b strings.Builder
+	b.WriteString("Table I: semantic cache hit/miss quality (F-score is F0.5)\n\n")
+	section := func(title string, rows []Table1Row) {
+		fmt.Fprintf(&b, "%s\n", title)
+		fmt.Fprintf(&b, "  %-22s %8s %10s %8s %9s\n", "System", "F-score", "Precision", "Recall", "Accuracy")
+		for _, row := range rows {
+			fmt.Fprintf(&b, "  %-22s %8.2f %10.2f %8.2f %9.2f\n",
+				row.System, row.Scores.FScore, row.Scores.Precision,
+				row.Scores.Recall, row.Scores.Accuracy)
+		}
+		b.WriteByte('\n')
+	}
+	section("Standalone queries:", r.Standalone)
+	section("Contextual queries:", r.Contextual)
+	return b.String()
+}
+
+// Fig7Result is the pair of confusion matrices of Figure 7 (standalone
+// 1000-probe run).
+type Fig7Result struct {
+	MeanCache metrics.Confusion
+	GPTCache  metrics.Confusion
+}
+
+// Fig7 extracts the Figure 7 matrices from the Table I standalone run.
+func Fig7(lab *Lab) *Fig7Result {
+	t1 := Table1(lab)
+	res := &Fig7Result{}
+	for _, row := range t1.Standalone {
+		switch row.System {
+		case "GPTCache":
+			res.GPTCache = row.Matrix
+		case "MeanCache (MPNet)":
+			res.MeanCache = row.Matrix
+		}
+	}
+	return res
+}
+
+// String renders both matrices side by side, Figure 7 style.
+func (r *Fig7Result) String() string {
+	return fmt.Sprintf("Figure 7: confusion matrices, standalone probes\n\n(a) MeanCache\n%s\n\n(b) GPTCache\n%s\n\nfalse hits: MeanCache=%d GPTCache=%d\n",
+		r.MeanCache, r.GPTCache, r.MeanCache.FP, r.GPTCache.FP)
+}

@@ -1,0 +1,79 @@
+package fl
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/embed"
+	"repro/internal/vecmath"
+)
+
+// flakyClient fails on demand.
+type flakyClient struct {
+	id      int
+	fail    bool
+	weights []float32
+}
+
+func (f *flakyClient) ID() int { return f.id }
+func (f *flakyClient) TrainRound([]float32, float64) (Update, error) {
+	if f.fail {
+		return Update{}, errors.New("simulated dropout")
+	}
+	return Update{Weights: vecmath.Clone(f.weights), Tau: 0.7, Samples: 1}, nil
+}
+
+func TestServerFailsFastByDefault(t *testing.T) {
+	global := embed.NewModel(flArch, 1)
+	w := global.Weights()
+	clients := []Client{
+		&flakyClient{id: 0, weights: w},
+		&flakyClient{id: 1, fail: true, weights: w},
+	}
+	srv := NewServer(global, clients, ServerConfig{Rounds: 1, ClientsPerRound: 2, InitialTau: 0.7})
+	if err := srv.Run(nil); err == nil {
+		t.Fatal("server ignored a client failure without TolerateFailures")
+	}
+}
+
+func TestServerToleratesStragglers(t *testing.T) {
+	global := embed.NewModel(flArch, 1)
+	w := global.Weights()
+	clients := []Client{
+		&flakyClient{id: 0, weights: w},
+		&flakyClient{id: 1, fail: true, weights: w},
+		&flakyClient{id: 2, weights: w},
+	}
+	srv := NewServer(global, clients, ServerConfig{
+		Rounds:           2,
+		ClientsPerRound:  3,
+		InitialTau:       0.7,
+		TolerateFailures: true,
+	})
+	var roundSizes []int
+	if err := srv.Run(func(ri RoundInfo) { roundSizes = append(roundSizes, len(ri.Sampled)) }); err != nil {
+		t.Fatalf("Run with tolerance: %v", err)
+	}
+	for r, n := range roundSizes {
+		if n != 2 {
+			t.Fatalf("round %d aggregated %d clients, want 2 survivors", r, n)
+		}
+	}
+}
+
+func TestServerErrorsWhenAllClientsFail(t *testing.T) {
+	global := embed.NewModel(flArch, 1)
+	clients := []Client{
+		&flakyClient{id: 0, fail: true},
+		&flakyClient{id: 1, fail: true},
+	}
+	srv := NewServer(global, clients, ServerConfig{
+		Rounds:           1,
+		ClientsPerRound:  2,
+		InitialTau:       0.7,
+		TolerateFailures: true,
+	})
+	if err := srv.Run(nil); err == nil {
+		t.Fatal("server succeeded with zero surviving clients")
+	}
+}

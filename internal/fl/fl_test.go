@@ -1,0 +1,250 @@
+package fl
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/embed"
+	"repro/internal/tokenizer"
+	"repro/internal/train"
+)
+
+var flArch = embed.Arch{
+	Name:      "mpnet-sim",
+	Mode:      tokenizer.WordsAndBigrams,
+	Vocab:     2048,
+	EmbDim:    48,
+	OutDim:    96,
+	Trainable: true,
+
+	AnchorWeight: 0.4,
+}
+
+func flCorpus() *dataset.Corpus {
+	cfg := dataset.DefaultConfig()
+	cfg.Concepts = 100
+	cfg.Intents = 300
+	return dataset.GenerateCorpus(cfg)
+}
+
+func quickTrainCfg() train.Config {
+	cfg := train.DefaultConfig()
+	cfg.Epochs = 1
+	return cfg
+}
+
+func buildClients(t *testing.T, n int, corpus *dataset.Corpus) []Client {
+	t.Helper()
+	shards := dataset.SplitPairs(corpus.Train, n, rand.New(rand.NewSource(5)))
+	clients := make([]Client, n)
+	for i := range clients {
+		clients[i] = NewLocalClient(i, flArch, 7, shards[i], quickTrainCfg(), 1)
+	}
+	return clients
+}
+
+func TestFedAvgWeighting(t *testing.T) {
+	updates := []Update{
+		{Weights: []float32{1, 1}, Tau: 0.6, Samples: 3},
+		{Weights: []float32{5, 5}, Tau: 0.8, Samples: 1},
+	}
+	dst := make([]float32, 2)
+	tau := FedAvg{}.Aggregate(dst, updates)
+	// (3·1 + 1·5)/4 = 2.
+	if dst[0] != 2 || dst[1] != 2 {
+		t.Fatalf("FedAvg weights = %v, want [2 2]", dst)
+	}
+	want := (3*0.6 + 1*0.8) / 4
+	if math.Abs(tau-want) > 1e-12 {
+		t.Fatalf("FedAvg tau = %v, want %v", tau, want)
+	}
+}
+
+func TestSimpleAvg(t *testing.T) {
+	updates := []Update{
+		{Weights: []float32{1, 1}, Tau: 0.6, Samples: 100},
+		{Weights: []float32{5, 5}, Tau: 0.8, Samples: 1},
+	}
+	dst := make([]float32, 2)
+	tau := SimpleAvg{}.Aggregate(dst, updates)
+	if dst[0] != 3 || dst[1] != 3 {
+		t.Fatalf("SimpleAvg weights = %v, want [3 3]", dst)
+	}
+	if math.Abs(tau-0.7) > 1e-12 {
+		t.Fatalf("SimpleAvg tau = %v, want 0.7", tau)
+	}
+}
+
+func TestAggregateEmpty(t *testing.T) {
+	dst := []float32{9}
+	if tau := (FedAvg{}).Aggregate(dst, nil); tau != 0 || dst[0] != 0 {
+		t.Fatal("FedAvg on empty updates should zero everything")
+	}
+}
+
+func TestLocalClientTrainRound(t *testing.T) {
+	corpus := flCorpus()
+	shards := dataset.SplitPairs(corpus.Train, 4, rand.New(rand.NewSource(1)))
+	c := NewLocalClient(0, flArch, 7, shards[0], quickTrainCfg(), 1)
+	global := embed.NewModel(flArch, 7)
+	up, err := c.TrainRound(global.Weights(), 0.7)
+	if err != nil {
+		t.Fatalf("TrainRound: %v", err)
+	}
+	if len(up.Weights) != global.WeightCount() {
+		t.Fatalf("update weights = %d, want %d", len(up.Weights), global.WeightCount())
+	}
+	if up.Samples != c.Samples() {
+		t.Fatalf("update samples = %d, want %d", up.Samples, c.Samples())
+	}
+	if up.Tau <= 0 || up.Tau > 1 {
+		t.Fatalf("client tau = %v out of (0,1]", up.Tau)
+	}
+	// Training must actually change the weights.
+	changed := false
+	for i, w := range global.Weights() {
+		if up.Weights[i] != w {
+			changed = true
+			break
+		}
+	}
+	if !changed {
+		t.Fatal("local training left the weights untouched")
+	}
+}
+
+func TestLocalClientRejectsWrongWeightCount(t *testing.T) {
+	corpus := flCorpus()
+	c := NewLocalClient(0, flArch, 7, corpus.Train[:20], quickTrainCfg(), 1)
+	if _, err := c.TrainRound(make([]float32, 3), 0.7); err == nil {
+		t.Fatal("TrainRound accepted mismatched weights")
+	}
+}
+
+func TestServerRunRounds(t *testing.T) {
+	corpus := flCorpus()
+	clients := buildClients(t, 6, corpus)
+	global := embed.NewModel(flArch, 7)
+	srv := NewServer(global, clients, ServerConfig{
+		Rounds:          3,
+		ClientsPerRound: 2,
+		Seed:            9,
+		InitialTau:      0.7,
+	})
+	var rounds []RoundInfo
+	if err := srv.Run(func(ri RoundInfo) { rounds = append(rounds, ri) }); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(rounds) != 3 {
+		t.Fatalf("rounds = %d, want 3", len(rounds))
+	}
+	for _, ri := range rounds {
+		if len(ri.Sampled) != 2 {
+			t.Fatalf("round %d sampled %d clients, want 2", ri.Round, len(ri.Sampled))
+		}
+		if ri.GlobalTau <= 0 || ri.GlobalTau > 1 {
+			t.Fatalf("round %d tau = %v", ri.Round, ri.GlobalTau)
+		}
+	}
+}
+
+// TestFLTrainingImprovesGlobalModel is the Figures 11–12 dynamic in
+// miniature: the global model's validation F1 after several FL rounds must
+// beat the untrained model's.
+func TestFLTrainingImprovesGlobalModel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("FL training test skipped in -short mode")
+	}
+	corpus := flCorpus()
+	clients := buildClients(t, 8, corpus)
+	global := embed.NewModel(flArch, 7)
+	before := train.Sweep(global, corpus.Val, 0.02, 1).Optimal.Scores.FScore
+
+	srv := NewServer(global, clients, ServerConfig{
+		Rounds:          5,
+		ClientsPerRound: 4,
+		Seed:            11,
+		InitialTau:      0.7,
+	})
+	if err := srv.Run(nil); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	after := train.Sweep(srv.Model(), corpus.Val, 0.02, 1).Optimal.Scores.FScore
+	if after <= before {
+		t.Fatalf("FL training did not improve global F1: %.3f -> %.3f", before, after)
+	}
+	t.Logf("global F1 %.3f -> %.3f, tau_global %.2f", before, after, srv.Tau())
+}
+
+func TestServerDeterministicSampling(t *testing.T) {
+	corpus := flCorpus()
+	run := func() [][]int {
+		clients := buildClients(t, 6, corpus)
+		srv := NewServer(embed.NewModel(flArch, 7), clients, ServerConfig{
+			Rounds: 3, ClientsPerRound: 2, Seed: 13, InitialTau: 0.7,
+		})
+		var sampled [][]int
+		srv.Run(func(ri RoundInfo) { sampled = append(sampled, ri.Sampled) })
+		return sampled
+	}
+	a, b := run(), run()
+	for r := range a {
+		for i := range a[r] {
+			if a[r][i] != b[r][i] {
+				t.Fatal("client sampling not deterministic at fixed seed")
+			}
+		}
+	}
+}
+
+func TestTCPTransportRoundTrip(t *testing.T) {
+	corpus := flCorpus()
+	hub, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer hub.Close()
+
+	shards := dataset.SplitPairs(corpus.Train, 3, rand.New(rand.NewSource(2)))
+	for i := 0; i < 3; i++ {
+		lc := NewLocalClient(i, flArch, 7, shards[i], quickTrainCfg(), 1)
+		go func() {
+			if err := ServeClient(hub.Addr(), lc); err != nil {
+				t.Errorf("ServeClient: %v", err)
+			}
+		}()
+	}
+	clients, err := hub.WaitForClients(3, 5*time.Second)
+	if err != nil {
+		t.Fatalf("WaitForClients: %v", err)
+	}
+
+	global := embed.NewModel(flArch, 7)
+	srv := NewServer(global, clients, ServerConfig{
+		Rounds:          2,
+		ClientsPerRound: 2,
+		Seed:            3,
+		InitialTau:      0.7,
+	})
+	rounds := 0
+	if err := srv.Run(func(RoundInfo) { rounds++ }); err != nil {
+		t.Fatalf("Run over TCP: %v", err)
+	}
+	if rounds != 2 {
+		t.Fatalf("rounds = %d, want 2", rounds)
+	}
+}
+
+func TestWaitForClientsTimeout(t *testing.T) {
+	hub, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer hub.Close()
+	if _, err := hub.WaitForClients(1, 50*time.Millisecond); err == nil {
+		t.Fatal("WaitForClients returned without any client")
+	}
+}

@@ -1,0 +1,76 @@
+package fl
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/embed"
+	"repro/internal/train"
+)
+
+type trainPair = dataset.Pair
+
+// NewLocalClient builds an in-process client. The model must share the
+// architecture of the server's global model (same weight layout). pairs is
+// the client's private data; a fraction is held out as the validation set
+// for the threshold search (§IV-A.1: each client uses its validation data
+// to determine the optimal cosine threshold).
+func NewLocalClient(id int, arch embed.Arch, seed int64, pairs []dataset.Pair, cfg train.Config, beta float64) *LocalClient {
+	nVal := len(pairs) / 5
+	if nVal < 2 {
+		nVal = min(len(pairs), 2)
+	}
+	if beta <= 0 {
+		beta = 1
+	}
+	// Distinct shuffling seed per client keeps local batch orders
+	// decorrelated across the fleet.
+	cfg.Seed = seed + int64(id)*101
+	return &LocalClient{
+		id:       id,
+		model:    embed.NewModel(arch, seed),
+		trainSet: pairs[nVal:],
+		valSet:   pairs[:nVal],
+		cfg:      cfg,
+		beta:     beta,
+	}
+}
+
+// ID implements Client.
+func (c *LocalClient) ID() int { return c.id }
+
+// Samples reports the client's training-set size (the n_k of Eq. 1).
+func (c *LocalClient) Samples() int { return len(c.trainSet) }
+
+// TrainRound implements Client: install the global weights, fine-tune on
+// the local shard (multitask contrastive + MNRL), search the local optimal
+// threshold on the validation shard, and return both.
+func (c *LocalClient) TrainRound(globalWeights []float32, globalTau float64) (Update, error) {
+	if len(globalWeights) != c.model.WeightCount() {
+		return Update{}, fmt.Errorf("fl: client %d: got %d weights, model has %d",
+			c.id, len(globalWeights), c.model.WeightCount())
+	}
+	c.model.SetWeights(globalWeights)
+	if len(c.trainSet) > 0 {
+		tr := train.NewTrainer(c.model, train.NewSGD(c.cfg.LR), c.cfg)
+		tr.Train(c.trainSet)
+	}
+	tau := globalTau
+	if len(c.valSet) >= 2 {
+		// Cache-aware threshold search: the client optimises the F-score
+		// of the cache decision, not the pairwise decision (§III-A.2).
+		// The candidate pool includes the client's full local query log so
+		// the max-over-N similarity tail resembles a deployed cache.
+		extra := make([]string, 0, 2*len(c.trainSet))
+		for _, p := range c.trainSet {
+			extra = append(extra, p.A, p.B)
+		}
+		sweep := train.CacheSweepWithPool(c.model, c.valSet, extra, 0.01, c.beta)
+		tau = sweep.Optimal.Tau
+	}
+	return Update{
+		Weights: c.model.Weights(),
+		Tau:     tau,
+		Samples: max(len(c.trainSet), 1),
+	}, nil
+}

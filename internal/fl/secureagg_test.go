@@ -1,0 +1,144 @@
+package fl
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/embed"
+	"repro/internal/vecmath"
+)
+
+// fixedClient returns a canned update, letting the tests control the
+// plaintext exactly.
+type fixedClient struct {
+	id      int
+	weights []float32
+	tau     float64
+	samples int
+}
+
+func (f *fixedClient) ID() int { return f.id }
+func (f *fixedClient) TrainRound([]float32, float64) (Update, error) {
+	return Update{Weights: vecmath.Clone(f.weights), Tau: f.tau, Samples: f.samples}, nil
+}
+
+func TestPairwiseSeedSymmetric(t *testing.T) {
+	if PairwiseSeed(5, 3, 9) != PairwiseSeed(5, 9, 3) {
+		t.Fatal("pairwise seed not symmetric in client order")
+	}
+	if PairwiseSeed(5, 3, 9) == PairwiseSeed(6, 3, 9) {
+		t.Fatal("pairwise seed ignores the round")
+	}
+	if PairwiseSeed(5, 3, 9) == PairwiseSeed(5, 3, 8) {
+		t.Fatal("pairwise seed ignores the pair")
+	}
+}
+
+func TestMasksCancelExactly(t *testing.T) {
+	dim := 64
+	roster := []int{2, 7, 11, 20}
+	sum := make([]float32, dim)
+	for _, id := range roster {
+		v := make([]float32, dim)
+		MaskUpdate(v, id, roster, 42, 1.0)
+		vecmath.Axpy(1, v, sum)
+	}
+	for i, s := range sum {
+		if math.Abs(float64(s)) > 1e-4 {
+			t.Fatalf("masks did not cancel at %d: residue %v", i, s)
+		}
+	}
+}
+
+func TestSecureRoundMatchesFedAvg(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	dim := 128
+	clients := make([]Client, 5)
+	var updates []Update
+	for i := range clients {
+		w := make([]float32, dim)
+		for j := range w {
+			w[j] = float32(rng.NormFloat64())
+		}
+		fc := &fixedClient{id: i * 3, weights: w, tau: 0.5 + 0.1*float64(i), samples: 1 + i}
+		clients[i] = fc
+		updates = append(updates, Update{Weights: w, Tau: fc.tau, Samples: fc.samples})
+	}
+	res, err := RunSecureRound(clients, make([]float32, dim), 0.7, 99, 1.0)
+	if err != nil {
+		t.Fatalf("RunSecureRound: %v", err)
+	}
+	want := make([]float32, dim)
+	wantTau := FedAvg{}.Aggregate(want, updates)
+	for i := range want {
+		if math.Abs(float64(res.Aggregated[i]-want[i])) > 1e-3 {
+			t.Fatalf("secure aggregate differs from FedAvg at %d: %v vs %v",
+				i, res.Aggregated[i], want[i])
+		}
+	}
+	if math.Abs(res.Tau-wantTau) > 1e-12 {
+		t.Fatalf("secure tau %v != FedAvg tau %v", res.Tau, wantTau)
+	}
+}
+
+// The server-visible masked update must be statistically unlike the
+// plaintext: correlation with the true update ≈ 0 when masks dominate.
+func TestMaskedUpdateHidesPlaintext(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	dim := 2048
+	w := make([]float32, dim)
+	for j := range w {
+		w[j] = float32(rng.NormFloat64() * 0.01) // realistic update magnitude
+	}
+	clients := []Client{
+		&fixedClient{id: 0, weights: w, tau: 0.5, samples: 1},
+		&fixedClient{id: 1, weights: make([]float32, dim), tau: 0.5, samples: 1},
+		&fixedClient{id: 2, weights: make([]float32, dim), tau: 0.5, samples: 1},
+	}
+	res, err := RunSecureRound(clients, make([]float32, dim), 0.7, 7, 1.0)
+	if err != nil {
+		t.Fatalf("RunSecureRound: %v", err)
+	}
+	corr := math.Abs(float64(vecmath.Cosine(res.MaskedUpdates[0], w)))
+	if corr > 0.1 {
+		t.Fatalf("masked update correlates with plaintext: |cos| = %v", corr)
+	}
+}
+
+func TestSecureRoundWithRealClients(t *testing.T) {
+	if testing.Short() {
+		t.Skip("secure-round training test skipped in -short mode")
+	}
+	corpus := flCorpus()
+	shards := dataset.SplitPairs(corpus.Train, 3, rand.New(rand.NewSource(5)))
+	clients := make([]Client, 3)
+	for i := range clients {
+		clients[i] = NewLocalClient(i, flArch, 7, shards[i], quickTrainCfg(), 1)
+	}
+	global := embed.NewModel(flArch, 7)
+	res, err := RunSecureRound(clients, global.Weights(), 0.7, 11, 1.0)
+	if err != nil {
+		t.Fatalf("RunSecureRound: %v", err)
+	}
+	if res.Tau <= 0 || res.Tau > 1 {
+		t.Fatalf("aggregated tau = %v", res.Tau)
+	}
+	// The aggregate must install cleanly and produce a working encoder.
+	global.SetWeights(res.Aggregated)
+	e := global.Encode("does the aggregated model still encode")
+	if vecmath.Norm(e) == 0 {
+		t.Fatal("aggregated model produces zero embeddings")
+	}
+}
+
+func TestSecureRoundErrors(t *testing.T) {
+	if _, err := RunSecureRound(nil, nil, 0.7, 1, 1); err == nil {
+		t.Fatal("empty client list accepted")
+	}
+	bad := []Client{&fixedClient{id: 0, weights: []float32{1, 2}, samples: 1}}
+	if _, err := RunSecureRound(bad, make([]float32, 3), 0.7, 1, 1); err == nil {
+		t.Fatal("mismatched weight length accepted")
+	}
+}

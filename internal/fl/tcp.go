@@ -1,0 +1,199 @@
+package fl
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// The TCP transport turns the FL protocol into a real wire protocol: a
+// client host dials the server, registers, and then answers round
+// requests. The server sees each connection as a Client, so Server.Run is
+// transport-agnostic. Messages are gob-encoded; the weight vector
+// (megabytes for the full models) is the dominant payload, exactly as in
+// a real FL deployment.
+
+// hello registers a client with the hub.
+type hello struct {
+	ClientID int
+}
+
+// roundRequest carries the global state to a client.
+type roundRequest struct {
+	Round   int
+	Weights []float32
+	Tau     float64
+}
+
+// roundReply carries the client's update (or error) back.
+type roundReply struct {
+	Update Update
+	Err    string
+}
+
+// Hub accepts client registrations on a TCP listener and exposes each
+// connection as a Client for Server.Run.
+type Hub struct {
+	ln net.Listener
+
+	mu      sync.Mutex
+	clients []*RemoteClient
+	err     error
+	done    chan struct{}
+}
+
+// Listen starts a hub on addr ("127.0.0.1:0" picks a free port).
+func Listen(addr string) (*Hub, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("fl: listen %s: %w", addr, err)
+	}
+	h := &Hub{ln: ln, done: make(chan struct{})}
+	go h.acceptLoop()
+	return h, nil
+}
+
+// Addr reports the hub's bound address.
+func (h *Hub) Addr() string { return h.ln.Addr().String() }
+
+func (h *Hub) acceptLoop() {
+	for {
+		conn, err := h.ln.Accept()
+		if err != nil {
+			select {
+			case <-h.done:
+			default:
+				h.mu.Lock()
+				h.err = err
+				h.mu.Unlock()
+			}
+			return
+		}
+		go h.register(conn)
+	}
+}
+
+func (h *Hub) register(conn net.Conn) {
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	var hi hello
+	if err := dec.Decode(&hi); err != nil {
+		conn.Close()
+		return
+	}
+	rc := &RemoteClient{id: hi.ClientID, conn: conn, enc: enc, dec: dec}
+	h.mu.Lock()
+	h.clients = append(h.clients, rc)
+	h.mu.Unlock()
+}
+
+// WaitForClients blocks until n clients have registered or the timeout
+// elapses, returning the registered clients (server-side proxies).
+func (h *Hub) WaitForClients(n int, timeout time.Duration) ([]Client, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		h.mu.Lock()
+		count := len(h.clients)
+		err := h.err
+		h.mu.Unlock()
+		if err != nil {
+			return nil, fmt.Errorf("fl: hub accept failed: %w", err)
+		}
+		if count >= n {
+			h.mu.Lock()
+			out := make([]Client, n)
+			for i := 0; i < n; i++ {
+				out[i] = h.clients[i]
+			}
+			h.mu.Unlock()
+			return out, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("fl: %d/%d clients registered before timeout", count, n)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// Close shuts the hub and all client connections down.
+func (h *Hub) Close() error {
+	close(h.done)
+	err := h.ln.Close()
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, c := range h.clients {
+		c.conn.Close()
+	}
+	return err
+}
+
+// RemoteClient is the server-side proxy for a connected client host.
+type RemoteClient struct {
+	id   int
+	conn net.Conn
+	mu   sync.Mutex // one outstanding round per connection
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+}
+
+// ID implements Client.
+func (rc *RemoteClient) ID() int { return rc.id }
+
+// TrainRound implements Client by round-tripping the request over TCP.
+func (rc *RemoteClient) TrainRound(globalWeights []float32, globalTau float64) (Update, error) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if err := rc.enc.Encode(roundRequest{Weights: globalWeights, Tau: globalTau}); err != nil {
+		return Update{}, fmt.Errorf("fl: sending round to client %d: %w", rc.id, err)
+	}
+	var reply roundReply
+	if err := rc.dec.Decode(&reply); err != nil {
+		return Update{}, fmt.Errorf("fl: reading update from client %d: %w", rc.id, err)
+	}
+	if reply.Err != "" {
+		return Update{}, fmt.Errorf("fl: client %d: %s", rc.id, reply.Err)
+	}
+	return reply.Update, nil
+}
+
+// ServeClient connects the given client to a hub at addr and answers round
+// requests until the connection closes. It blocks; run it on the client
+// host's goroutine or main.
+func ServeClient(addr string, c Client) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("fl: dialing %s: %w", addr, err)
+	}
+	defer conn.Close()
+	enc := gob.NewEncoder(conn)
+	dec := gob.NewDecoder(conn)
+	if err := enc.Encode(hello{ClientID: c.ID()}); err != nil {
+		return fmt.Errorf("fl: registering: %w", err)
+	}
+	for {
+		var req roundRequest
+		if err := dec.Decode(&req); err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			// EOF when the hub closes: normal shutdown.
+			if err.Error() == "EOF" {
+				return nil
+			}
+			return fmt.Errorf("fl: reading round request: %w", err)
+		}
+		var reply roundReply
+		update, terr := c.TrainRound(req.Weights, req.Tau)
+		if terr != nil {
+			reply.Err = terr.Error()
+		} else {
+			reply.Update = update
+		}
+		if err := enc.Encode(reply); err != nil {
+			return fmt.Errorf("fl: sending update: %w", err)
+		}
+	}
+}

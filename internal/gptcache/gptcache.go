@@ -1,0 +1,124 @@
+// Package gptcache reimplements the baseline MeanCache is evaluated
+// against (GPTCache, Bang 2023) at the fidelity the paper's comparison
+// uses: a server-side semantic cache with
+//
+//   - a single shared cache for all users (queries from every user are
+//     matched against everyone's entries),
+//   - a fixed cosine-similarity threshold of 0.7 over Albert embeddings —
+//     "the optimal configuration as described in the GPTCache study"
+//     (§IV-A) — with no per-user adaptation,
+//   - no context-chain tracking: candidates match on query similarity
+//     alone, which is precisely what produces the contextual false hits
+//     of Figures 8–9,
+//   - network round trips on every query, hit or miss, because the cache
+//     lives server-side.
+package gptcache
+
+import (
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/embed"
+)
+
+// DefaultTau is GPTCache's suggested similarity threshold (§IV-A).
+const DefaultTau = 0.7
+
+// LLM is the upstream model the cache fronts.
+type LLM interface {
+	Query(q string) (response string, took time.Duration)
+}
+
+// Options configures the baseline.
+type Options struct {
+	// Encoder produces embeddings; the paper's baseline configuration
+	// uses Albert. Required.
+	Encoder embed.Encoder
+	// LLM is the upstream service (may be nil for Lookup-only use).
+	LLM LLM
+	// Tau is the fixed threshold; zero means DefaultTau.
+	Tau float32
+	// TopK bounds candidates per lookup.
+	TopK int
+	// NetworkRTT is added to every query's latency, modelling the
+	// client→server hop a server-side cache cannot avoid.
+	NetworkRTT time.Duration
+}
+
+// Cache is the server-side baseline instance.
+type Cache struct {
+	opts  Options
+	store *cache.Cache
+}
+
+// New builds the baseline.
+func New(opts Options) *Cache {
+	if opts.Encoder == nil {
+		panic("gptcache: Options.Encoder is required")
+	}
+	if opts.Tau == 0 {
+		opts.Tau = DefaultTau
+	}
+	if opts.TopK <= 0 {
+		opts.TopK = 1
+	}
+	return &Cache{
+		opts:  opts,
+		store: cache.New(opts.Encoder.Dim(), 0, cache.None{}),
+	}
+}
+
+// Store exposes the underlying cache for the storage experiments.
+func (g *Cache) Store() *cache.Cache { return g.store }
+
+// Result mirrors core.Result for the baseline.
+type Result struct {
+	Response   string
+	Hit        bool
+	Entry      *cache.Entry
+	Score      float32
+	Latency    time.Duration
+	SearchTime time.Duration
+}
+
+// Lookup checks the cache for q. Context is ignored by design — the
+// baseline has no notion of it.
+func (g *Cache) Lookup(q string) Result {
+	start := time.Now()
+	eq := g.opts.Encoder.Encode(q)
+	matches := g.store.FindSimilar(eq, g.opts.TopK, g.opts.Tau)
+	var res Result
+	if len(matches) > 0 {
+		m := matches[0]
+		g.store.Touch(m.Entry.ID)
+		res = Result{Response: m.Entry.Response, Hit: true, Entry: m.Entry, Score: m.Score}
+	}
+	res.SearchTime = time.Since(start)
+	res.Latency = res.SearchTime + g.opts.NetworkRTT
+	return res
+}
+
+// Insert enrols a query/response pair.
+func (g *Cache) Insert(q, response string) (int, error) {
+	eq := g.opts.Encoder.Encode(q)
+	return g.store.Put(q, response, eq, cache.NoParent)
+}
+
+// Query is the end-to-end path: lookup, then on a miss consult the LLM and
+// cache the answer. Every call pays the network round trip.
+func (g *Cache) Query(q string) (Result, error) {
+	res := g.Lookup(q)
+	if res.Hit {
+		return res, nil
+	}
+	resp, took := g.opts.LLM.Query(q)
+	id, err := g.Insert(q, resp)
+	if err != nil {
+		return res, err
+	}
+	entry, _ := g.store.Get(id)
+	res.Response = resp
+	res.Entry = entry
+	res.Latency += took
+	return res, nil
+}

@@ -1,0 +1,137 @@
+package gptcache
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/vecmath"
+)
+
+type stubEncoder struct {
+	dim int
+	m   map[string][]float32
+}
+
+func newStub(dim int) *stubEncoder {
+	return &stubEncoder{dim: dim, m: make(map[string][]float32)}
+}
+
+func (s *stubEncoder) alias(seed int64, texts ...string) {
+	rng := rand.New(rand.NewSource(seed))
+	v := make([]float32, s.dim)
+	for i := range v {
+		v[i] = float32(rng.NormFloat64())
+	}
+	vecmath.Normalize(v)
+	for _, t := range texts {
+		s.m[t] = v
+	}
+}
+
+func (s *stubEncoder) Encode(text string) []float32 {
+	if v, ok := s.m[text]; ok {
+		return vecmath.Clone(v)
+	}
+	var h int64
+	for _, r := range text {
+		h = h*131 + int64(r)
+	}
+	rng := rand.New(rand.NewSource(h))
+	v := make([]float32, s.dim)
+	for i := range v {
+		v[i] = float32(rng.NormFloat64())
+	}
+	vecmath.Normalize(v)
+	return v
+}
+
+func (s *stubEncoder) Dim() int     { return s.dim }
+func (s *stubEncoder) Name() string { return "stub" }
+
+type stubLLM struct{ calls int }
+
+func (l *stubLLM) Query(q string) (string, time.Duration) {
+	l.calls++
+	return "resp: " + q, 50 * time.Millisecond
+}
+
+func TestDefaultTau(t *testing.T) {
+	g := New(Options{Encoder: newStub(8)})
+	if g.opts.Tau != DefaultTau {
+		t.Fatalf("default tau = %v, want %v", g.opts.Tau, DefaultTau)
+	}
+}
+
+func TestMissThenHit(t *testing.T) {
+	enc := newStub(64)
+	enc.alias(1, "plot a line", "draw a line")
+	llm := &stubLLM{}
+	g := New(Options{Encoder: enc, LLM: llm})
+	r1, err := g.Query("plot a line")
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if r1.Hit || llm.calls != 1 {
+		t.Fatalf("first query: hit=%v calls=%d", r1.Hit, llm.calls)
+	}
+	r2, _ := g.Query("draw a line")
+	if !r2.Hit || llm.calls != 1 {
+		t.Fatalf("duplicate: hit=%v calls=%d", r2.Hit, llm.calls)
+	}
+}
+
+func TestIgnoresContextByDesign(t *testing.T) {
+	// The baseline has no context API at all: a follow-up query matches
+	// any cached similar text regardless of conversation — the defect
+	// Figures 8–9 quantify.
+	enc := newStub(64)
+	enc.alias(2, "change the color to red")
+	g := New(Options{Encoder: enc})
+	g.Insert("change the color to red", "cached follow-up response")
+	r := g.Lookup("change the color to red")
+	if !r.Hit {
+		t.Fatal("baseline should hit on raw similarity")
+	}
+}
+
+func TestNetworkRTTAlwaysPaid(t *testing.T) {
+	enc := newStub(32)
+	enc.alias(3, "q", "q dup")
+	llm := &stubLLM{}
+	rtt := 30 * time.Millisecond
+	g := New(Options{Encoder: enc, LLM: llm, NetworkRTT: rtt})
+	g.Query("q")
+	r, _ := g.Query("q dup") // hit — but server-side, so RTT still applies
+	if !r.Hit {
+		t.Fatal("duplicate missed")
+	}
+	if r.Latency < rtt {
+		t.Fatalf("hit latency %v below network RTT %v", r.Latency, rtt)
+	}
+}
+
+func TestSharedCacheAcrossUsers(t *testing.T) {
+	// Server-side cache: user B's duplicate of user A's query hits.
+	enc := newStub(64)
+	enc.alias(4, "user a question", "user b same question")
+	llm := &stubLLM{}
+	g := New(Options{Encoder: enc, LLM: llm})
+	g.Query("user a question")              // user A
+	r, _ := g.Query("user b same question") // user B
+	if !r.Hit {
+		t.Fatal("shared cache did not serve across users")
+	}
+	if llm.calls != 1 {
+		t.Fatalf("LLM calls = %d, want 1", llm.calls)
+	}
+}
+
+func TestNewPanicsWithoutEncoder(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New accepted empty Options")
+		}
+	}()
+	New(Options{})
+}

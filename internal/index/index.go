@@ -1,0 +1,148 @@
+// Package index provides the vector-similarity indexes behind the semantic
+// cache's FindSimilarQueriesinCache step (Algorithm 1).
+//
+// Two implementations share one interface:
+//
+//   - Flat: exact brute-force cosine scan, parallelised across the worker
+//     pool. Right for user-side caches (thousands of entries).
+//   - IVF: an inverted-file index — embeddings are k-means-clustered into
+//     lists; a query probes only the nearest lists. Approximate but
+//     sub-linear, for the million-entry regime §III-B cites (SBERT's
+//     semantic search "can handle up to 1 million entries").
+//
+// All vectors must be unit-norm (dot product = cosine), which is the
+// contract internal/embed guarantees.
+package index
+
+import (
+	"fmt"
+
+	"repro/internal/vecmath"
+)
+
+// Hit is one search result: the stored ID and its cosine similarity.
+type Hit struct {
+	ID    int
+	Score float32
+}
+
+// Index is a maintained set of unit vectors searchable by cosine
+// similarity. Implementations are safe for concurrent Search; Add/Remove
+// must be externally serialised with respect to each other (the cache
+// holds its own write lock).
+type Index interface {
+	// Add stores vec under id. The id must be unique; vec must have the
+	// index's dimension.
+	Add(id int, vec []float32) error
+	// Remove deletes id; removing an absent id is a no-op.
+	Remove(id int)
+	// Search returns up to k hits with score >= tau, best first.
+	Search(vec []float32, k int, tau float32) []Hit
+	// Len reports the number of stored vectors.
+	Len() int
+	// Dim reports the vector dimensionality.
+	Dim() int
+}
+
+// sortHits orders by descending score, ties by ascending ID.
+func sortHits(hs []Hit) {
+	for i := 1; i < len(hs); i++ {
+		for j := i; j > 0; j-- {
+			if hs[j].Score > hs[j-1].Score ||
+				(hs[j].Score == hs[j-1].Score && hs[j].ID < hs[j-1].ID) {
+				hs[j], hs[j-1] = hs[j-1], hs[j]
+			} else {
+				break
+			}
+		}
+	}
+}
+
+// Flat is the exact index: a dense scan over all stored vectors.
+type Flat struct {
+	dim  int
+	ids  []int
+	vecs []float32 // row-major, len(ids) × dim
+	pos  map[int]int
+}
+
+// NewFlat creates an exact index for dim-dimensional vectors.
+func NewFlat(dim int) *Flat {
+	if dim <= 0 {
+		panic("index: dim must be positive")
+	}
+	return &Flat{dim: dim, pos: make(map[int]int)}
+}
+
+// Dim implements Index.
+func (f *Flat) Dim() int { return f.dim }
+
+// Len implements Index.
+func (f *Flat) Len() int { return len(f.ids) }
+
+// Add implements Index.
+func (f *Flat) Add(id int, vec []float32) error {
+	if len(vec) != f.dim {
+		return fmt.Errorf("index: vector dim %d, want %d", len(vec), f.dim)
+	}
+	if _, dup := f.pos[id]; dup {
+		return fmt.Errorf("index: duplicate id %d", id)
+	}
+	f.pos[id] = len(f.ids)
+	f.ids = append(f.ids, id)
+	f.vecs = append(f.vecs, vec...)
+	return nil
+}
+
+// Remove implements Index (swap-delete).
+func (f *Flat) Remove(id int) {
+	i, ok := f.pos[id]
+	if !ok {
+		return
+	}
+	last := len(f.ids) - 1
+	f.ids[i] = f.ids[last]
+	copy(f.vecs[i*f.dim:(i+1)*f.dim], f.vecs[last*f.dim:(last+1)*f.dim])
+	f.pos[f.ids[i]] = i
+	f.ids = f.ids[:last]
+	f.vecs = f.vecs[:last*f.dim]
+	delete(f.pos, id)
+}
+
+// Search implements Index with a parallel exact scan.
+func (f *Flat) Search(vec []float32, k int, tau float32) []Hit {
+	if len(vec) != f.dim {
+		panic(fmt.Sprintf("index: Search dim %d, want %d", len(vec), f.dim))
+	}
+	n := len(f.ids)
+	if n == 0 || k <= 0 {
+		return nil
+	}
+	workers := vecmath.Workers()
+	locals := make([][]Hit, workers)
+	chunk := (n + workers - 1) / workers
+	vecmath.ParallelFor(workers, func(wlo, whi int) {
+		for w := wlo; w < whi; w++ {
+			lo, hi := w*chunk, (w+1)*chunk
+			if hi > n {
+				hi = n
+			}
+			var found []Hit
+			for i := lo; i < hi; i++ {
+				if s := vecmath.Dot(vec, f.vecs[i*f.dim:(i+1)*f.dim]); s >= tau {
+					found = append(found, Hit{ID: f.ids[i], Score: s})
+				}
+			}
+			locals[w] = found
+		}
+	})
+	var all []Hit
+	for _, l := range locals {
+		all = append(all, l...)
+	}
+	sortHits(all)
+	if len(all) > k {
+		all = all[:k]
+	}
+	return all
+}

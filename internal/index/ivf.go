@@ -1,0 +1,301 @@
+package index
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/vecmath"
+)
+
+// IVF is an inverted-file index: stored vectors are assigned to the
+// nearest of nlist centroids (spherical k-means over an initial training
+// sample), and a query scans only the nprobe nearest lists. Recall is
+// tunable via nprobe; nprobe = nlist degrades gracefully to an exact scan.
+//
+// Until Train is called (or until the lazily-collected bootstrap sample
+// reaches its target size), vectors accumulate in a flat buffer and
+// searches are exact, so a cold cache behaves exactly like Flat.
+type IVF struct {
+	dim    int
+	nlist  int
+	nprobe int
+	seed   int64
+
+	trainSize int
+	centroids *vecmath.Matrix // nlist × dim, unit norm
+	lists     [][]entry       // per-centroid postings
+	where     map[int]listRef
+	bootstrap *Flat // pre-training accumulation
+	trained   bool
+}
+
+type entry struct {
+	id  int
+	vec []float32
+}
+
+type listRef struct {
+	list, pos int
+}
+
+// IVFConfig tunes the index.
+type IVFConfig struct {
+	// NList is the number of inverted lists (clusters). Typical: √N.
+	NList int
+	// NProbe is how many nearest lists a query scans. Higher = better
+	// recall, slower search.
+	NProbe int
+	// TrainSize is the bootstrap sample size that triggers automatic
+	// training (0 = 32·NList).
+	TrainSize int
+	// Seed drives k-means initialisation.
+	Seed int64
+}
+
+// NewIVF creates an IVF index for dim-dimensional unit vectors.
+func NewIVF(dim int, cfg IVFConfig) *IVF {
+	if dim <= 0 {
+		panic("index: dim must be positive")
+	}
+	if cfg.NList <= 0 {
+		cfg.NList = 64
+	}
+	if cfg.NProbe <= 0 {
+		cfg.NProbe = 8
+	}
+	if cfg.NProbe > cfg.NList {
+		cfg.NProbe = cfg.NList
+	}
+	if cfg.TrainSize <= 0 {
+		cfg.TrainSize = 32 * cfg.NList
+	}
+	ivf := &IVF{
+		dim:       dim,
+		nlist:     cfg.NList,
+		nprobe:    cfg.NProbe,
+		seed:      cfg.Seed,
+		where:     make(map[int]listRef),
+		bootstrap: NewFlat(dim),
+	}
+	ivf.trainSize = cfg.TrainSize
+	return ivf
+}
+
+// Dim implements Index.
+func (x *IVF) Dim() int { return x.dim }
+
+// Len implements Index.
+func (x *IVF) Len() int {
+	if !x.trained {
+		return x.bootstrap.Len()
+	}
+	return len(x.where)
+}
+
+// Trained reports whether centroids have been fitted.
+func (x *IVF) Trained() bool { return x.trained }
+
+// Add implements Index. Before training, vectors accumulate in the exact
+// bootstrap buffer; once the buffer reaches the training threshold the
+// index trains itself and migrates all vectors into inverted lists.
+func (x *IVF) Add(id int, vec []float32) error {
+	if len(vec) != x.dim {
+		return fmt.Errorf("index: vector dim %d, want %d", len(vec), x.dim)
+	}
+	if !x.trained {
+		if err := x.bootstrap.Add(id, vec); err != nil {
+			return err
+		}
+		if x.bootstrap.Len() >= x.trainSize {
+			x.Train()
+		}
+		return nil
+	}
+	if _, dup := x.where[id]; dup {
+		return fmt.Errorf("index: duplicate id %d", id)
+	}
+	x.insert(id, vecmath.Clone(vec))
+	return nil
+}
+
+func (x *IVF) insert(id int, vec []float32) {
+	li := x.nearestCentroid(vec)
+	x.where[id] = listRef{list: li, pos: len(x.lists[li])}
+	x.lists[li] = append(x.lists[li], entry{id: id, vec: vec})
+}
+
+// Remove implements Index.
+func (x *IVF) Remove(id int) {
+	if !x.trained {
+		x.bootstrap.Remove(id)
+		return
+	}
+	ref, ok := x.where[id]
+	if !ok {
+		return
+	}
+	list := x.lists[ref.list]
+	last := len(list) - 1
+	list[ref.pos] = list[last]
+	x.where[list[ref.pos].id] = listRef{list: ref.list, pos: ref.pos}
+	x.lists[ref.list] = list[:last]
+	delete(x.where, id)
+}
+
+// Train fits centroids on whatever vectors are currently stored and
+// migrates them into inverted lists. Calling Train on an already-trained
+// index re-clusters in place.
+func (x *IVF) Train() {
+	// Gather all current vectors.
+	var all []entry
+	if x.trained {
+		for _, list := range x.lists {
+			all = append(all, list...)
+		}
+	} else {
+		for i, id := range x.bootstrap.ids {
+			all = append(all, entry{
+				id:  id,
+				vec: vecmath.Clone(x.bootstrap.vecs[i*x.dim : (i+1)*x.dim]),
+			})
+		}
+	}
+	if len(all) == 0 {
+		return
+	}
+	nlist := x.nlist
+	if nlist > len(all) {
+		nlist = len(all)
+	}
+	x.centroids = sphericalKMeans(all, nlist, x.dim, x.seed)
+	x.lists = make([][]entry, x.centroids.Rows)
+	x.where = make(map[int]listRef, len(all))
+	x.trained = true
+	x.bootstrap = nil
+	for _, e := range all {
+		x.insert(e.id, e.vec)
+	}
+}
+
+func (x *IVF) nearestCentroid(vec []float32) int {
+	best, bestScore := 0, float32(-2)
+	for i := 0; i < x.centroids.Rows; i++ {
+		if s := vecmath.Dot(vec, x.centroids.Row(i)); s > bestScore {
+			best, bestScore = i, s
+		}
+	}
+	return best
+}
+
+// Search implements Index: exact scan before training, nprobe-list scan
+// after.
+func (x *IVF) Search(vec []float32, k int, tau float32) []Hit {
+	if len(vec) != x.dim {
+		panic(fmt.Sprintf("index: Search dim %d, want %d", len(vec), x.dim))
+	}
+	if !x.trained {
+		return x.bootstrap.Search(vec, k, tau)
+	}
+	if k <= 0 || len(x.where) == 0 {
+		return nil
+	}
+	// Rank centroids by similarity; probe the top lists.
+	type ranked struct {
+		list  int
+		score float32
+	}
+	order := make([]ranked, x.centroids.Rows)
+	for i := range order {
+		order[i] = ranked{i, vecmath.Dot(vec, x.centroids.Row(i))}
+	}
+	for i := 1; i < len(order); i++ { // insertion sort by descending score
+		for j := i; j > 0 && order[j].score > order[j-1].score; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	probes := x.nprobe
+	if probes > len(order) {
+		probes = len(order)
+	}
+	var hits []Hit
+	for _, r := range order[:probes] {
+		for _, e := range x.lists[r.list] {
+			if s := vecmath.Dot(vec, e.vec); s >= tau {
+				hits = append(hits, Hit{ID: e.id, Score: s})
+			}
+		}
+	}
+	sortHits(hits)
+	if len(hits) > k {
+		hits = hits[:k]
+	}
+	return hits
+}
+
+// sphericalKMeans clusters unit vectors by cosine with k-means++ style
+// seeding, re-normalising centroids each iteration.
+func sphericalKMeans(data []entry, k, dim int, seed int64) *vecmath.Matrix {
+	rng := rand.New(rand.NewSource(seed + 31))
+	cents := vecmath.NewMatrix(k, dim)
+	// Seeding: first centroid random, then greedily far points.
+	copy(cents.Row(0), data[rng.Intn(len(data))].vec)
+	minSim := make([]float32, len(data)) // max similarity to chosen centroids
+	for i := range minSim {
+		minSim[i] = vecmath.Dot(data[i].vec, cents.Row(0))
+	}
+	for c := 1; c < k; c++ {
+		// Pick the point least similar to its nearest centroid.
+		worst, worstSim := 0, float32(2)
+		for i, s := range minSim {
+			if s < worstSim {
+				worst, worstSim = i, s
+			}
+		}
+		copy(cents.Row(c), data[worst].vec)
+		for i := range minSim {
+			if s := vecmath.Dot(data[i].vec, cents.Row(c)); s > minSim[i] {
+				minSim[i] = s
+			}
+		}
+	}
+	assign := make([]int, len(data))
+	for iter := 0; iter < 12; iter++ {
+		changed := vecmath.ParallelMapReduce(len(data), func(lo, hi int) float64 {
+			moved := 0.0
+			for i := lo; i < hi; i++ {
+				best, bestScore := 0, float32(-2)
+				for c := 0; c < k; c++ {
+					if s := vecmath.Dot(data[i].vec, cents.Row(c)); s > bestScore {
+						best, bestScore = c, s
+					}
+				}
+				if assign[i] != best {
+					assign[i] = best
+					moved++
+				}
+			}
+			return moved
+		})
+		// Recompute centroids.
+		cents.Fill(0)
+		counts := make([]int, k)
+		for i, e := range data {
+			vecmath.Axpy(1, e.vec, cents.Row(assign[i]))
+			counts[assign[i]]++
+		}
+		for c := 0; c < k; c++ {
+			if counts[c] == 0 {
+				// Re-seed an empty cluster with a random point.
+				copy(cents.Row(c), data[rng.Intn(len(data))].vec)
+				continue
+			}
+			if vecmath.Normalize(cents.Row(c)) == 0 {
+				cents.Row(c)[0] = 1
+			}
+		}
+		if changed == 0 {
+			break
+		}
+	}
+	return cents
+}

@@ -1,0 +1,113 @@
+package llmsim
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+)
+
+// The HTTP layer exposes the simulated service the way a real LLM web
+// service is consumed — POST a query, receive a JSON response — so the
+// examples and integration tests exercise a genuine network path, and so
+// cache hits measurably avoid network round trips.
+
+// QueryRequest is the JSON request body for POST /v1/query.
+type QueryRequest struct {
+	Query string `json:"query"`
+}
+
+// QueryResponse is the JSON response body.
+type QueryResponse struct {
+	Response string `json:"response"`
+	// ModelMicros is the simulated inference time in microseconds.
+	ModelMicros int64 `json:"model_micros"`
+}
+
+// Server wraps a Service in an HTTP endpoint.
+type Server struct {
+	svc  *Service
+	http *http.Server
+	ln   net.Listener
+}
+
+// Serve starts an HTTP server for svc on addr (e.g. "127.0.0.1:0").
+// It returns once the listener is bound; use Addr for the chosen address.
+func Serve(svc *Service, addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("llmsim: listening on %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/query", func(w http.ResponseWriter, r *http.Request) {
+		var req QueryRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		resp, took := svc.Query(req.Query)
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(QueryResponse{
+			Response:    resp,
+			ModelMicros: took.Microseconds(),
+		})
+	})
+	s := &Server{
+		svc:  svc,
+		http: &http.Server{Handler: mux},
+		ln:   ln,
+	}
+	go s.http.Serve(ln)
+	return s, nil
+}
+
+// Addr reports the bound listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the server down.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	return s.http.Shutdown(ctx)
+}
+
+// Client queries a remote simulated LLM service over HTTP. It implements
+// the same Query contract as Service, so MeanCache can front either.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient builds a client for the service at addr (host:port).
+func NewClient(addr string) *Client {
+	return &Client{
+		base: "http://" + addr,
+		hc:   &http.Client{Timeout: 30 * time.Second},
+	}
+}
+
+// Query sends q to the remote service. took includes the network round
+// trip, which is the point: server-side caches still pay this cost on
+// every query, user-side caches do not (§I, problem 2).
+func (c *Client) Query(q string) (response string, took time.Duration) {
+	start := time.Now()
+	body, err := json.Marshal(QueryRequest{Query: q})
+	if err != nil {
+		return fmt.Sprintf("error: %v", err), time.Since(start)
+	}
+	resp, err := c.hc.Post(c.base+"/v1/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Sprintf("error: %v", err), time.Since(start)
+	}
+	defer resp.Body.Close()
+	var qr QueryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+		return fmt.Sprintf("error: %v", err), time.Since(start)
+	}
+	// In virtual-time mode the server does not sleep; fold its simulated
+	// inference time into the reported latency.
+	return qr.Response, time.Since(start) + time.Duration(qr.ModelMicros)*time.Microsecond
+}

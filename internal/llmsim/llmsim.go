@@ -1,0 +1,141 @@
+// Package llmsim simulates the LLM web service MeanCache fronts (a local
+// Llama 2 service in the paper's testbed). The simulator reproduces the
+// property the response-time experiment (Figure 5) measures — LLM inference
+// takes hundreds of milliseconds to seconds, dominated by per-token
+// generation, while a local cache hit takes milliseconds — without needing
+// GPUs.
+//
+// The service can run with real sleeps (for the interactive examples) or in
+// virtual-time mode (for experiments and tests), where the latency that
+// *would* have been incurred is computed deterministically and returned
+// without blocking.
+package llmsim
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/tokenizer"
+)
+
+// Config describes the simulated service's latency model.
+type Config struct {
+	// BaseLatency covers prompt processing and network round trip.
+	BaseLatency time.Duration
+	// PerToken is the generation time per output token.
+	PerToken time.Duration
+	// JitterFrac adds ±JitterFrac relative uniform noise to each response
+	// time, seeded deterministically per query.
+	JitterFrac float64
+	// MaxTokens caps response length, as the paper caps responses at 50
+	// tokens to reflect practical sizes.
+	MaxTokens int
+	// Sleep selects real-time mode: Query blocks for the simulated
+	// duration. When false, Query returns immediately and reports the
+	// duration it would have taken.
+	Sleep bool
+	// Seed drives response generation and jitter.
+	Seed int64
+}
+
+// DefaultConfig mirrors the paper's observed no-cache response times
+// (roughly 0.5–1 s for 50-token responses, Figure 5).
+func DefaultConfig() Config {
+	return Config{
+		BaseLatency: 120 * time.Millisecond,
+		PerToken:    14 * time.Millisecond,
+		JitterFrac:  0.15,
+		MaxTokens:   50,
+		Sleep:       false,
+		Seed:        1,
+	}
+}
+
+// Service is a deterministic simulated LLM web service. It is safe for
+// concurrent use. Responses are a pure function of the query text and
+// seed, so duplicate queries receive identical responses — which is what
+// makes caching them sound.
+type Service struct {
+	cfg Config
+
+	mu      sync.Mutex
+	queries int
+}
+
+// New builds a Service.
+func New(cfg Config) *Service {
+	if cfg.MaxTokens <= 0 {
+		cfg.MaxTokens = 50
+	}
+	return &Service{cfg: cfg}
+}
+
+// Queries reports how many queries the service has processed — the load
+// metric a cache is meant to reduce.
+func (s *Service) Queries() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.queries
+}
+
+// Query generates the response to q and the (simulated) time it took.
+// In Sleep mode the call blocks for that duration.
+func (s *Service) Query(q string) (response string, took time.Duration) {
+	s.mu.Lock()
+	s.queries++
+	s.mu.Unlock()
+
+	response = s.respond(q)
+	tokens := len(strings.Fields(response))
+	took = s.cfg.BaseLatency + time.Duration(tokens)*s.cfg.PerToken
+	if s.cfg.JitterFrac > 0 {
+		rng := rand.New(rand.NewSource(s.cfg.Seed ^ int64(hash(q))))
+		j := 1 + s.cfg.JitterFrac*(2*rng.Float64()-1)
+		took = time.Duration(float64(took) * j)
+	}
+	if s.cfg.Sleep {
+		time.Sleep(took)
+	}
+	return response, took
+}
+
+// respond deterministically synthesises a response whose length depends on
+// the query, bounded by MaxTokens.
+func (s *Service) respond(q string) string {
+	words := tokenizer.Normalize(q)
+	h := hash(q) ^ uint64(s.cfg.Seed)
+	rng := rand.New(rand.NewSource(int64(h)))
+	n := s.cfg.MaxTokens/2 + rng.Intn(s.cfg.MaxTokens/2+1)
+	var b strings.Builder
+	fmt.Fprintf(&b, "Regarding %q:", strings.Join(firstN(words, 4), " "))
+	for i := 0; i < n; i++ {
+		b.WriteByte(' ')
+		b.WriteString(responseVocab[rng.Intn(len(responseVocab))])
+	}
+	return b.String()
+}
+
+func firstN(words []string, n int) []string {
+	if len(words) < n {
+		return words
+	}
+	return words[:n]
+}
+
+var responseVocab = []string{
+	"the", "approach", "works", "by", "first", "considering", "each",
+	"component", "then", "combining", "results", "carefully", "note",
+	"that", "performance", "depends", "on", "configuration", "and",
+	"you", "should", "verify", "with", "your", "own", "data", "finally",
+	"consider", "edge", "cases", "before", "deploying", "this", "solution",
+}
+
+func hash(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}

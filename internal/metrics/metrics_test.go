@@ -1,0 +1,150 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestConfusionAdd(t *testing.T) {
+	var c Confusion
+	c.Add(true, true)   // TP
+	c.Add(true, false)  // FN
+	c.Add(false, true)  // FP
+	c.Add(false, false) // TN
+	if c.TP != 1 || c.FN != 1 || c.FP != 1 || c.TN != 1 {
+		t.Fatalf("confusion = %+v", c)
+	}
+	if c.Total() != 4 {
+		t.Fatalf("Total = %d, want 4", c.Total())
+	}
+}
+
+func TestPrecisionRecallAccuracy(t *testing.T) {
+	// MeanCache's Figure 7a matrix: TN=611 FP=89 FN=66 TP=234.
+	c := Confusion{TP: 234, FP: 89, TN: 611, FN: 66}
+	if p := c.Precision(); math.Abs(p-0.724) > 0.01 {
+		t.Errorf("precision = %.3f, want ≈0.72 (paper Table I)", p)
+	}
+	if r := c.Recall(); math.Abs(r-0.78) > 0.01 {
+		t.Errorf("recall = %.3f, want ≈0.78", r)
+	}
+	if a := c.Accuracy(); math.Abs(a-0.845) > 0.01 {
+		t.Errorf("accuracy = %.3f, want ≈0.85", a)
+	}
+	// F0.5 emphasising precision, as the paper reports 0.73.
+	if f := c.FBeta(0.5); math.Abs(f-0.735) > 0.015 {
+		t.Errorf("F0.5 = %.3f, want ≈0.73", f)
+	}
+}
+
+func TestGPTCacheMatrixMatchesPaper(t *testing.T) {
+	// Figure 7b: TN=467 FP=233 FN=46 TP=254 → precision 0.52, F0.5 0.56.
+	c := Confusion{TP: 254, FP: 233, TN: 467, FN: 46}
+	if p := c.Precision(); math.Abs(p-0.52) > 0.01 {
+		t.Errorf("precision = %.3f, want ≈0.52", p)
+	}
+	if f := c.FBeta(0.5); math.Abs(f-0.56) > 0.01 {
+		t.Errorf("F0.5 = %.3f, want ≈0.56", f)
+	}
+	if r := c.Recall(); math.Abs(r-0.85) > 0.01 {
+		t.Errorf("recall = %.3f, want ≈0.85", r)
+	}
+}
+
+func TestEmptyConfusionSafeZeros(t *testing.T) {
+	var c Confusion
+	if c.Precision() != 0 || c.Recall() != 0 || c.Accuracy() != 0 || c.F1() != 0 {
+		t.Fatal("empty confusion must yield zero metrics, not NaN")
+	}
+}
+
+func TestFBetaEqualsF1AtBeta1(t *testing.T) {
+	c := Confusion{TP: 10, FP: 5, TN: 20, FN: 3}
+	if c.FBeta(1) != c.F1() {
+		t.Fatal("FBeta(1) != F1")
+	}
+	p, r := c.Precision(), c.Recall()
+	want := 2 * p * r / (p + r)
+	if math.Abs(c.F1()-want) > 1e-12 {
+		t.Fatalf("F1 = %v, want %v", c.F1(), want)
+	}
+}
+
+// Property: all metrics stay within [0, 1] for any non-negative counts.
+func TestMetricBoundsProperty(t *testing.T) {
+	f := func(tp, fp, tn, fn uint8) bool {
+		c := Confusion{TP: int(tp), FP: int(fp), TN: int(tn), FN: int(fn)}
+		for _, v := range []float64{c.Precision(), c.Recall(), c.Accuracy(), c.F1(), c.FBeta(0.5)} {
+			if v < 0 || v > 1 || math.IsNaN(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: increasing β moves F-β from precision-weighted toward
+// recall-weighted: for precision > recall, F0.5 ≥ F1 ≥ F2.
+func TestFBetaOrderingProperty(t *testing.T) {
+	c := Confusion{TP: 50, FP: 10, TN: 100, FN: 50} // precision 0.83, recall 0.5
+	f05, f1, f2 := c.FBeta(0.5), c.F1(), c.FBeta(2)
+	if !(f05 >= f1 && f1 >= f2) {
+		t.Fatalf("F-β ordering violated: F0.5=%v F1=%v F2=%v", f05, f1, f2)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := Confusion{TP: 1, FP: 2, TN: 3, FN: 4}
+	b := Confusion{TP: 10, FP: 20, TN: 30, FN: 40}
+	a.Merge(b)
+	if a.TP != 11 || a.FP != 22 || a.TN != 33 || a.FN != 44 {
+		t.Fatalf("Merge = %+v", a)
+	}
+}
+
+func TestConfusionString(t *testing.T) {
+	c := Confusion{TP: 234, FP: 89, TN: 611, FN: 66}
+	s := c.String()
+	for _, want := range []string{"611", "89", "66", "234"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestScoresFrom(t *testing.T) {
+	c := Confusion{TP: 234, FP: 89, TN: 611, FN: 66}
+	s := ScoresFrom(c, 0.5)
+	if s.Precision != c.Precision() || s.Recall != c.Recall() ||
+		s.Accuracy != c.Accuracy() || s.FScore != c.FBeta(0.5) {
+		t.Fatal("ScoresFrom mismatch")
+	}
+}
+
+func TestLatencyRecorder(t *testing.T) {
+	var l LatencyRecorder
+	if l.Mean() != 0 || l.Percentile(50) != 0 {
+		t.Fatal("empty recorder should yield zeros")
+	}
+	for _, ms := range []int{10, 20, 30, 40, 50} {
+		l.Record(time.Duration(ms) * time.Millisecond)
+	}
+	if l.Mean() != 30*time.Millisecond {
+		t.Fatalf("Mean = %v, want 30ms", l.Mean())
+	}
+	if p := l.Percentile(100); p != 50*time.Millisecond {
+		t.Fatalf("P100 = %v, want 50ms", p)
+	}
+	if p := l.Percentile(50); p < 20*time.Millisecond || p > 40*time.Millisecond {
+		t.Fatalf("P50 = %v, want around 30ms", p)
+	}
+	if len(l.Samples()) != 5 {
+		t.Fatalf("Samples len = %d, want 5", len(l.Samples()))
+	}
+}

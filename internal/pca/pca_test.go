@@ -1,0 +1,181 @@
+package pca
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/vecmath"
+)
+
+// planted builds n samples lying (with small noise) in a known
+// low-dimensional subspace, so the principal components are predictable.
+func planted(n, d, rank int, noise float64, seed int64) *vecmath.Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	basis := vecmath.NewMatrix(rank, d)
+	basis.RandomizeNormal(rng, 1)
+	for i := 0; i < rank; i++ {
+		vecmath.Normalize(basis.Row(i))
+	}
+	samples := vecmath.NewMatrix(n, d)
+	for i := 0; i < n; i++ {
+		row := samples.Row(i)
+		for r := 0; r < rank; r++ {
+			// Decaying scale per direction makes the spectrum strictly ordered.
+			scale := float32(rng.NormFloat64()) * float32(rank-r) * 3
+			vecmath.Axpy(scale, basis.Row(r), row)
+		}
+		for j := range row {
+			row[j] += float32(rng.NormFloat64() * noise)
+		}
+	}
+	return samples
+}
+
+func TestFitRecoversSubspace(t *testing.T) {
+	samples := planted(300, 40, 4, 0.01, 1)
+	p, err := Fit(samples, 4, Options{Seed: 2})
+	if err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	// Nearly all variance must be captured by the 4 components.
+	if r := p.ExplainedRatio(); r < 0.99 {
+		t.Fatalf("explained ratio = %v, want >= 0.99", r)
+	}
+	// Eigenvalues sorted descending.
+	for i := 1; i < len(p.Explained); i++ {
+		if p.Explained[i] > p.Explained[i-1]+1e-9 {
+			t.Fatalf("eigenvalues not sorted: %v", p.Explained)
+		}
+	}
+}
+
+func TestComponentsOrthonormal(t *testing.T) {
+	samples := planted(200, 30, 8, 0.1, 3)
+	p, err := Fit(samples, 8, Options{Seed: 4})
+	if err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	for i := 0; i < p.K(); i++ {
+		ri := p.Components.Row(i)
+		if math.Abs(float64(vecmath.Norm(ri))-1) > 1e-4 {
+			t.Fatalf("component %d not unit norm", i)
+		}
+		for j := i + 1; j < p.K(); j++ {
+			dot := float64(vecmath.Dot(ri, p.Components.Row(j)))
+			if math.Abs(dot) > 1e-3 {
+				t.Fatalf("components %d,%d not orthogonal: %v", i, j, dot)
+			}
+		}
+	}
+}
+
+// Property: projection preserves pairwise distances of points within the
+// principal subspace (isometry on the retained directions).
+func TestTransformIsometryOnSubspace(t *testing.T) {
+	samples := planted(300, 40, 4, 0.001, 5)
+	p, err := Fit(samples, 4, Options{Seed: 6})
+	if err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	for trial := 0; trial < 50; trial++ {
+		a := samples.Row(trial)
+		b := samples.Row(trial + 100)
+		origDist := float64(vecmath.Norm(vecmath.Sub(a, b)))
+		projDist := float64(vecmath.Norm(vecmath.Sub(p.Transform(a), p.Transform(b))))
+		if math.Abs(origDist-projDist) > 0.05*(1+origDist) {
+			t.Fatalf("distance not preserved: %v vs %v", origDist, projDist)
+		}
+	}
+}
+
+func TestTransformDimensions(t *testing.T) {
+	samples := planted(100, 24, 3, 0.05, 7)
+	p, err := Fit(samples, 5, Options{})
+	if err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	out := p.Transform(samples.Row(0))
+	if len(out) != 5 {
+		t.Fatalf("Transform len = %d, want 5", len(out))
+	}
+	if p.Dim() != 24 || p.K() != 5 {
+		t.Fatalf("Dim/K = %d/%d, want 24/5", p.Dim(), p.K())
+	}
+}
+
+func TestTransformPanicsOnWrongDim(t *testing.T) {
+	samples := planted(50, 10, 2, 0.05, 8)
+	p, _ := Fit(samples, 2, Options{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Transform accepted wrong input dim")
+		}
+	}()
+	p.Transform(make([]float32, 11))
+}
+
+func TestFitRejectsBadK(t *testing.T) {
+	samples := planted(20, 10, 2, 0.05, 9)
+	for _, k := range []int{0, -1, 11, 21} {
+		if _, err := Fit(samples, k, Options{}); err == nil {
+			t.Fatalf("Fit accepted k=%d for 20x10 samples", k)
+		}
+	}
+}
+
+func TestFitDeterministic(t *testing.T) {
+	samples := planted(100, 16, 4, 0.05, 10)
+	a, _ := Fit(samples, 4, Options{Seed: 11})
+	b, _ := Fit(samples, 4, Options{Seed: 11})
+	for i := range a.Components.Data {
+		if a.Components.Data[i] != b.Components.Data[i] {
+			t.Fatal("Fit not deterministic at fixed seed")
+		}
+	}
+}
+
+func TestMeanCentering(t *testing.T) {
+	// Samples offset by a large constant: the mean must absorb it so the
+	// components reflect variance, not the offset.
+	samples := planted(200, 20, 2, 0.01, 12)
+	for i := 0; i < samples.Rows; i++ {
+		row := samples.Row(i)
+		for j := range row {
+			row[j] += 100
+		}
+	}
+	p, err := Fit(samples, 2, Options{})
+	if err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	if p.Mean[0] < 50 {
+		t.Fatalf("mean not captured: %v", p.Mean[0])
+	}
+	if r := p.ExplainedRatio(); r < 0.99 {
+		t.Fatalf("explained ratio with offset = %v, want >= 0.99", r)
+	}
+}
+
+func BenchmarkFit768to64(b *testing.B) {
+	samples := planted(500, 768, 32, 0.1, 13)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Fit(samples, 64, Options{Iterations: 30}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTransform768to64(b *testing.B) {
+	samples := planted(500, 768, 32, 0.1, 14)
+	p, err := Fit(samples, 64, Options{Iterations: 30})
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := samples.Row(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = p.Transform(x)
+	}
+}

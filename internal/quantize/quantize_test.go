@@ -1,0 +1,152 @@
+package quantize
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/vecmath"
+)
+
+func unit(rng *rand.Rand, d int) []float32 {
+	v := make([]float32, d)
+	for i := range v {
+		v[i] = float32(rng.NormFloat64())
+	}
+	vecmath.Normalize(v)
+	return v
+}
+
+func TestRoundTripError(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 100; trial++ {
+		x := unit(rng, 768)
+		q := Quantize(x)
+		y := q.Dequantize()
+		for i := range x {
+			// Max per-element error is scale/2.
+			if math.Abs(float64(x[i]-y[i])) > float64(q.Scale)/2+1e-7 {
+				t.Fatalf("element %d: %v -> %v exceeds half-scale %v", i, x[i], y[i], q.Scale/2)
+			}
+		}
+	}
+}
+
+func TestZeroVector(t *testing.T) {
+	q := Quantize(make([]float32, 8))
+	if q.Scale != 0 {
+		t.Fatalf("zero vector scale = %v", q.Scale)
+	}
+	for _, v := range q.Dequantize() {
+		if v != 0 {
+			t.Fatal("zero vector did not round-trip to zero")
+		}
+	}
+}
+
+func TestCosinePreserved(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 50; trial++ {
+		a, b := unit(rng, 768), unit(rng, 768)
+		if e := CosineError(a, b); e > 0.01 {
+			t.Fatalf("cosine error %v exceeds 1%% for 768-d unit vectors", e)
+		}
+	}
+}
+
+func TestCosinePreservedLowDim(t *testing.T) {
+	// Lower dimension → coarser quantisation; the error budget is looser
+	// but still small enough for threshold decisions.
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		a, b := unit(rng, 64), unit(rng, 64)
+		if e := CosineError(a, b); e > 0.04 {
+			t.Fatalf("cosine error %v exceeds 4%% for 64-d unit vectors", e)
+		}
+	}
+}
+
+func TestDotMatchesDequantized(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 50; trial++ {
+		a, b := unit(rng, 256), unit(rng, 256)
+		qa, qb := Quantize(a), Quantize(b)
+		intDot := Dot(qa, qb)
+		deqDot := vecmath.Dot(qa.Dequantize(), qb.Dequantize())
+		if math.Abs(float64(intDot-deqDot)) > 1e-4 {
+			t.Fatalf("int8 dot %v != dequantised dot %v", intDot, deqDot)
+		}
+	}
+}
+
+func TestDotF32Asymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 50; trial++ {
+		a, b := unit(rng, 256), unit(rng, 256)
+		got := DotF32(Quantize(a), b)
+		want := vecmath.Dot(a, b)
+		if math.Abs(float64(got-want)) > 0.02 {
+			t.Fatalf("asymmetric dot %v vs exact %v", got, want)
+		}
+	}
+}
+
+func TestBytes(t *testing.T) {
+	q := Quantize(make([]float32, 768))
+	if q.Bytes() != 772 {
+		t.Fatalf("Bytes = %d, want 772", q.Bytes())
+	}
+}
+
+// Property: codes always lie in [-127, 127] (symmetric range, no -128),
+// and quantisation is idempotent on already-representable values.
+func TestCodeRangeProperty(t *testing.T) {
+	f := func(raw []float32) bool {
+		x := make([]float32, len(raw))
+		for i, v := range raw {
+			f := float64(v)
+			if math.IsNaN(f) || math.IsInf(f, 0) {
+				f = 1
+			}
+			x[i] = float32(math.Tanh(f))
+		}
+		q := Quantize(x)
+		for _, c := range q.Data {
+			if c == -128 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDotPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Dot accepted mismatched lengths")
+		}
+	}()
+	Dot(Quantize([]float32{1}), Quantize([]float32{1, 2}))
+}
+
+func BenchmarkQuantize768(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	x := unit(rng, 768)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Quantize(x)
+	}
+}
+
+func BenchmarkDotInt8_768(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	qa, qb := Quantize(unit(rng, 768)), Quantize(unit(rng, 768))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Dot(qa, qb)
+	}
+}

@@ -1,0 +1,316 @@
+// Package store provides the persistent local cache storage that the paper
+// delegates to Python's DiskCache: a crash-tolerant, append-only-log
+// key/value store with an in-memory index.
+//
+// Records are length-prefixed and CRC-checked; a torn final record (partial
+// write at crash) is detected and truncated on open. Deletes are tombstone
+// records, so the log replays to the exact live set. Compact rewrites the
+// log to reclaim space from overwritten and deleted entries.
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// ErrNotFound is returned by Get for missing keys.
+var ErrNotFound = errors.New("store: key not found")
+
+const (
+	opPut    byte = 1
+	opDelete byte = 2
+)
+
+// Store is a disk-backed key/value store. It is safe for concurrent use.
+type Store struct {
+	mu   sync.RWMutex
+	path string
+	f    *os.File
+	w    *bufio.Writer
+	// index maps live keys to their value offsets in the log.
+	index map[string]recordRef
+	// garbage counts superseded bytes, driving compaction heuristics.
+	garbage int64
+	size    int64
+}
+
+type recordRef struct {
+	off    int64 // offset of the value bytes within the log
+	length int32
+}
+
+// Open opens or creates the store at path, replaying the existing log.
+func Open(path string) (*Store, error) {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, fmt.Errorf("store: creating directory: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: opening %s: %w", path, err)
+	}
+	s := &Store{path: path, f: f, index: make(map[string]recordRef)}
+	if err := s.replay(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Seek(s.size, io.SeekStart); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: seeking to log end: %w", err)
+	}
+	s.w = bufio.NewWriter(f)
+	return s, nil
+}
+
+// record layout:
+//
+//	op(1) keyLen(4) valLen(4) key val crc32(4 over everything before it)
+func (s *Store) replay() error {
+	r := bufio.NewReader(s.f)
+	var off int64
+	for {
+		rec, key, valOff, valLen, err := readRecord(r, off)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			// Torn or corrupt tail: truncate to the last good record. Data
+			// before this point is intact; the failed write is discarded.
+			if terr := s.f.Truncate(off); terr != nil {
+				return fmt.Errorf("store: truncating corrupt tail: %w", terr)
+			}
+			break
+		}
+		switch rec {
+		case opPut:
+			if old, ok := s.index[key]; ok {
+				s.garbage += int64(old.length)
+			}
+			s.index[key] = recordRef{off: valOff, length: valLen}
+		case opDelete:
+			if old, ok := s.index[key]; ok {
+				s.garbage += int64(old.length)
+				delete(s.index, key)
+			}
+		}
+		off = valOff + int64(valLen) + 4 // skip crc
+	}
+	s.size = off
+	return nil
+}
+
+func readRecord(r *bufio.Reader, off int64) (op byte, key string, valOff int64, valLen int32, err error) {
+	var hdr [9]byte
+	if _, err = io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			err = errors.New("store: torn header")
+		}
+		return
+	}
+	op = hdr[0]
+	keyLen := int32(binary.LittleEndian.Uint32(hdr[1:5]))
+	valLen = int32(binary.LittleEndian.Uint32(hdr[5:9]))
+	if op != opPut && op != opDelete || keyLen < 0 || valLen < 0 || keyLen > 1<<20 || valLen > 1<<30 {
+		err = errors.New("store: invalid record header")
+		return
+	}
+	buf := make([]byte, int(keyLen)+int(valLen)+4)
+	if _, err = io.ReadFull(r, buf); err != nil {
+		err = errors.New("store: torn record body")
+		return
+	}
+	crc := crc32.NewIEEE()
+	crc.Write(hdr[:])
+	crc.Write(buf[:keyLen+valLen])
+	if crc.Sum32() != binary.LittleEndian.Uint32(buf[keyLen+valLen:]) {
+		err = errors.New("store: checksum mismatch")
+		return
+	}
+	key = string(buf[:keyLen])
+	valOff = off + 9 + int64(keyLen)
+	return
+}
+
+func appendRecord(w io.Writer, op byte, key string, val []byte) (int, error) {
+	var hdr [9]byte
+	hdr[0] = op
+	binary.LittleEndian.PutUint32(hdr[1:5], uint32(len(key)))
+	binary.LittleEndian.PutUint32(hdr[5:9], uint32(len(val)))
+	crc := crc32.NewIEEE()
+	crc.Write(hdr[:])
+	crc.Write([]byte(key))
+	crc.Write(val)
+	var sum [4]byte
+	binary.LittleEndian.PutUint32(sum[:], crc.Sum32())
+	n := 0
+	for _, chunk := range [][]byte{hdr[:], []byte(key), val, sum[:]} {
+		m, err := w.Write(chunk)
+		n += m
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// Put stores val under key, overwriting any previous value.
+func (s *Store) Put(key string, val []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n, err := appendRecord(s.w, opPut, key, val)
+	if err != nil {
+		return fmt.Errorf("store: appending put: %w", err)
+	}
+	if err := s.w.Flush(); err != nil {
+		return fmt.Errorf("store: flushing put: %w", err)
+	}
+	if old, ok := s.index[key]; ok {
+		s.garbage += int64(old.length)
+	}
+	s.index[key] = recordRef{off: s.size + 9 + int64(len(key)), length: int32(len(val))}
+	s.size += int64(n)
+	return nil
+}
+
+// Get returns the value stored under key, or ErrNotFound.
+func (s *Store) Get(key string) ([]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ref, ok := s.index[key]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	val := make([]byte, ref.length)
+	if _, err := s.f.ReadAt(val, ref.off); err != nil {
+		return nil, fmt.Errorf("store: reading value: %w", err)
+	}
+	return val, nil
+}
+
+// Delete removes key. Deleting a missing key is a no-op.
+func (s *Store) Delete(key string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.index[key]; !ok {
+		return nil
+	}
+	n, err := appendRecord(s.w, opDelete, key, nil)
+	if err != nil {
+		return fmt.Errorf("store: appending delete: %w", err)
+	}
+	if err := s.w.Flush(); err != nil {
+		return fmt.Errorf("store: flushing delete: %w", err)
+	}
+	s.garbage += int64(s.index[key].length)
+	delete(s.index, key)
+	s.size += int64(n)
+	return nil
+}
+
+// Len reports the number of live keys.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.index)
+}
+
+// Keys returns the live keys in sorted order.
+func (s *Store) Keys() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	keys := make([]string, 0, len(s.index))
+	for k := range s.index {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// SizeOnDisk reports the current log size in bytes, including garbage.
+func (s *Store) SizeOnDisk() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.size
+}
+
+// Compact rewrites the log with only live records, reclaiming garbage. The
+// rewrite goes to a sibling temp file that atomically replaces the log.
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tmpPath := s.path + ".compact"
+	tmp, err := os.Create(tmpPath)
+	if err != nil {
+		return fmt.Errorf("store: creating compaction file: %w", err)
+	}
+	bw := bufio.NewWriter(tmp)
+	newIndex := make(map[string]recordRef, len(s.index))
+	var off int64
+	keys := make([]string, 0, len(s.index))
+	for k := range s.index {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		ref := s.index[key]
+		val := make([]byte, ref.length)
+		if _, err := s.f.ReadAt(val, ref.off); err != nil {
+			tmp.Close()
+			os.Remove(tmpPath)
+			return fmt.Errorf("store: compaction read: %w", err)
+		}
+		n, err := appendRecord(bw, opPut, key, val)
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmpPath)
+			return fmt.Errorf("store: compaction write: %w", err)
+		}
+		newIndex[key] = recordRef{off: off + 9 + int64(len(key)), length: ref.length}
+		off += int64(n)
+	}
+	if err := bw.Flush(); err != nil {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return fmt.Errorf("store: compaction flush: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpPath)
+		return fmt.Errorf("store: closing compaction file: %w", err)
+	}
+	if err := os.Rename(tmpPath, s.path); err != nil {
+		os.Remove(tmpPath)
+		return fmt.Errorf("store: swapping compacted log: %w", err)
+	}
+	s.f.Close()
+	f, err := os.OpenFile(s.path, os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: reopening compacted log: %w", err)
+	}
+	if _, err := f.Seek(off, io.SeekStart); err != nil {
+		f.Close()
+		return fmt.Errorf("store: seeking compacted log: %w", err)
+	}
+	s.f = f
+	s.w = bufio.NewWriter(f)
+	s.index = newIndex
+	s.size = off
+	s.garbage = 0
+	return nil
+}
+
+// Close flushes and closes the underlying file.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.w.Flush(); err != nil {
+		return fmt.Errorf("store: final flush: %w", err)
+	}
+	return s.f.Close()
+}

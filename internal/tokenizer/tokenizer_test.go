@@ -1,0 +1,167 @@
+package tokenizer
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestNormalize(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"Hello, World!", []string{"hello", "world"}},
+		{"don't STOP", []string{"dont", "stop"}},
+		{"  spaces\t\neverywhere  ", []string{"spaces", "everywhere"}},
+		{"", nil},
+		{"?!...", nil},
+		{"mixed123 CASE", []string{"mixed123", "case"}},
+		{"a-b_c", []string{"a", "b", "c"}},
+	}
+	for _, c := range cases {
+		got := Normalize(c.in)
+		if len(got) == 0 && len(c.want) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Normalize(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestTokenizeDeterministic(t *testing.T) {
+	for _, mode := range []Mode{Words, WordsAndBigrams, CharTrigrams} {
+		tk := New(mode, 1000)
+		a := tk.Tokenize("How can I increase battery life?")
+		b := tk.Tokenize("How can I increase battery life?")
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("mode %v: tokenization not deterministic", mode)
+		}
+	}
+}
+
+func TestTokenizeCaseInsensitive(t *testing.T) {
+	tk := New(Words, 1000)
+	a := tk.Tokenize("Battery Life")
+	b := tk.Tokenize("battery life")
+	if !reflect.DeepEqual(a, b) {
+		t.Error("tokenization should be case-insensitive")
+	}
+}
+
+func TestTokenizeEmpty(t *testing.T) {
+	for _, mode := range []Mode{Words, WordsAndBigrams, CharTrigrams} {
+		tk := New(mode, 100)
+		if got := tk.Tokenize(""); len(got) != 0 {
+			t.Errorf("mode %v: Tokenize(\"\") = %v, want empty", mode, got)
+		}
+		if got := tk.Tokenize("!!! ???"); len(got) != 0 {
+			t.Errorf("mode %v: punctuation-only input yields %v, want empty", mode, got)
+		}
+	}
+}
+
+func TestWordsTokenCount(t *testing.T) {
+	tk := New(Words, 1000)
+	if got := tk.Tokenize("one two three"); len(got) != 3 {
+		t.Fatalf("Words mode token count = %d, want 3", len(got))
+	}
+}
+
+func TestBigramsTokenCount(t *testing.T) {
+	tk := New(WordsAndBigrams, 1000)
+	// 3 words + 2 bigrams = 5 features.
+	if got := tk.Tokenize("one two three"); len(got) != 5 {
+		t.Fatalf("WordsAndBigrams token count = %d, want 5", len(got))
+	}
+}
+
+func TestBigramsOrderSensitive(t *testing.T) {
+	tk := New(WordsAndBigrams, 1<<20)
+	a := tk.Tokenize("red blue")
+	b := tk.Tokenize("blue red")
+	if reflect.DeepEqual(a, b) {
+		t.Error("bigram features should distinguish word order")
+	}
+}
+
+func TestCharTrigrams(t *testing.T) {
+	tk := New(CharTrigrams, 1<<20)
+	// "^cat$" has trigrams ^ca, cat, at$ => 3 features.
+	if got := tk.Tokenize("cat"); len(got) != 3 {
+		t.Fatalf("CharTrigrams(\"cat\") count = %d, want 3", len(got))
+	}
+	// Single-char word: "^a$" is exactly 3 bytes => 1 trigram.
+	if got := tk.Tokenize("a"); len(got) != 1 {
+		t.Fatalf("CharTrigrams(\"a\") count = %d, want 1", len(got))
+	}
+}
+
+func TestBucketRangeProperty(t *testing.T) {
+	tk := New(WordsAndBigrams, 257)
+	f := func(s string) bool {
+		for _, id := range tk.Tokenize(s) {
+			if id < 0 || id >= 257 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: tokenization is stable under surrounding whitespace and trailing
+// punctuation — the normalisation the cache relies on to match resubmitted
+// queries that differ only in formatting.
+func TestWhitespacePunctuationInvariance(t *testing.T) {
+	tk := New(Words, 4096)
+	pairs := [][2]string{
+		{"hello world", "  hello   world  "},
+		{"hello world", "hello world!!!"},
+		{"hello world", "Hello, World."},
+	}
+	for _, p := range pairs {
+		if !reflect.DeepEqual(tk.Tokenize(p[0]), tk.Tokenize(p[1])) {
+			t.Errorf("tokenization differs for %q vs %q", p[0], p[1])
+		}
+	}
+}
+
+func TestNewPanicsOnBadVocab(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(mode, 0) did not panic")
+		}
+	}()
+	New(Words, 0)
+}
+
+func TestModeString(t *testing.T) {
+	if Words.String() == "" || WordsAndBigrams.String() == "" || CharTrigrams.String() == "" {
+		t.Fatal("mode names must be non-empty")
+	}
+	if Mode(99).String() != "unknown" {
+		t.Fatal("unknown mode should stringify to unknown")
+	}
+}
+
+func BenchmarkTokenizeWords(b *testing.B) {
+	tk := New(Words, 32768)
+	q := "How can I increase the battery life of my smartphone today"
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = tk.Tokenize(q)
+	}
+}
+
+func BenchmarkTokenizeTrigrams(b *testing.B) {
+	tk := New(CharTrigrams, 32768)
+	q := "How can I increase the battery life of my smartphone today"
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = tk.Tokenize(q)
+	}
+}

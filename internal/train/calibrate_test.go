@@ -1,0 +1,40 @@
+package train
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/embed"
+)
+
+// TestCalibrateFullModel is a development harness, not a regression test:
+// it trains the real MPNet-sim architecture on the full default corpus and
+// logs the sweep trajectory so that corpus and hyperparameter constants can
+// be tuned to the paper's operating regime (optimal τ ≈ 0.8, clear
+// pretrain→fine-tune F1 gap). Enable with MEANCACHE_CALIBRATE=1.
+func TestCalibrateFullModel(t *testing.T) {
+	if os.Getenv("MEANCACHE_CALIBRATE") == "" {
+		t.Skip("set MEANCACHE_CALIBRATE=1 to run the calibration harness")
+	}
+	corpus := dataset.GenerateCorpus(dataset.DefaultConfig())
+	m := embed.NewModel(embed.MPNetSim, 7)
+	cfg := DefaultConfig()
+	before := Sweep(m, corpus.Val, 0.01, 1)
+	t.Logf("untrained: optF1=%.3f tau*=%.2f prec=%.3f rec=%.3f",
+		before.Optimal.Scores.FScore, before.Optimal.Tau,
+		before.Optimal.Scores.Precision, before.Optimal.Scores.Recall)
+	at07 := EvaluateAt(m, corpus.Val, 0.7)
+	t.Logf("untrained @0.7: F1=%.3f prec=%.3f rec=%.3f acc=%.3f",
+		at07.F1(), at07.Precision(), at07.Recall(), at07.Accuracy())
+
+	tr := NewTrainer(m, NewSGD(cfg.LR), cfg)
+	for round := 0; round < 8; round++ {
+		stats := tr.Train(corpus.Train)
+		res := Sweep(m, corpus.Val, 0.01, 1)
+		t.Logf("round %d: mnrl=%.4f contr=%.4f optF1=%.3f tau*=%.2f prec=%.3f rec=%.3f",
+			round, stats[len(stats)-1].MNRLLoss, stats[len(stats)-1].ContrastiveLoss,
+			res.Optimal.Scores.FScore, res.Optimal.Tau,
+			res.Optimal.Scores.Precision, res.Optimal.Scores.Recall)
+	}
+}

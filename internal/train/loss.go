@@ -1,0 +1,101 @@
+// Package train implements the client-side fine-tuning of §III-A.1: the
+// multitask objective combining contrastive loss and multiple-negatives
+// ranking loss (MNRL), mini-batch SGD/Adam optimisers, and the optimal
+// cosine-similarity threshold search of §III-A.2.
+package train
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/vecmath"
+)
+
+// MNRLGrad computes the multiple-negatives ranking loss over a batch of
+// positive pairs and its gradient with respect to the embeddings.
+//
+// U and V are B×D matrices of unit-norm embeddings where (U[i], V[i]) is a
+// duplicate pair; every V[j], j≠i serves as an in-batch negative for U[i].
+// Scores are scaled cosines s_ij = scale·U[i]⋅V[j]; the loss is the mean
+// cross-entropy of softmax(s_i·) against target i. Gradients are written
+// into dU and dV (same shape as U, V; overwritten). The mean loss is
+// returned.
+//
+// MNRL pulls positive pairs together against many in-batch candidates —
+// the paper's second objective, which dominates when a user resubmits many
+// duplicate queries.
+func MNRLGrad(u, v *vecmath.Matrix, scale float32, du, dv *vecmath.Matrix) float64 {
+	b, d := u.Rows, u.Cols
+	if v.Rows != b || v.Cols != d || du.Rows != b || du.Cols != d || dv.Rows != b || dv.Cols != d {
+		panic(fmt.Sprintf("train: MNRLGrad shape mismatch U=%dx%d V=%dx%d", u.Rows, u.Cols, v.Rows, v.Cols))
+	}
+	if b == 0 {
+		vecmath.Zero(du.Data)
+		vecmath.Zero(dv.Data)
+		return 0
+	}
+	// Score matrix s = scale · U Vᵀ, softmaxed row-wise into g = (P − I)·scale/B.
+	g := vecmath.MatMul(u, v.Transpose())
+	vecmath.Scale(scale, g.Data)
+	invB := 1 / float32(b)
+	total := vecmath.ParallelMapReduce(b, func(lo, hi int) float64 {
+		var partial float64
+		for i := lo; i < hi; i++ {
+			row := g.Row(i)
+			maxS := row[0]
+			for _, s := range row[1:] {
+				if s > maxS {
+					maxS = s
+				}
+			}
+			var sumExp float64
+			for _, s := range row {
+				sumExp += math.Exp(float64(s - maxS))
+			}
+			logSum := math.Log(sumExp)
+			partial += -(float64(row[i]-maxS) - logSum)
+			for j := range row {
+				p := float32(math.Exp(float64(row[j]-maxS) - logSum))
+				if j == i {
+					p -= 1
+				}
+				row[j] = p * scale * invB
+			}
+		}
+		return partial
+	})
+	// dU = g·V and dV = gᵀ·U.
+	copy(du.Data, vecmath.MatMul(g, v).Data)
+	copy(dv.Data, vecmath.MatMul(g.Transpose(), u).Data)
+	return total / float64(b)
+}
+
+// ContrastiveGrad computes the contrastive loss for one labelled pair of
+// unit embeddings and accumulates ∂L/∂u into du and ∂L/∂v into dv.
+//
+// For duplicates the loss is (1−c)², drawing the pair together; for
+// non-duplicates it is max(0, c−margin)², pushing them below margin. c is
+// the cosine (dot of unit vectors). Returns the loss.
+//
+// This is the paper's first objective: distancing unique queries to cut
+// false hits, effective even for clients with no duplicate queries at all.
+func ContrastiveGrad(u, v []float32, dup bool, margin float32, du, dv []float32) float64 {
+	c := vecmath.Dot(u, v)
+	var loss float64
+	var dc float32
+	if dup {
+		diff := 1 - c
+		loss = float64(diff * diff)
+		dc = -2 * diff
+	} else {
+		if c <= margin {
+			return 0
+		}
+		diff := c - margin
+		loss = float64(diff * diff)
+		dc = 2 * diff
+	}
+	vecmath.Axpy(dc, v, du)
+	vecmath.Axpy(dc, u, dv)
+	return loss
+}

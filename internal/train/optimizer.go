@@ -1,0 +1,99 @@
+package train
+
+import (
+	"math"
+
+	"repro/internal/embed"
+	"repro/internal/vecmath"
+)
+
+// Optimizer applies accumulated gradients to a model's parameters.
+type Optimizer interface {
+	// Step applies g to m's parameters and prepares g for reuse (zeroing
+	// is the caller's responsibility via g.Zero()).
+	Step(m *embed.Model, g *embed.Grads)
+	// Name identifies the optimiser for logs.
+	Name() string
+}
+
+// SGD is plain stochastic gradient descent, sparse-aware: only embedding
+// rows that received gradient are updated, which keeps per-step cost
+// proportional to batch token count rather than vocabulary size.
+type SGD struct {
+	LR float32
+}
+
+// NewSGD returns an SGD optimiser with the given learning rate.
+func NewSGD(lr float32) *SGD { return &SGD{LR: lr} }
+
+// Name implements Optimizer.
+func (s *SGD) Name() string { return "sgd" }
+
+// Step implements Optimizer.
+func (s *SGD) Step(m *embed.Model, g *embed.Grads) {
+	for _, id := range g.TouchedRows() {
+		vecmath.Axpy(-s.LR, g.E.Row(id), m.E.Row(id))
+	}
+	vecmath.Axpy(-s.LR, g.W.Data, m.W.Data)
+	vecmath.Axpy(-s.LR, g.B, m.B)
+}
+
+// Adam implements the Adam optimiser with bias correction. Moment buffers
+// are allocated lazily on first Step and sized to the model. The embedding
+// table moments are updated sparsely for touched rows only; the per-row
+// step counter preserves correct bias correction under sparse updates.
+type Adam struct {
+	LR, Beta1, Beta2, Eps float32
+
+	mE, vE *vecmath.Matrix
+	mW, vW *vecmath.Matrix
+	mB, vB []float32
+	stepW  int
+	stepE  []int // per-embedding-row step count
+}
+
+// NewAdam returns an Adam optimiser with standard defaults for the moment
+// decay rates.
+func NewAdam(lr float32) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8}
+}
+
+// Name implements Optimizer.
+func (a *Adam) Name() string { return "adam" }
+
+func (a *Adam) ensure(m *embed.Model) {
+	if a.mE != nil {
+		return
+	}
+	a.mE = vecmath.NewMatrix(m.E.Rows, m.E.Cols)
+	a.vE = vecmath.NewMatrix(m.E.Rows, m.E.Cols)
+	a.mW = vecmath.NewMatrix(m.W.Rows, m.W.Cols)
+	a.vW = vecmath.NewMatrix(m.W.Rows, m.W.Cols)
+	a.mB = make([]float32, len(m.B))
+	a.vB = make([]float32, len(m.B))
+	a.stepE = make([]int, m.E.Rows)
+}
+
+// Step implements Optimizer.
+func (a *Adam) Step(m *embed.Model, g *embed.Grads) {
+	a.ensure(m)
+	a.stepW++
+	adamUpdate(a, m.W.Data, g.W.Data, a.mW.Data, a.vW.Data, a.stepW)
+	adamUpdate(a, m.B, g.B, a.mB, a.vB, a.stepW)
+	for _, id := range g.TouchedRows() {
+		a.stepE[id]++
+		adamUpdate(a, m.E.Row(id), g.E.Row(id), a.mE.Row(id), a.vE.Row(id), a.stepE[id])
+	}
+}
+
+func adamUpdate(a *Adam, param, grad, mBuf, vBuf []float32, step int) {
+	c1 := 1 - float32(math.Pow(float64(a.Beta1), float64(step)))
+	c2 := 1 - float32(math.Pow(float64(a.Beta2), float64(step)))
+	for i, gi := range grad {
+		mBuf[i] = a.Beta1*mBuf[i] + (1-a.Beta1)*gi
+		vBuf[i] = a.Beta2*vBuf[i] + (1-a.Beta2)*gi*gi
+		mHat := mBuf[i] / c1
+		vHat := vBuf[i] / c2
+		param[i] -= a.LR * mHat / (float32(math.Sqrt(float64(vHat))) + a.Eps)
+	}
+}

@@ -1,0 +1,151 @@
+package train
+
+import (
+	"sort"
+
+	"repro/internal/dataset"
+	"repro/internal/embed"
+	"repro/internal/metrics"
+	"repro/internal/vecmath"
+)
+
+// ThresholdPoint is one cell of a threshold sweep (Figures 13, 14, 16):
+// the metrics obtained when classifying pairs as duplicates at cosine ≥ Tau.
+type ThresholdPoint struct {
+	Tau    float64
+	Scores metrics.Scores // F1-based, matching the sweep figures
+}
+
+// SweepResult is the full threshold sweep plus the located optimum.
+type SweepResult struct {
+	Points  []ThresholdPoint
+	Optimal ThresholdPoint
+}
+
+// PairScores computes the cosine similarity of each pair under enc, in
+// parallel. The returned slices are aligned with pairs.
+func PairScores(enc embed.Encoder, pairs []dataset.Pair) []float64 {
+	out := make([]float64, len(pairs))
+	vecmath.ParallelFor(len(pairs), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			a := enc.Encode(pairs[i].A)
+			b := enc.Encode(pairs[i].B)
+			out[i] = float64(vecmath.Dot(a, b))
+		}
+	})
+	return out
+}
+
+// Sweep evaluates thresholds τ ∈ {0, step, 2·step, …, 1} over labelled
+// pairs and returns the metric curve plus the τ maximising F-β. This is
+// the client-side optimal-threshold search of §III-A.2: the paper varies τ
+// and picks the value optimising the cache's F-score on validation pairs.
+func Sweep(enc embed.Encoder, pairs []dataset.Pair, step, beta float64) SweepResult {
+	scores := PairScores(enc, pairs)
+	return SweepScores(scores, pairs, step, beta)
+}
+
+// SweepScores is Sweep for precomputed pair scores, letting callers reuse
+// one encode pass across multiple sweeps.
+func SweepScores(scores []float64, pairs []dataset.Pair, step, beta float64) SweepResult {
+	if step <= 0 {
+		panic("train: Sweep step must be positive")
+	}
+	// Sort scores with labels so each threshold is evaluated in O(log n).
+	type scored struct {
+		s   float64
+		dup bool
+	}
+	items := make([]scored, len(pairs))
+	totalDup := 0
+	for i, p := range pairs {
+		items[i] = scored{scores[i], p.Dup}
+		if p.Dup {
+			totalDup++
+		}
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i].s < items[j].s })
+	// Suffix sums: dupsAtOrAbove[i] = duplicates among items[i:].
+	dupSuffix := make([]int, len(items)+1)
+	for i := len(items) - 1; i >= 0; i-- {
+		dupSuffix[i] = dupSuffix[i+1]
+		if items[i].dup {
+			dupSuffix[i]++
+		}
+	}
+	var res SweepResult
+	for tau := 0.0; tau <= 1.0+1e-9; tau += step {
+		// First index with score >= tau.
+		idx := sort.Search(len(items), func(i int) bool { return items[i].s >= tau })
+		predPos := len(items) - idx
+		tp := dupSuffix[idx]
+		c := metrics.Confusion{
+			TP: tp,
+			FP: predPos - tp,
+			FN: totalDup - tp,
+			TN: idx - (totalDup - tp),
+		}
+		pt := ThresholdPoint{Tau: tau, Scores: metrics.ScoresFrom(c, beta)}
+		res.Points = append(res.Points, pt)
+		if pt.Scores.FScore > res.Optimal.Scores.FScore {
+			res.Optimal = pt
+		}
+	}
+	return res
+}
+
+// CacheSweep evaluates thresholds for the *cache* decision rather than the
+// pairwise decision: every pair's B side is loaded into a candidate pool
+// (a stand-in for the user's cache), each A side is scored by its maximum
+// similarity over the whole pool, and the threshold is swept over those
+// max-scores. This matches §III-A.2, where the client tunes τ to optimise
+// "the F-score of the cache": a cache compares a probe against many
+// entries, so its operating threshold is systematically higher than the
+// pairwise optimum — the max over N candidates has a fatter upper tail.
+func CacheSweep(enc embed.Encoder, pairs []dataset.Pair, step, beta float64) SweepResult {
+	return CacheSweepWithPool(enc, pairs, nil, step, beta)
+}
+
+// CacheSweepWithPool is CacheSweep with additional pool texts beyond the
+// pairs' B sides. Clients pass their full local query log: a larger pool
+// tightens the estimate of the max-over-N similarity tail the deployed
+// cache will face, keeping the learnt τ honest as the encoder sharpens.
+func CacheSweepWithPool(enc embed.Encoder, pairs []dataset.Pair, extra []string, step, beta float64) SweepResult {
+	pool := vecmath.NewMatrix(len(pairs)+len(extra), enc.Dim())
+	vecmath.ParallelFor(len(pairs), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			copy(pool.Row(i), enc.Encode(pairs[i].B))
+		}
+	})
+	vecmath.ParallelFor(len(extra), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			copy(pool.Row(len(pairs)+i), enc.Encode(extra[i]))
+		}
+	})
+	scores := make([]float64, len(pairs))
+	vecmath.ParallelFor(len(pairs), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			probe := enc.Encode(pairs[i].A)
+			best := float32(-1)
+			for j := 0; j < pool.Rows; j++ {
+				if s := vecmath.Dot(probe, pool.Row(j)); s > best {
+					best = s
+				}
+			}
+			scores[i] = float64(best)
+		}
+	})
+	return SweepScores(scores, pairs, step, beta)
+}
+
+// EvaluateAt classifies pairs at a fixed threshold and returns the
+// confusion matrix — the evaluation primitive behind Figures 11–12's
+// per-round scores.
+func EvaluateAt(enc embed.Encoder, pairs []dataset.Pair, tau float64) metrics.Confusion {
+	scores := PairScores(enc, pairs)
+	var c metrics.Confusion
+	for i, p := range pairs {
+		c.Add(p.Dup, scores[i] >= tau)
+	}
+	return c
+}

@@ -1,0 +1,271 @@
+package train
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/embed"
+	"repro/internal/tokenizer"
+	"repro/internal/vecmath"
+)
+
+var testArch = embed.Arch{
+	Name:      "mpnet-sim",
+	Mode:      tokenizer.WordsAndBigrams,
+	Vocab:     2048,
+	EmbDim:    64,
+	OutDim:    128,
+	Trainable: true,
+
+	AnchorWeight: 0.4,
+}
+
+func testCorpus() *dataset.Corpus {
+	cfg := dataset.DefaultConfig()
+	cfg.Concepts = 120
+	cfg.Intents = 400
+	return dataset.GenerateCorpus(cfg)
+}
+
+func randUnitRows(rows, cols int, seed int64) *vecmath.Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	m := vecmath.NewMatrix(rows, cols)
+	m.RandomizeNormal(rng, 1)
+	for i := 0; i < rows; i++ {
+		vecmath.Normalize(m.Row(i))
+	}
+	return m
+}
+
+func TestMNRLGradLossDirection(t *testing.T) {
+	// Perfectly aligned pairs should have lower loss than random pairs.
+	b, d := 8, 16
+	u := randUnitRows(b, d, 1)
+	aligned := u.Clone()
+	random := randUnitRows(b, d, 2)
+	du := vecmath.NewMatrix(b, d)
+	dv := vecmath.NewMatrix(b, d)
+	lossAligned := MNRLGrad(u, aligned, 20, du, dv)
+	lossRandom := MNRLGrad(u, random, 20, du, dv)
+	if lossAligned >= lossRandom {
+		t.Fatalf("aligned loss %v should be below random loss %v", lossAligned, lossRandom)
+	}
+}
+
+// Finite-difference check of MNRL gradients with respect to U.
+func TestMNRLGradientCheck(t *testing.T) {
+	b, d := 4, 6
+	u := randUnitRows(b, d, 3)
+	v := randUnitRows(b, d, 4)
+	du := vecmath.NewMatrix(b, d)
+	dv := vecmath.NewMatrix(b, d)
+	MNRLGrad(u, v, 5, du, dv)
+	const eps = 1e-3
+	for trial := 0; trial < 10; trial++ {
+		i := trial % b
+		j := (trial * 7) % d
+		check := func(m, dm *vecmath.Matrix) {
+			orig := m.At(i, j)
+			tmpU, tmpV := vecmath.NewMatrix(b, d), vecmath.NewMatrix(b, d)
+			m.Set(i, j, orig+eps)
+			lp := MNRLGrad(u, v, 5, tmpU, tmpV)
+			m.Set(i, j, orig-eps)
+			lm := MNRLGrad(u, v, 5, tmpU, tmpV)
+			m.Set(i, j, orig)
+			numeric := (lp - lm) / (2 * eps)
+			analytic := float64(dm.At(i, j))
+			if math.Abs(numeric-analytic) > 1e-3*(1+math.Abs(numeric)) {
+				t.Errorf("grad(%d,%d): analytic %v vs numeric %v", i, j, analytic, numeric)
+			}
+		}
+		check(u, du)
+		check(v, dv)
+	}
+}
+
+func TestMNRLGradEmptyBatch(t *testing.T) {
+	z := vecmath.NewMatrix(0, 4)
+	if loss := MNRLGrad(z, z, 20, vecmath.NewMatrix(0, 4), vecmath.NewMatrix(0, 4)); loss != 0 {
+		t.Fatalf("empty-batch MNRL loss = %v, want 0", loss)
+	}
+}
+
+func TestContrastiveGradDup(t *testing.T) {
+	u := []float32{1, 0}
+	v := []float32{0, 1} // orthogonal duplicates: loss (1-0)² = 1
+	du := make([]float32, 2)
+	dv := make([]float32, 2)
+	loss := ContrastiveGrad(u, v, true, 0.4, du, dv)
+	if math.Abs(loss-1) > 1e-6 {
+		t.Fatalf("dup loss = %v, want 1", loss)
+	}
+	// Gradient should pull u toward v: dL/du = -2(1-c)·v = -2v.
+	if du[1] != -2 {
+		t.Fatalf("du = %v, want pull toward v", du)
+	}
+}
+
+func TestContrastiveGradNonDupBelowMargin(t *testing.T) {
+	u := []float32{1, 0}
+	v := []float32{0, 1} // cosine 0 < margin: no loss, no gradient
+	du := make([]float32, 2)
+	dv := make([]float32, 2)
+	if loss := ContrastiveGrad(u, v, false, 0.4, du, dv); loss != 0 {
+		t.Fatalf("below-margin non-dup loss = %v, want 0", loss)
+	}
+	for _, g := range du {
+		if g != 0 {
+			t.Fatal("below-margin non-dup should produce zero gradient")
+		}
+	}
+}
+
+func TestContrastiveGradNonDupAboveMargin(t *testing.T) {
+	u := []float32{1, 0}
+	v := []float32{1, 0} // cosine 1 > margin 0.4: loss (0.6)²
+	du := make([]float32, 2)
+	dv := make([]float32, 2)
+	loss := ContrastiveGrad(u, v, false, 0.4, du, dv)
+	if math.Abs(loss-0.36) > 1e-6 {
+		t.Fatalf("above-margin non-dup loss = %v, want 0.36", loss)
+	}
+	if du[0] <= 0 {
+		t.Fatal("gradient should push similar non-duplicates apart")
+	}
+}
+
+func TestSGDStepMovesParameters(t *testing.T) {
+	m := embed.NewModel(testArch, 1)
+	before := m.Weights()
+	acts := m.NewActivations()
+	m.Forward("alpha beta gamma", acts)
+	g := m.NewGrads()
+	dOut := make([]float32, m.Dim())
+	for i := range dOut {
+		dOut[i] = 0.1
+	}
+	m.Backward(acts, dOut, g)
+	NewSGD(0.5).Step(m, g)
+	after := m.Weights()
+	changed := 0
+	for i := range before {
+		if before[i] != after[i] {
+			changed++
+		}
+	}
+	if changed == 0 {
+		t.Fatal("SGD step changed no parameters")
+	}
+}
+
+func TestAdamConvergesOnQuadratic(t *testing.T) {
+	// Minimise ‖W‖² via Adam on a tiny model: gradients = 2W.
+	m := embed.NewModel(testArch, 2)
+	opt := NewAdam(0.05)
+	g := m.NewGrads()
+	for step := 0; step < 300; step++ {
+		g.Zero()
+		for i, w := range m.W.Data {
+			g.W.Data[i] = 2 * w
+		}
+		opt.Step(m, g)
+	}
+	if n := m.W.FrobeniusNorm(); n > 0.5 {
+		t.Fatalf("Adam failed to shrink ‖W‖: %v", n)
+	}
+}
+
+func TestTrainerRejectsFrozenModel(t *testing.T) {
+	frozen := embed.NewModel(embed.Llama2Sim, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewTrainer accepted a frozen model")
+		}
+	}()
+	NewTrainer(frozen, NewSGD(0.1), DefaultConfig())
+}
+
+// TestTrainingImprovesF1 is the core learning-dynamics test: fine-tuning on
+// the synthetic corpus must improve validation F1 at the optimal threshold,
+// the effect Figures 11–12 measure round by round.
+func TestTrainingImprovesF1(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test skipped in -short mode")
+	}
+	corpus := testCorpus()
+	m := embed.NewModel(testArch, 7)
+	before := Sweep(m, corpus.Val, 0.02, 1)
+
+	cfg := DefaultConfig()
+	cfg.Epochs = 4
+	tr := NewTrainer(m, NewSGD(cfg.LR), cfg)
+	stats := tr.Train(corpus.Train)
+	after := Sweep(m, corpus.Val, 0.02, 1)
+
+	if len(stats) != cfg.Epochs {
+		t.Fatalf("epoch stats = %d, want %d", len(stats), cfg.Epochs)
+	}
+	if stats[len(stats)-1].MNRLLoss >= stats[0].MNRLLoss {
+		t.Errorf("MNRL loss did not decrease: %v -> %v", stats[0].MNRLLoss, stats[len(stats)-1].MNRLLoss)
+	}
+	if after.Optimal.Scores.FScore <= before.Optimal.Scores.FScore {
+		t.Errorf("training did not improve optimal F1: %.3f -> %.3f",
+			before.Optimal.Scores.FScore, after.Optimal.Scores.FScore)
+	}
+	t.Logf("optimal F1 %.3f -> %.3f (tau %.2f -> %.2f)",
+		before.Optimal.Scores.FScore, after.Optimal.Scores.FScore,
+		before.Optimal.Tau, after.Optimal.Tau)
+}
+
+func TestSweepShapes(t *testing.T) {
+	corpus := testCorpus()
+	m := embed.NewModel(testArch, 9)
+	res := Sweep(m, corpus.Val[:100], 0.1, 1)
+	if len(res.Points) != 11 {
+		t.Fatalf("sweep points = %d, want 11", len(res.Points))
+	}
+	// τ=0 predicts a hit for every non-negative cosine, so recall is near 1
+	// (a few pairs can land fractionally below zero) and precision is near
+	// the 0.5 duplicate base rate.
+	if r := res.Points[0].Scores.Recall; r < 0.9 {
+		t.Fatalf("recall at tau=0 = %v, want >= 0.9", r)
+	}
+	// Precision at τ=0 approaches the duplicate base rate from above
+	// (pairs with negative cosine are predicted as misses).
+	if p := res.Points[0].Scores.Precision; p < 0.45 {
+		t.Fatalf("precision at tau=0 = %v, want >= base rate 0.5-ish", p)
+	}
+	// Optimal must beat the endpoints.
+	if res.Optimal.Scores.FScore < res.Points[0].Scores.FScore {
+		t.Fatal("optimum below tau=0 point")
+	}
+}
+
+func TestSweepMatchesEvaluateAt(t *testing.T) {
+	corpus := testCorpus()
+	m := embed.NewModel(testArch, 11)
+	pairs := corpus.Val
+	res := Sweep(m, pairs, 0.25, 1)
+	for _, pt := range res.Points {
+		c := EvaluateAt(m, pairs, pt.Tau)
+		if math.Abs(c.F1()-pt.Scores.FScore) > 1e-9 {
+			t.Fatalf("tau=%.2f: sweep F1 %v != direct F1 %v", pt.Tau, pt.Scores.FScore, c.F1())
+		}
+	}
+}
+
+func BenchmarkTrainerEpoch(b *testing.B) {
+	corpus := testCorpus()
+	cfg := DefaultConfig()
+	cfg.Epochs = 1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		m := embed.NewModel(testArch, 7)
+		tr := NewTrainer(m, NewSGD(cfg.LR), cfg)
+		b.StartTimer()
+		tr.Train(corpus.Train[:200])
+	}
+}

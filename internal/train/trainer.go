@@ -1,0 +1,200 @@
+package train
+
+import (
+	"math/rand"
+
+	"repro/internal/dataset"
+	"repro/internal/embed"
+	"repro/internal/vecmath"
+)
+
+// Config holds the local-training hyperparameters the FL server ships to
+// clients alongside the global weights (§III-A, step 1).
+type Config struct {
+	// Epochs is the number of local passes over the client's pairs.
+	Epochs int
+	// BatchSize bounds the MNRL in-batch negative pool and the
+	// contrastive mini-batch.
+	BatchSize int
+	// LR is the learning rate.
+	LR float32
+	// MNRLScale multiplies cosine scores before softmax (SBERT uses 20).
+	MNRLScale float32
+	// Margin is the contrastive-loss margin for non-duplicates.
+	Margin float32
+	// Seed drives batch shuffling.
+	Seed int64
+}
+
+// DefaultConfig returns the hyperparameters used by the experiments.
+func DefaultConfig() Config {
+	return Config{
+		Epochs:    6,
+		BatchSize: 64,
+		LR:        0.08,
+		MNRLScale: 16,
+		Margin:    0.55,
+		Seed:      1,
+	}
+}
+
+// EpochStats reports per-epoch training losses.
+type EpochStats struct {
+	MNRLLoss        float64
+	ContrastiveLoss float64
+}
+
+// Trainer runs the multitask fine-tuning of §III-A.1 on one model.
+type Trainer struct {
+	Model *embed.Model
+	Opt   Optimizer
+	Cfg   Config
+
+	rng   *rand.Rand
+	grads *embed.Grads
+}
+
+// NewTrainer builds a trainer. The model must be trainable.
+func NewTrainer(m *embed.Model, opt Optimizer, cfg Config) *Trainer {
+	if !m.Trainable() {
+		panic("train: model architecture " + m.Name() + " is frozen")
+	}
+	return &Trainer{
+		Model: m,
+		Opt:   opt,
+		Cfg:   cfg,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		grads: m.NewGrads(),
+	}
+}
+
+// Train runs Cfg.Epochs multitask epochs over pairs and returns per-epoch
+// loss statistics. Each epoch interleaves one MNRL pass over the duplicate
+// pairs with one contrastive pass over all pairs, mirroring the paper's
+// multitask objective.
+func (t *Trainer) Train(pairs []dataset.Pair) []EpochStats {
+	stats := make([]EpochStats, 0, t.Cfg.Epochs)
+	var positives []dataset.Pair
+	for _, p := range pairs {
+		if p.Dup {
+			positives = append(positives, p)
+		}
+	}
+	all := make([]dataset.Pair, len(pairs))
+	copy(all, pairs)
+	for e := 0; e < t.Cfg.Epochs; e++ {
+		var es EpochStats
+		t.rng.Shuffle(len(positives), func(i, j int) { positives[i], positives[j] = positives[j], positives[i] })
+		es.MNRLLoss = t.mnrlPass(positives)
+		t.rng.Shuffle(len(all), func(i, j int) { all[i], all[j] = all[j], all[i] })
+		es.ContrastiveLoss = t.contrastivePass(all)
+		stats = append(stats, es)
+	}
+	return stats
+}
+
+// batchActs holds the forward activations for one side of a batch.
+type batchActs struct {
+	acts []*embed.Activations
+	embs *vecmath.Matrix
+}
+
+// forwardBatch encodes texts in parallel, retaining activations for the
+// backward pass.
+func (t *Trainer) forwardBatch(texts []string) *batchActs {
+	ba := &batchActs{
+		acts: make([]*embed.Activations, len(texts)),
+		embs: vecmath.NewMatrix(len(texts), t.Model.Dim()),
+	}
+	vecmath.ParallelFor(len(texts), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			a := t.Model.NewActivations()
+			t.Model.Forward(texts[i], a)
+			ba.acts[i] = a
+			copy(ba.embs.Row(i), a.Out)
+		}
+	})
+	return ba
+}
+
+func (t *Trainer) mnrlPass(positives []dataset.Pair) float64 {
+	if len(positives) < 2 {
+		return 0
+	}
+	var total float64
+	batches := 0
+	for lo := 0; lo < len(positives); lo += t.Cfg.BatchSize {
+		hi := lo + t.Cfg.BatchSize
+		if hi > len(positives) {
+			hi = len(positives)
+		}
+		if hi-lo < 2 {
+			break // a single pair has no in-batch negatives
+		}
+		aTexts := make([]string, hi-lo)
+		bTexts := make([]string, hi-lo)
+		for i, p := range positives[lo:hi] {
+			aTexts[i] = p.A
+			bTexts[i] = p.B
+		}
+		ua := t.forwardBatch(aTexts)
+		vb := t.forwardBatch(bTexts)
+		du := vecmath.NewMatrix(hi-lo, t.Model.Dim())
+		dv := vecmath.NewMatrix(hi-lo, t.Model.Dim())
+		total += MNRLGrad(ua.embs, vb.embs, t.Cfg.MNRLScale, du, dv)
+		batches++
+		t.grads.Zero()
+		for i := range ua.acts {
+			t.Model.Backward(ua.acts[i], du.Row(i), t.grads)
+			t.Model.Backward(vb.acts[i], dv.Row(i), t.grads)
+		}
+		t.Opt.Step(t.Model, t.grads)
+	}
+	if batches == 0 {
+		return 0
+	}
+	return total / float64(batches)
+}
+
+func (t *Trainer) contrastivePass(pairs []dataset.Pair) float64 {
+	if len(pairs) == 0 {
+		return 0
+	}
+	var total float64
+	n := 0
+	for lo := 0; lo < len(pairs); lo += t.Cfg.BatchSize {
+		hi := lo + t.Cfg.BatchSize
+		if hi > len(pairs) {
+			hi = len(pairs)
+		}
+		batch := pairs[lo:hi]
+		aTexts := make([]string, len(batch))
+		bTexts := make([]string, len(batch))
+		for i, p := range batch {
+			aTexts[i] = p.A
+			bTexts[i] = p.B
+		}
+		ua := t.forwardBatch(aTexts)
+		vb := t.forwardBatch(bTexts)
+		t.grads.Zero()
+		du := make([]float32, t.Model.Dim())
+		dv := make([]float32, t.Model.Dim())
+		inv := 1 / float32(len(batch))
+		for i, p := range batch {
+			vecmath.Zero(du)
+			vecmath.Zero(dv)
+			loss := ContrastiveGrad(ua.embs.Row(i), vb.embs.Row(i), p.Dup, t.Cfg.Margin, du, dv)
+			total += loss
+			n++
+			vecmath.Scale(inv, du)
+			vecmath.Scale(inv, dv)
+			t.Model.Backward(ua.acts[i], du, t.grads)
+			t.Model.Backward(vb.acts[i], dv, t.grads)
+		}
+		t.Opt.Step(t.Model, t.grads)
+	}
+	if n == 0 {
+		return 0
+	}
+	return total / float64(n)
+}

@@ -1,0 +1,210 @@
+package vecmath
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestMatrixRowSetAt(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.Set(1, 2, 7)
+	if m.At(1, 2) != 7 {
+		t.Fatalf("At(1,2) = %v, want 7", m.At(1, 2))
+	}
+	row := m.Row(1)
+	if row[2] != 7 {
+		t.Fatalf("Row(1)[2] = %v, want 7", row[2])
+	}
+	row[0] = 5 // rows share storage
+	if m.At(1, 0) != 5 {
+		t.Fatal("Row does not share storage with matrix")
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	m := NewMatrix(2, 3)
+	copy(m.Data, []float32{1, 2, 3, 4, 5, 6})
+	dst := make([]float32, 2)
+	m.MulVec(dst, []float32{1, 1, 1})
+	if dst[0] != 6 || dst[1] != 15 {
+		t.Fatalf("MulVec = %v, want [6 15]", dst)
+	}
+}
+
+func TestMulVecT(t *testing.T) {
+	m := NewMatrix(2, 3)
+	copy(m.Data, []float32{1, 2, 3, 4, 5, 6})
+	dst := make([]float32, 3)
+	m.MulVecT(dst, []float32{1, 1})
+	want := []float32{5, 7, 9}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("MulVecT = %v, want %v", dst, want)
+		}
+	}
+}
+
+// MulVecT must agree with an explicit transpose followed by MulVec.
+func TestMulVecTMatchesTranspose(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		r, c := 1+rng.Intn(20), 1+rng.Intn(20)
+		m := NewMatrix(r, c)
+		m.RandomizeNormal(rng, 1)
+		x := randVec(rng, r)
+		got := make([]float32, c)
+		m.MulVecT(got, x)
+		want := make([]float32, c)
+		m.Transpose().MulVec(want, x)
+		for i := range want {
+			if !almostEqual(float64(got[i]), float64(want[i]), 1e-4) {
+				t.Fatalf("trial %d: MulVecT disagrees with Transpose().MulVec at %d: %v vs %v",
+					trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestMatMulSmall(t *testing.T) {
+	a := NewMatrix(2, 2)
+	copy(a.Data, []float32{1, 2, 3, 4})
+	b := NewMatrix(2, 2)
+	copy(b.Data, []float32{5, 6, 7, 8})
+	c := MatMul(a, b)
+	want := []float32{19, 22, 43, 50}
+	for i := range want {
+		if c.Data[i] != want[i] {
+			t.Fatalf("MatMul = %v, want %v", c.Data, want)
+		}
+	}
+}
+
+func TestMatMulIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := NewMatrix(7, 7)
+	a.RandomizeNormal(rng, 1)
+	id := NewMatrix(7, 7)
+	for i := 0; i < 7; i++ {
+		id.Set(i, i, 1)
+	}
+	c := MatMul(a, id)
+	for i := range a.Data {
+		if !almostEqual(float64(c.Data[i]), float64(a.Data[i]), 1e-5) {
+			t.Fatal("A·I != A")
+		}
+	}
+}
+
+// Large products exercise the parallel path; verify against the serial
+// row-by-row MulVec formulation.
+func TestMatMulParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a := NewMatrix(64, 48)
+	a.RandomizeNormal(rng, 1)
+	b := NewMatrix(48, 40)
+	b.RandomizeNormal(rng, 1)
+	c := MatMul(a, b)
+	bt := b.Transpose()
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < b.Cols; j++ {
+			want := Dot(a.Row(i), bt.Row(j))
+			if !almostEqual(float64(c.At(i, j)), float64(want), 1e-3) {
+				t.Fatalf("MatMul (%d,%d) = %v, want %v", i, j, c.At(i, j), want)
+			}
+		}
+	}
+}
+
+func TestTransposeTwiceIsIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	m := NewMatrix(5, 9)
+	m.RandomizeNormal(rng, 1)
+	tt := m.Transpose().Transpose()
+	for i := range m.Data {
+		if m.Data[i] != tt.Data[i] {
+			t.Fatal("transpose twice != identity")
+		}
+	}
+}
+
+func TestAddScaled(t *testing.T) {
+	a := NewMatrix(2, 2)
+	copy(a.Data, []float32{1, 2, 3, 4})
+	b := NewMatrix(2, 2)
+	copy(b.Data, []float32{1, 1, 1, 1})
+	a.AddScaled(2, b)
+	want := []float32{3, 4, 5, 6}
+	for i := range want {
+		if a.Data[i] != want[i] {
+			t.Fatalf("AddScaled = %v, want %v", a.Data, want)
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := NewMatrix(1, 2)
+	a.Set(0, 0, 1)
+	b := a.Clone()
+	b.Set(0, 0, 9)
+	if a.At(0, 0) != 1 {
+		t.Fatal("Clone shares storage with original")
+	}
+}
+
+func TestParallelForCoversRange(t *testing.T) {
+	for _, n := range []int{0, 1, 3, 100, 1001} {
+		seen := make([]int32, n)
+		ParallelFor(n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				seen[i]++
+			}
+		})
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("n=%d index %d visited %d times", n, i, c)
+			}
+		}
+	}
+}
+
+func TestParallelMapReduce(t *testing.T) {
+	got := ParallelMapReduce(1000, func(lo, hi int) float64 {
+		var s float64
+		for i := lo; i < hi; i++ {
+			s += float64(i)
+		}
+		return s
+	})
+	want := float64(999 * 1000 / 2)
+	if got != want {
+		t.Fatalf("ParallelMapReduce = %v, want %v", got, want)
+	}
+}
+
+func TestParallelMapReduceEmpty(t *testing.T) {
+	if got := ParallelMapReduce(0, func(lo, hi int) float64 { return 1 }); got != 0 {
+		t.Fatalf("ParallelMapReduce(0) = %v, want 0", got)
+	}
+}
+
+func BenchmarkDot768(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := randVec(rng, 768)
+	y := randVec(rng, 768)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Dot(x, y)
+	}
+}
+
+func BenchmarkMatMul128(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := NewMatrix(128, 128)
+	x.RandomizeNormal(rng, 1)
+	y := NewMatrix(128, 128)
+	y.RandomizeNormal(rng, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = MatMul(x, y)
+	}
+}
