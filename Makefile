@@ -1,0 +1,42 @@
+# Repro of conf_ipps_GillEKA0G25 (MeanCache) grown toward a production
+# serving system. `make check` is the gate CI runs.
+
+GO ?= go
+
+.PHONY: build check test race vet bench loadtest clean
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# race runs the suites with concurrency surface under the race detector;
+# the experiment-replay suites are single-goroutine and slow, so they are
+# covered by `test` instead.
+race:
+	$(GO) test -race ./internal/core/ ./internal/server/ ./internal/cache/ \
+		./internal/store/ ./internal/fl/ ./internal/llmsim/
+
+check: vet build test race
+
+bench:
+	$(GO) test -bench . -benchmem -run xxx .
+
+# loadtest reproduces the serving acceptance run: cacheserve (race-built,
+# in-process virtual-time upstream) driven by loadgen with 100 users and
+# 1200 measured probes.
+loadtest:
+	$(GO) build -race -o bin/cacheserve ./cmd/cacheserve
+	$(GO) build -race -o bin/loadgen ./cmd/loadgen
+	rm -rf bin/tenants
+	./bin/cacheserve -addr 127.0.0.1:18090 -max-tenants 64 -persist-dir bin/tenants & \
+		srv=$$!; sleep 1; \
+		./bin/loadgen -addr 127.0.0.1:18090 -users 100 -cached 8 -probes 12 -concurrency 32; \
+		rc=$$?; kill -INT $$srv; wait $$srv; exit $$rc
+
+clean:
+	rm -rf bin

@@ -13,14 +13,22 @@
 package repro_test
 
 import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/embed"
 	"repro/internal/experiments"
 	"repro/internal/llmsim"
+	"repro/internal/server"
 )
 
 // lab is shared across benchmarks; building it (FL-training two encoders)
@@ -230,4 +238,99 @@ func BenchmarkEndToEndQuery(b *testing.B) {
 		p := w.Probes[i%len(w.Probes)]
 		sys.Probe(p.Text, nil, llm, false)
 	}
+}
+
+// newBenchServer assembles the serving stack (internal/server) over HTTP:
+// untrained MPNet-sim encoder behind the micro-batcher, virtual-time
+// llmsim upstream.
+func newBenchServer(b *testing.B) (*httptest.Server, *server.Batcher) {
+	b.Helper()
+	enc := embed.NewModel(embed.MPNetSim, 1)
+	batcher := server.NewBatcher(enc, server.BatcherConfig{MaxBatch: 32, MaxWait: 100 * time.Microsecond})
+	b.Cleanup(batcher.Close)
+	llm := llmsim.New(llmsim.DefaultConfig())
+	reg, err := server.NewRegistry(server.RegistryConfig{
+		Shards: 16,
+		Factory: func(string) *core.Client {
+			return core.New(core.Options{Encoder: batcher, LLM: llm, Tau: 0.83, TopK: 5})
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv, err := server.New(server.Config{Registry: reg, Batcher: batcher})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	b.Cleanup(ts.Close)
+	return ts, batcher
+}
+
+func benchQuery(b *testing.B, client *http.Client, url, user, query string) server.QueryResponse {
+	body, _ := json.Marshal(server.QueryRequest{User: user, Query: query})
+	resp, err := client.Post(url+"/v1/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var qr server.QueryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+		b.Fatal(err)
+	}
+	return qr
+}
+
+// BenchmarkServerSingleTenantHit measures the serving hot path end to end
+// over HTTP: one tenant, a warmed cache, every request a hit — encode,
+// search, respond. This is the per-request overhead the serving layer
+// adds on top of BenchmarkEndToEndQuery's in-process path.
+func BenchmarkServerSingleTenantHit(b *testing.B) {
+	ts, _ := newBenchServer(b)
+	queries := []string{
+		"how does federated averaging aggregate client updates",
+		"what storage does the embedding cache consume",
+		"explain the context chain verification step",
+		"why does quantisation preserve cosine ordering",
+	}
+	warm := http.Client{}
+	for _, q := range queries {
+		benchQuery(b, &warm, ts.URL, "tenant-0", q) // miss: populate
+	}
+	var hits atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		client := &http.Client{}
+		i := 0
+		for pb.Next() {
+			qr := benchQuery(b, client, ts.URL, "tenant-0", queries[i%len(queries)])
+			if qr.Hit {
+				hits.Add(1)
+			}
+			i++
+		}
+	})
+	b.StopTimer()
+	b.ReportMetric(float64(hits.Load())/float64(b.N), "hit-ratio")
+}
+
+// BenchmarkServerCrossTenantBatchedEncode measures concurrent multi-tenant
+// serving throughput where every request needs an encode (distinct queries
+// per tenant), so the micro-batcher's cross-tenant coalescing is on the
+// critical path. The reported mean-batch metric tracks how well it packs.
+func BenchmarkServerCrossTenantBatchedEncode(b *testing.B) {
+	ts, batcher := newBenchServer(b)
+	var user atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		client := &http.Client{}
+		u := fmt.Sprintf("tenant-%d", user.Add(1))
+		i := 0
+		for pb.Next() {
+			benchQuery(b, client, ts.URL, u, fmt.Sprintf("distinct question %d for %s", i, u))
+			i++
+		}
+	})
+	b.StopTimer()
+	b.ReportMetric(batcher.Stats().MeanBatch, "mean-batch")
 }

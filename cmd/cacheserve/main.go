@@ -1,0 +1,147 @@
+// Command cacheserve runs the multi-tenant semantic-cache serving layer:
+// one HTTP process hosting a MeanCache client per user (internal/server),
+// fronting an upstream LLM service. Misses are proxied upstream; hits are
+// answered from the requesting user's local semantic cache.
+//
+// The upstream is either a network llmsim service (started with
+// cmd/llmserve, the Figure 1 topology) or, with -upstream "", an
+// in-process simulator in virtual-time mode — convenient for load tests
+// that should not spend wall-clock time sleeping.
+//
+// Usage:
+//
+//	cacheserve -addr 127.0.0.1:8090 -upstream 127.0.0.1:8080
+//	curl -X POST localhost:8090/v1/query -d '{"user":"u1","query":"what is FL?"}'
+//	curl localhost:8090/v1/stats
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/embed"
+	"repro/internal/llmsim"
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:8090", "listen address")
+		upstream = flag.String("upstream", "", "llmsim service address (host:port); empty runs an in-process simulator")
+		sleep    = flag.Bool("sleep", false, "in-process upstream only: simulate inference latency with real sleeps")
+		model    = flag.String("model", "", "path to a trained encoder saved by cmd/fltrain (overrides -arch)")
+		arch     = flag.String("arch", "mpnet-sim", "encoder architecture when no -model is given")
+		seed     = flag.Int64("seed", 1, "weight init seed for an untrained encoder")
+
+		tau      = flag.Float64("tau", 0.83, "similarity threshold τ")
+		ctxTau   = flag.Float64("ctx-tau", 0, "context-turn threshold (0 = same as -tau)")
+		topK     = flag.Int("topk", 5, "candidates context-checked per query")
+		capacity = flag.Int("tenant-capacity", 4096, "cache entries per tenant (0 = unbounded)")
+		step     = flag.Float64("feedback-step", 0.01, "τ increase per false-hit report (0 disables)")
+
+		shards     = flag.Int("shards", 16, "tenant registry shards")
+		maxTenants = flag.Int("max-tenants", 0, "resident tenant bound (0 = unbounded)")
+		persistDir = flag.String("persist-dir", "", "directory for evicted tenants' caches (empty = drop on eviction)")
+
+		batch     = flag.Int("batch", 32, "embedding micro-batch size cap")
+		batchWait = flag.Duration("batch-wait", 200*time.Microsecond, "micro-batch gather window")
+		noBatch   = flag.Bool("no-batch", false, "disable the embedding micro-batcher")
+
+		statsTenants = flag.Int("stats-tenants", 20, "per-tenant rows in /v1/stats (-1 = all)")
+	)
+	flag.Parse()
+
+	var enc embed.Encoder
+	if *model != "" {
+		f, err := os.Open(*model)
+		if err != nil {
+			log.Fatalf("opening model: %v", err)
+		}
+		m, err := embed.Load(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("loading model: %v", err)
+		}
+		enc = m
+	} else {
+		a, err := embed.ArchByName(*arch)
+		if err != nil {
+			log.Fatal(err)
+		}
+		enc = embed.NewModel(a, *seed)
+		log.Printf("warning: serving with an untrained %s encoder; pass -model for a trained one", *arch)
+	}
+
+	var batcher *server.Batcher
+	if !*noBatch {
+		batcher = server.NewBatcher(enc, server.BatcherConfig{MaxBatch: *batch, MaxWait: *batchWait})
+		defer batcher.Close()
+		enc = batcher
+	}
+
+	var llm core.LLM
+	if *upstream != "" {
+		llm = llmsim.NewClient(*upstream)
+	} else {
+		cfg := llmsim.DefaultConfig()
+		cfg.Sleep = *sleep
+		llm = llmsim.New(cfg)
+		log.Printf("using in-process simulated LLM upstream (sleep=%v)", *sleep)
+	}
+
+	reg, err := server.NewRegistry(server.RegistryConfig{
+		Shards:     *shards,
+		MaxTenants: *maxTenants,
+		PersistDir: *persistDir,
+		Factory: func(userID string) *core.Client {
+			return core.New(core.Options{
+				Encoder:      enc,
+				LLM:          llm,
+				Tau:          float32(*tau),
+				CtxTau:       float32(*ctxTau),
+				TopK:         *topK,
+				Capacity:     *capacity,
+				FeedbackStep: float32(*step),
+			})
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	srv, err := server.New(server.Config{Registry: reg, Batcher: batcher, StatsTenants: *statsTenants})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := srv.Serve(*addr); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("cacheserve listening on %s (encoder=%s, shards=%d, upstream=%s)",
+		srv.Addr(), enc.Name(), *shards, orInProcess(*upstream))
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	agg := srv.Collector().Aggregate()
+	log.Printf("shutting down: %d queries, %d hits (%.1f%% hit ratio), %d resident tenants",
+		agg.Queries, agg.Hits, 100*agg.HitRatio, reg.Resident())
+	srv.Close()
+	if *persistDir != "" {
+		if err := reg.Flush(); err != nil {
+			log.Printf("flushing resident tenants: %v", err)
+		} else {
+			log.Printf("flushed %d resident tenants to %s", reg.Resident(), *persistDir)
+		}
+	}
+}
+
+func orInProcess(upstream string) string {
+	if upstream == "" {
+		return "in-process"
+	}
+	return upstream
+}

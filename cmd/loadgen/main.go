@@ -1,0 +1,241 @@
+// Command loadgen is a closed-loop multi-user load generator for
+// cmd/cacheserve. Each simulated user gets their own workload
+// (internal/dataset, with ground-truth duplicate labels): a warmup phase
+// populates the user's cache, then a probe phase measures serving
+// behaviour. A fixed pool of workers drives the server at the configured
+// concurrency; every request waits for its response before the worker
+// takes the next job (closed loop).
+//
+// The report covers throughput, hit ratio, cache-decision quality against
+// ground truth (precision/recall/F1 via internal/metrics), and latency
+// percentiles, plus the server's own /v1/stats aggregate.
+//
+// Usage:
+//
+//	loadgen -addr 127.0.0.1:8090 -users 100 -probes 12 -concurrency 32
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/metrics"
+	"repro/internal/server"
+)
+
+type job struct {
+	user  string
+	text  string
+	dup   bool // ground truth: a cached duplicate exists
+	probe bool // measurement phase (false = warmup)
+}
+
+// runner aggregates results across workers.
+type runner struct {
+	client *http.Client
+	base   string
+
+	mu        sync.Mutex
+	confusion metrics.Confusion
+	latency   metrics.LatencyRecorder
+	hits      int
+	queries   int
+	errors    int
+}
+
+func main() {
+	var (
+		addr        = flag.String("addr", "127.0.0.1:8090", "cacheserve address (host:port)")
+		users       = flag.Int("users", 100, "number of simulated users")
+		cached      = flag.Int("cached", 8, "warmup queries per user (populate the tenant cache)")
+		probes      = flag.Int("probes", 12, "measured probes per user")
+		dup         = flag.Float64("dup", 0.3, "fraction of probes that duplicate a cached query")
+		concurrency = flag.Int("concurrency", 32, "concurrent in-flight requests")
+		seed        = flag.Int64("seed", 42, "workload generation seed")
+		timeout     = flag.Duration("timeout", 30*time.Second, "per-request timeout")
+	)
+	flag.Parse()
+
+	r := &runner{
+		client: &http.Client{Timeout: *timeout},
+		base:   "http://" + *addr,
+	}
+	if err := r.health(); err != nil {
+		log.Fatalf("server not healthy at %s: %v", *addr, err)
+	}
+
+	log.Printf("generating workloads for %d users (%d warmup + %d probes each, %.0f%% duplicates)",
+		*users, *cached, *probes, 100**dup)
+	warmup, probeJobs := buildJobs(*users, *cached, *probes, *dup, *seed)
+
+	log.Printf("warmup: %d queries", len(warmup))
+	r.drive(warmup, *concurrency)
+	warmQueries, warmErrors := r.queries, r.errors
+	r.resetMeasurement()
+
+	log.Printf("measuring: %d probes at concurrency %d", len(probeJobs), *concurrency)
+	start := time.Now()
+	r.drive(probeJobs, *concurrency)
+	elapsed := time.Since(start)
+
+	r.report(*users, warmQueries, warmErrors, elapsed)
+	if r.errors > 0 {
+		os.Exit(1)
+	}
+}
+
+// buildJobs derives every user's workload. Per-user seeds give each user
+// distinct intents; the shuffle interleaves users so concurrent traffic
+// mixes tenants (exercising cross-tenant encode batching server-side).
+func buildJobs(users, cached, probes int, dup float64, seed int64) (warmup, probeJobs []job) {
+	rng := rand.New(rand.NewSource(seed))
+	for u := 0; u < users; u++ {
+		cfg := dataset.DefaultConfig()
+		cfg.Seed = seed + int64(u)*7919
+		w := dataset.GenerateCacheWorkload(cfg, cached, probes, dup)
+		user := fmt.Sprintf("user-%04d", u)
+		for _, q := range w.Cached {
+			warmup = append(warmup, job{user: user, text: q})
+		}
+		for _, p := range w.Probes {
+			probeJobs = append(probeJobs, job{user: user, text: p.Text, dup: p.DupOf >= 0, probe: true})
+		}
+	}
+	rng.Shuffle(len(warmup), func(i, j int) { warmup[i], warmup[j] = warmup[j], warmup[i] })
+	rng.Shuffle(len(probeJobs), func(i, j int) { probeJobs[i], probeJobs[j] = probeJobs[j], probeJobs[i] })
+	return warmup, probeJobs
+}
+
+// drive runs jobs through a closed-loop worker pool.
+func (r *runner) drive(jobs []job, concurrency int) {
+	ch := make(chan job)
+	var wg sync.WaitGroup
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range ch {
+				r.one(j)
+			}
+		}()
+	}
+	for _, j := range jobs {
+		ch <- j
+	}
+	close(ch)
+	wg.Wait()
+}
+
+func (r *runner) one(j job) {
+	body, _ := json.Marshal(server.QueryRequest{User: j.user, Query: j.text})
+	start := time.Now()
+	resp, err := r.client.Post(r.base+"/v1/query", "application/json", bytes.NewReader(body))
+	rtt := time.Since(start)
+	if err != nil {
+		r.recordError(err)
+		return
+	}
+	defer resp.Body.Close()
+	var qr server.QueryResponse
+	if resp.StatusCode != http.StatusOK {
+		r.recordError(fmt.Errorf("status %d", resp.StatusCode))
+		return
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+		r.recordError(err)
+		return
+	}
+	// Latency blends the wire round trip with the server-reported
+	// simulated upstream time, mirroring llmsim.Client: in virtual-time
+	// deployments the simulated inference is not in the wire time.
+	lat := rtt
+	if sim := time.Duration(qr.LatencyMicros) * time.Microsecond; sim > lat {
+		lat = sim
+	}
+	r.mu.Lock()
+	r.queries++
+	if qr.Hit {
+		r.hits++
+	}
+	if j.probe {
+		r.confusion.Add(j.dup, qr.Hit)
+		r.latency.Record(lat)
+	}
+	r.mu.Unlock()
+}
+
+func (r *runner) recordError(err error) {
+	r.mu.Lock()
+	r.errors++
+	first := r.errors == 1
+	r.mu.Unlock()
+	if first {
+		log.Printf("request error (first): %v", err)
+	}
+}
+
+func (r *runner) resetMeasurement() {
+	r.mu.Lock()
+	r.queries, r.hits, r.errors = 0, 0, 0
+	r.mu.Unlock()
+}
+
+func (r *runner) health() error {
+	resp, err := r.client.Get(r.base + "/healthz")
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("healthz status %d", resp.StatusCode)
+	}
+	return nil
+}
+
+func (r *runner) report(users, warmQueries, warmErrors int, elapsed time.Duration) {
+	fmt.Printf("\n=== loadgen report ===\n")
+	fmt.Printf("users            %d\n", users)
+	fmt.Printf("warmup           %d queries (%d errors)\n", warmQueries, warmErrors)
+	fmt.Printf("probes           %d queries in %v (%.1f qps)\n",
+		r.queries, elapsed.Round(time.Millisecond), float64(r.queries)/elapsed.Seconds())
+	fmt.Printf("errors           %d\n", r.errors)
+	if r.queries > 0 {
+		fmt.Printf("hit ratio        %.1f%% (%d hits)\n", 100*float64(r.hits)/float64(r.queries), r.hits)
+	}
+	fmt.Printf("cache decisions  precision %.3f  recall %.3f  F1 %.3f  accuracy %.3f\n",
+		r.confusion.Precision(), r.confusion.Recall(), r.confusion.F1(), r.confusion.Accuracy())
+	fmt.Printf("latency          mean %v  p50 %v  p95 %v  p99 %v\n",
+		r.latency.Mean().Round(time.Microsecond),
+		r.latency.Percentile(50).Round(time.Microsecond),
+		r.latency.Percentile(95).Round(time.Microsecond),
+		r.latency.Percentile(99).Round(time.Microsecond))
+
+	resp, err := r.client.Get(r.base + "/v1/stats")
+	if err != nil {
+		log.Printf("fetching server stats: %v", err)
+		return
+	}
+	defer resp.Body.Close()
+	var st server.StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		log.Printf("decoding server stats: %v", err)
+		return
+	}
+	fmt.Printf("server aggregate %d queries, hit ratio %.1f%%, search mean %dµs, p95 %dµs\n",
+		st.Aggregate.Queries, 100*st.Aggregate.HitRatio, st.Aggregate.SearchMicros, st.Aggregate.P95Micros)
+	fmt.Printf("server registry  %d resident tenants, %d activations, %d evictions\n",
+		st.Registry.Resident, st.Registry.Activations, st.Registry.Evictions)
+	if st.Batcher != nil {
+		fmt.Printf("server batcher   %d requests in %d batches (mean %.2f, %d coalesced)\n",
+			st.Batcher.Requests, st.Batcher.Batches, st.Batcher.MeanBatch, st.Batcher.Coalesced)
+	}
+}

@@ -90,6 +90,9 @@ func New(dim, capacity int, policy Policy) *Cache {
 // Dim reports the embedding dimensionality.
 func (c *Cache) Dim() int { return c.dim }
 
+// Capacity reports the configured entry bound (0 = unbounded).
+func (c *Cache) Capacity() int { return c.capacity }
+
 // Len reports the number of live entries.
 func (c *Cache) Len() int {
 	c.mu.RLock()

@@ -6,9 +6,14 @@ import (
 	"fmt"
 	"sort"
 	"strconv"
+	"strings"
 
 	"repro/internal/store"
 )
+
+// entryPrefix namespaces cache entry records within a store, so callers
+// can keep their own records (other prefixes) in the same log.
+const entryPrefix = "entry/"
 
 // entryWire is the persistent form of an Entry.
 type entryWire struct {
@@ -45,7 +50,9 @@ func (c *Cache) SaveTo(st *store.Store) error {
 		}
 	}
 	for _, key := range st.Keys() {
-		if !live[key] {
+		// Only entry records are pruned: the store may hold other
+		// namespaces (e.g. the serving layer's per-tenant metadata).
+		if strings.HasPrefix(key, entryPrefix) && !live[key] {
 			if err := st.Delete(key); err != nil {
 				return fmt.Errorf("cache: pruning stale record %s: %w", key, err)
 			}
@@ -61,6 +68,9 @@ func LoadFrom(st *store.Store, dim, capacity int, policy Policy) (*Cache, error)
 	c := New(dim, capacity, policy)
 	var wires []entryWire
 	for _, key := range st.Keys() {
+		if !strings.HasPrefix(key, entryPrefix) {
+			continue
+		}
 		raw, err := st.Get(key)
 		if err != nil {
 			return nil, fmt.Errorf("cache: reading %s: %w", key, err)
@@ -112,4 +122,4 @@ func LoadFrom(st *store.Store, dim, capacity int, policy Policy) (*Cache, error)
 	return c, nil
 }
 
-func entryKey(id int) string { return "entry/" + strconv.Itoa(id) }
+func entryKey(id int) string { return entryPrefix + strconv.Itoa(id) }

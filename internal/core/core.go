@@ -18,6 +18,8 @@ package core
 
 import (
 	"fmt"
+	"math"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cache"
@@ -57,19 +59,34 @@ type Options struct {
 }
 
 // Client is a MeanCache instance: one user's local semantic cache plus the
-// machinery to consult it. Client is safe for concurrent use; Tau updates
-// from feedback are serialized by the cache's own synchronisation being
-// independent of the (rare) feedback path.
+// machinery to consult it.
+//
+// Concurrency contract (relied upon by internal/server, which multiplexes
+// many goroutines onto one Client per tenant):
+//
+//   - Lookup, Insert, Query, ReportFalseHit, Tau, SetTau, Stats and Cache
+//     are all safe for unrestricted concurrent use. Cache state is guarded
+//     by the cache's own lock, the threshold by an atomic, and the activity
+//     counters by atomics.
+//   - A Session is NOT safe for concurrent use: it carries mutable
+//     conversation state (history, parent). Callers must confine each
+//     Session to one goroutine or serialise Ask calls externally (the
+//     server holds a per-session mutex). Distinct Sessions of the same
+//     Client may run concurrently.
+//   - The Encoder must be safe for concurrent Encode calls (every encoder
+//     in internal/embed is, once training stops).
 type Client struct {
 	opts  Options
 	cache *cache.Cache
-	tau   float32
+	// tau holds math.Float32bits of the current threshold; CAS keeps
+	// concurrent feedback adjustments from losing updates.
+	tau atomic.Uint32
 
-	// counters for the experiments
-	llmQueries  int
-	cacheHits   int
-	searchTime  time.Duration
-	searchCount int
+	// activity counters for the experiments and the serving stats API
+	llmQueries  atomic.Int64
+	cacheHits   atomic.Int64
+	searchNanos atomic.Int64
+	searchCount atomic.Int64
 }
 
 // New builds a Client. It panics if no encoder is supplied, because every
@@ -78,28 +95,42 @@ func New(opts Options) *Client {
 	if opts.Encoder == nil {
 		panic("core: Options.Encoder is required")
 	}
-	if opts.TopK <= 0 {
-		opts.TopK = 5
-	}
 	if opts.Policy == nil {
 		opts.Policy = cache.LRU{}
+	}
+	return NewWithCache(opts, cache.New(opts.Encoder.Dim(), opts.Capacity, opts.Policy))
+}
+
+// NewWithCache builds a Client around an existing cache — typically one
+// rebuilt from persistent storage with cache.LoadFrom, as the serving
+// layer does when it revives an evicted tenant. The cache's dimension must
+// match the encoder's.
+func NewWithCache(opts Options, cc *cache.Cache) *Client {
+	if opts.Encoder == nil {
+		panic("core: Options.Encoder is required")
+	}
+	if opts.TopK <= 0 {
+		opts.TopK = 5
 	}
 	if opts.CtxTau == 0 {
 		opts.CtxTau = opts.Tau
 	}
-	return &Client{
-		opts:  opts,
-		cache: cache.New(opts.Encoder.Dim(), opts.Capacity, opts.Policy),
-		tau:   opts.Tau,
-	}
+	c := &Client{opts: opts, cache: cc}
+	c.tau.Store(math.Float32bits(opts.Tau))
+	return c
 }
 
 // Cache exposes the underlying semantic cache (for persistence and the
 // storage experiments).
 func (c *Client) Cache() *cache.Cache { return c.cache }
 
+// Options returns a copy of the client's configuration (with defaults
+// applied), so a serving layer can rebuild an equivalent client around a
+// reloaded cache. Note Tau() — not Options().Tau — is the live threshold.
+func (c *Client) Options() Options { return c.opts }
+
 // Tau reports the current similarity threshold.
-func (c *Client) Tau() float32 { return c.tau }
+func (c *Client) Tau() float32 { return math.Float32frombits(c.tau.Load()) }
 
 // Result is the outcome of one query.
 type Result struct {
@@ -116,6 +147,10 @@ type Result struct {
 	Latency time.Duration
 	// SearchTime isolates the semantic-search component of Latency.
 	SearchTime time.Duration
+	// ProbeEmbedding is the submitted query's embedding, exposed so the
+	// miss path can enrol the response without encoding the query a
+	// second time (the serving hot path cares).
+	ProbeEmbedding []float32
 }
 
 // Lookup runs the cache-decision half of Algorithm 1: embed q, find similar
@@ -125,7 +160,7 @@ type Result struct {
 func (c *Client) Lookup(q string, ctxTexts []string) Result {
 	start := time.Now()
 	eq := c.opts.Encoder.Encode(q)
-	matches := c.cache.FindSimilar(eq, c.opts.TopK, c.tau)
+	matches := c.cache.FindSimilar(eq, c.opts.TopK, c.Tau())
 	var res Result
 	for _, m := range matches {
 		if c.contextMatches(m.Entry, ctxTexts) {
@@ -139,12 +174,13 @@ func (c *Client) Lookup(q string, ctxTexts []string) Result {
 			break
 		}
 	}
+	res.ProbeEmbedding = eq
 	res.SearchTime = time.Since(start)
 	res.Latency = res.SearchTime
-	c.searchTime += res.SearchTime
-	c.searchCount++
+	c.searchNanos.Add(int64(res.SearchTime))
+	c.searchCount.Add(1)
 	if res.Hit {
-		c.cacheHits++
+		c.cacheHits.Add(1)
 	}
 	return res
 }
@@ -195,8 +231,17 @@ func (c *Client) queryWithContext(q string, ctxTexts []string, parent int) (Resu
 		return res, fmt.Errorf("core: cache miss and no LLM configured")
 	}
 	resp, took := c.opts.LLM.Query(q)
-	c.llmQueries++
-	id, err := c.Insert(q, resp, parent)
+	c.llmQueries.Add(1)
+	// Reuse the embedding Lookup already computed rather than paying a
+	// second encode on every miss.
+	id, err := c.cache.Put(q, resp, res.ProbeEmbedding, parent)
+	if err != nil && parent != cache.NoParent {
+		// The conversational parent was evicted since the session last
+		// touched it. Re-root rather than failing the query forever: the
+		// entry is cached standalone and the session chains from it.
+		parent = cache.NoParent
+		id, err = c.cache.Put(q, resp, res.ProbeEmbedding, parent)
+	}
 	if err != nil {
 		return res, fmt.Errorf("core: enrolling response: %w", err)
 	}
@@ -214,14 +259,20 @@ func (c *Client) ReportFalseHit() {
 	if c.opts.FeedbackStep <= 0 {
 		return
 	}
-	c.tau += c.opts.FeedbackStep
-	if c.tau > 1 {
-		c.tau = 1
+	for {
+		old := c.tau.Load()
+		tau := math.Float32frombits(old) + c.opts.FeedbackStep
+		if tau > 1 {
+			tau = 1
+		}
+		if c.tau.CompareAndSwap(old, math.Float32bits(tau)) {
+			return
+		}
 	}
 }
 
 // SetTau installs a new threshold (e.g. a freshly aggregated τ_global).
-func (c *Client) SetTau(tau float32) { c.tau = tau }
+func (c *Client) SetTau(tau float32) { c.tau.Store(math.Float32bits(tau)) }
 
 // Stats summarises the client's activity.
 type Stats struct {
@@ -234,18 +285,22 @@ type Stats struct {
 	EmbeddingDims int
 }
 
-// Stats returns a snapshot of activity counters.
+// Stats returns a snapshot of activity counters. The counters are read
+// individually, so a snapshot taken during concurrent traffic is
+// internally approximate (e.g. Lookups may include a search whose hit is
+// not yet counted) but each counter is exact.
 func (c *Client) Stats() Stats {
+	n := c.searchCount.Load()
 	s := Stats{
-		LLMQueries:    c.llmQueries,
-		CacheHits:     c.cacheHits,
-		Lookups:       c.searchCount,
+		LLMQueries:    int(c.llmQueries.Load()),
+		CacheHits:     int(c.cacheHits.Load()),
+		Lookups:       int(n),
 		CacheEntries:  c.cache.Len(),
 		StorageBytes:  c.cache.StorageBytes(),
 		EmbeddingDims: c.opts.Encoder.Dim(),
 	}
-	if c.searchCount > 0 {
-		s.MeanSearch = c.searchTime / time.Duration(c.searchCount)
+	if n > 0 {
+		s.MeanSearch = time.Duration(c.searchNanos.Load() / n)
 	}
 	return s
 }

@@ -338,3 +338,37 @@ func TestCapacityEviction(t *testing.T) {
 		t.Fatalf("cache len = %d, want capacity 3", got)
 	}
 }
+
+// TestSessionSurvivesParentEviction: when another insertion path evicts a
+// session's conversational parent, the session's next miss must re-root
+// (cache standalone) instead of failing every subsequent query.
+func TestSessionSurvivesParentEviction(t *testing.T) {
+	enc := newStub(16)
+	llm := &stubLLM{}
+	c := New(Options{Encoder: enc, LLM: llm, Tau: 0.9, Capacity: 2})
+	s := c.NewSession()
+	if _, err := s.Ask("turn one"); err != nil {
+		t.Fatal(err)
+	}
+	// Standalone inserts (empty protected chain) evict the session's
+	// parent out from under it.
+	for _, q := range []string{"filler a", "filler b", "filler c"} {
+		if _, err := c.Query(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := s.Ask("turn two")
+	if err != nil {
+		t.Fatalf("Ask after parent eviction: %v", err)
+	}
+	if res.Hit {
+		t.Fatal("expected a miss (nothing similar cached)")
+	}
+	if res.Entry == nil || res.Entry.Parent != cache.NoParent {
+		t.Errorf("re-rooted entry parent = %+v, want NoParent", res.Entry)
+	}
+	// The session must keep working from the re-rooted entry.
+	if _, err := s.Ask("turn three"); err != nil {
+		t.Fatalf("Ask after re-root: %v", err)
+	}
+}

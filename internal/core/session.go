@@ -6,6 +6,10 @@ import "repro/internal/cache"
 // cache. It tracks the conversation history and the cache entry of the
 // previous turn, so follow-up queries are looked up against — and enrolled
 // with — the correct context chain (Figure 1's workflow).
+//
+// A Session is not safe for concurrent use: confine it to one goroutine
+// or serialise Ask/Reset calls externally. Distinct Sessions of the same
+// Client may run concurrently (see the Client concurrency contract).
 type Session struct {
 	client  *Client
 	history []string

@@ -1,0 +1,194 @@
+package server
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/embed"
+	"repro/internal/vecmath"
+)
+
+// batchCapable is the optional fast path: encoders that can embed a whole
+// batch in one call (embed.Model does, with internal parallelism). When
+// the wrapped encoder lacks it, the batcher still coalesces requests but
+// encodes them one by one on the dispatcher goroutine.
+type batchCapable interface {
+	EncodeBatch(texts []string) *vecmath.Matrix
+}
+
+// BatcherConfig tunes the micro-batching window.
+type BatcherConfig struct {
+	// MaxBatch caps how many pending encode requests are folded into one
+	// EncodeBatch call. Defaults to 32.
+	MaxBatch int
+	// MaxWait bounds how long the first request of a batch waits for
+	// company before the batch is dispatched anyway. Defaults to 200µs —
+	// small against the ~ms encode cost it amortises.
+	MaxWait time.Duration
+}
+
+// Batcher coalesces concurrent Encode calls — across tenants — into
+// single batch calls on the underlying encoder. Per-request embedding
+// work is identical; what batching buys is one parallel EncodeBatch sweep
+// instead of many small Encode calls contending for cores, keeping the
+// serving hot path fast when hundreds of users query at once.
+//
+// Batcher implements embed.Encoder, so a core.Client can use it directly.
+// It is safe for unrestricted concurrent use. Close stops the dispatcher;
+// Encode calls after Close fall back to direct single encodes.
+type Batcher struct {
+	enc embed.Encoder
+	cfg BatcherConfig
+
+	reqs chan encodeReq
+	done chan struct{}
+
+	// mu/senders fence Close against in-flight Encode sends, so reqs is
+	// only closed once no sender can touch it again.
+	mu      sync.RWMutex
+	closing bool
+	senders sync.WaitGroup
+
+	// stats
+	requests atomic.Int64
+	batches  atomic.Int64
+	batched  atomic.Int64 // requests that shared a batch of size ≥ 2
+}
+
+type encodeReq struct {
+	text  string
+	reply chan []float32
+}
+
+// NewBatcher wraps enc in a micro-batcher and starts its dispatcher.
+func NewBatcher(enc embed.Encoder, cfg BatcherConfig) *Batcher {
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 32
+	}
+	if cfg.MaxWait <= 0 {
+		cfg.MaxWait = 200 * time.Microsecond
+	}
+	b := &Batcher{
+		enc:  enc,
+		cfg:  cfg,
+		reqs: make(chan encodeReq, cfg.MaxBatch*4),
+		done: make(chan struct{}),
+	}
+	go b.dispatch()
+	return b
+}
+
+// Encode implements embed.Encoder: the call blocks until its text has been
+// embedded as part of some batch.
+func (b *Batcher) Encode(text string) []float32 {
+	b.requests.Add(1)
+	b.mu.RLock()
+	if b.closing {
+		b.mu.RUnlock()
+		return b.enc.Encode(text)
+	}
+	b.senders.Add(1)
+	b.mu.RUnlock()
+	req := encodeReq{text: text, reply: make(chan []float32, 1)}
+	b.reqs <- req
+	b.senders.Done()
+	return <-req.reply
+}
+
+// Dim implements embed.Encoder.
+func (b *Batcher) Dim() int { return b.enc.Dim() }
+
+// Name implements embed.Encoder.
+func (b *Batcher) Name() string { return b.enc.Name() + "+batch" }
+
+// Close stops the dispatcher after draining in-flight requests. Encode
+// calls that arrive during or after Close encode directly; redundant
+// Close calls just wait for the first to finish.
+func (b *Batcher) Close() {
+	b.mu.Lock()
+	if b.closing {
+		b.mu.Unlock()
+		<-b.done
+		return
+	}
+	b.closing = true
+	b.mu.Unlock()
+	b.senders.Wait()
+	close(b.reqs)
+	<-b.done
+}
+
+// BatcherStats snapshots coalescing effectiveness.
+type BatcherStats struct {
+	// Requests is the number of Encode calls served.
+	Requests int64
+	// Batches is the number of dispatches (batch calls or single encodes).
+	Batches int64
+	// Coalesced is the number of requests that shared a batch with at
+	// least one other request.
+	Coalesced int64
+	// MeanBatch is Requests/Batches.
+	MeanBatch float64
+}
+
+// Stats reports coalescing counters.
+func (b *Batcher) Stats() BatcherStats {
+	s := BatcherStats{
+		Requests:  b.requests.Load(),
+		Batches:   b.batches.Load(),
+		Coalesced: b.batched.Load(),
+	}
+	if s.Batches > 0 {
+		s.MeanBatch = float64(s.Requests) / float64(s.Batches)
+	}
+	return s
+}
+
+// dispatch is the batching loop: take one request, linger up to MaxWait
+// collecting more (up to MaxBatch), then encode the lot in one call.
+func (b *Batcher) dispatch() {
+	defer close(b.done)
+	for first := range b.reqs {
+		batch := []encodeReq{first}
+		timer := time.NewTimer(b.cfg.MaxWait)
+	gather:
+		for len(batch) < b.cfg.MaxBatch {
+			select {
+			case req, ok := <-b.reqs:
+				if !ok {
+					break gather
+				}
+				batch = append(batch, req)
+			case <-timer.C:
+				break gather
+			}
+		}
+		timer.Stop()
+		b.run(batch)
+	}
+}
+
+// run encodes one gathered batch and delivers the rows.
+func (b *Batcher) run(batch []encodeReq) {
+	b.batches.Add(1)
+	if len(batch) == 1 {
+		batch[0].reply <- b.enc.Encode(batch[0].text)
+		return
+	}
+	b.batched.Add(int64(len(batch)))
+	if bc, ok := b.enc.(batchCapable); ok {
+		texts := make([]string, len(batch))
+		for i, req := range batch {
+			texts[i] = req.text
+		}
+		out := bc.EncodeBatch(texts)
+		for i, req := range batch {
+			req.reply <- vecmath.Clone(out.Row(i))
+		}
+		return
+	}
+	for _, req := range batch {
+		req.reply <- b.enc.Encode(req.text)
+	}
+}

@@ -1,0 +1,148 @@
+package server
+
+import (
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/vecmath"
+)
+
+// stubEncoder is a deterministic test encoder: the embedding of a text is
+// a unit vector derived from its hash, so equal texts match at cosine 1
+// and distinct texts (almost surely) do not. It counts calls so tests can
+// observe coalescing, and can simulate per-call latency.
+type stubEncoder struct {
+	dim        int
+	delay      time.Duration
+	encodes    atomic.Int64
+	batchCalls atomic.Int64
+	batchSizes atomic.Int64
+}
+
+func (e *stubEncoder) embed(text string) []float32 {
+	h := fnv.New64a()
+	h.Write([]byte(text))
+	sum := h.Sum64()
+	v := make([]float32, e.dim)
+	i := int(sum % uint64(e.dim))
+	j := int((sum / uint64(e.dim)) % uint64(e.dim))
+	v[i] += 0.8
+	v[j] += 0.6
+	vecmath.Normalize(v)
+	return v
+}
+
+func (e *stubEncoder) Encode(text string) []float32 {
+	e.encodes.Add(1)
+	if e.delay > 0 {
+		time.Sleep(e.delay)
+	}
+	return e.embed(text)
+}
+
+func (e *stubEncoder) EncodeBatch(texts []string) *vecmath.Matrix {
+	e.batchCalls.Add(1)
+	e.batchSizes.Add(int64(len(texts)))
+	if e.delay > 0 {
+		time.Sleep(e.delay)
+	}
+	out := vecmath.NewMatrix(len(texts), e.dim)
+	for i, t := range texts {
+		copy(out.Row(i), e.embed(t))
+	}
+	return out
+}
+
+func (e *stubEncoder) Dim() int     { return e.dim }
+func (e *stubEncoder) Name() string { return "stub" }
+
+func TestBatcherMatchesDirectEncode(t *testing.T) {
+	enc := &stubEncoder{dim: 16}
+	b := NewBatcher(enc, BatcherConfig{MaxBatch: 8, MaxWait: time.Millisecond})
+	defer b.Close()
+	for _, text := range []string{"alpha", "beta", "gamma", "alpha"} {
+		got := b.Encode(text)
+		want := enc.embed(text)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("Encode(%q)[%d] = %v, want %v", text, i, got[i], want[i])
+			}
+		}
+	}
+	if b.Dim() != 16 {
+		t.Errorf("Dim() = %d, want 16", b.Dim())
+	}
+}
+
+func TestBatcherCoalescesConcurrentRequests(t *testing.T) {
+	// The dispatcher lingers MaxWait after the first request, so a burst
+	// launched together must land in far fewer dispatches than requests.
+	enc := &stubEncoder{dim: 16, delay: 200 * time.Microsecond}
+	b := NewBatcher(enc, BatcherConfig{MaxBatch: 64, MaxWait: 50 * time.Millisecond})
+	defer b.Close()
+
+	const n = 32
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			text := []string{"red", "green", "blue", "cyan"}[i%4]
+			got := b.Encode(text)
+			if len(got) != 16 {
+				t.Errorf("Encode returned %d dims, want 16", len(got))
+			}
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+
+	st := b.Stats()
+	if st.Requests != n {
+		t.Fatalf("Requests = %d, want %d", st.Requests, n)
+	}
+	if st.Batches >= n {
+		t.Errorf("Batches = %d: no coalescing happened across %d concurrent requests", st.Batches, n)
+	}
+	if st.Coalesced == 0 {
+		t.Error("Coalesced = 0: expected at least one multi-request batch")
+	}
+	if calls := enc.batchCalls.Load(); calls == 0 {
+		t.Error("underlying EncodeBatch was never used for a multi-request batch")
+	}
+}
+
+func TestBatcherEncodeAfterClose(t *testing.T) {
+	enc := &stubEncoder{dim: 8}
+	b := NewBatcher(enc, BatcherConfig{})
+	b.Close()
+	got := b.Encode("after close")
+	want := enc.embed("after close")
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("post-Close Encode mismatch at %d", i)
+		}
+	}
+}
+
+func TestBatcherConcurrentEncodeAndClose(t *testing.T) {
+	enc := &stubEncoder{dim: 8}
+	b := NewBatcher(enc, BatcherConfig{MaxBatch: 4, MaxWait: 100 * time.Microsecond})
+	var wg sync.WaitGroup
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if got := b.Encode("x"); len(got) != 8 {
+				t.Errorf("Encode returned %d dims, want 8", len(got))
+			}
+		}()
+	}
+	b.Close()
+	wg.Wait()
+}

@@ -1,0 +1,375 @@
+package server
+
+import (
+	"container/list"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/store"
+)
+
+// TenantFactory builds the MeanCache client for a new tenant. The serving
+// layer calls it once per tenant activation (first request, or first
+// request after eviction when no persisted cache exists).
+type TenantFactory func(userID string) *core.Client
+
+// Tenant is one user's serving state: their MeanCache client plus the
+// conversation sessions routed to them.
+type Tenant struct {
+	ID     string
+	Client *core.Client
+
+	// refs counts in-flight requests holding this tenant (Registry.Get
+	// takes a reference; Release drops it). Eviction skips referenced
+	// tenants, so a request never mutates a cache that has already been
+	// persisted and dropped.
+	refs atomic.Int32
+
+	// sessions maps session IDs to live conversations, capped at
+	// maxTenantSessions with LRU drop. sessMu guards the map and the
+	// clock; each session additionally carries its own mutex because
+	// core.Session is single-goroutine (see the core concurrency
+	// contract) while HTTP handlers are not.
+	sessMu    sync.Mutex
+	sessions  map[string]*tenantSession
+	sessClock int64
+}
+
+// Release drops the reference taken by Registry.Get. Call it when the
+// request is done with the tenant.
+func (t *Tenant) Release() { t.refs.Add(-1) }
+
+type tenantSession struct {
+	mu       sync.Mutex
+	sess     *core.Session
+	lastUsed int64 // registry-local logical clock, under sessMu
+}
+
+// maxTenantSessions caps live conversations per tenant; the least
+// recently used session is dropped when a new one would exceed it.
+// Conversation *entries* stay cached — only the session's chain position
+// is lost, so a revived conversation re-matches via context chains.
+const maxTenantSessions = 256
+
+// session returns the named conversation, creating it on first use.
+func (t *Tenant) session(id string) *tenantSession {
+	t.sessMu.Lock()
+	defer t.sessMu.Unlock()
+	t.sessClock++
+	ts, ok := t.sessions[id]
+	if !ok {
+		if len(t.sessions) >= maxTenantSessions {
+			var victim string
+			var oldest int64
+			for sid, s := range t.sessions {
+				if victim == "" || s.lastUsed < oldest {
+					victim, oldest = sid, s.lastUsed
+				}
+			}
+			delete(t.sessions, victim)
+		}
+		ts = &tenantSession{sess: t.Client.NewSession()}
+		t.sessions[id] = ts
+	}
+	ts.lastUsed = t.sessClock
+	return ts
+}
+
+// Sessions reports how many live conversations the tenant holds.
+func (t *Tenant) Sessions() int {
+	t.sessMu.Lock()
+	defer t.sessMu.Unlock()
+	return len(t.sessions)
+}
+
+// RegistryConfig sizes the tenant registry.
+type RegistryConfig struct {
+	// Shards is the number of independently locked shards. Defaults to 16.
+	Shards int
+	// MaxTenants bounds the number of resident tenants across all shards
+	// (0 = unbounded). When a shard exceeds its share, its least recently
+	// used tenant is evicted — persisted first when PersistDir is set.
+	MaxTenants int
+	// PersistDir, when non-empty, is where evicted tenants' caches are
+	// written (one store log per tenant) and reloaded from on
+	// reactivation.
+	PersistDir string
+	// Factory builds new tenants. Required.
+	Factory TenantFactory
+}
+
+// Registry is the sharded tenant table: userID → Tenant, with lazy
+// creation, LRU idle-tenant eviction, and optional persistence across
+// evictions. All methods are safe for concurrent use; distinct shards
+// never contend.
+type Registry struct {
+	cfg      RegistryConfig
+	perShard int
+	shards   []*regShard
+
+	activations atomic.Int64
+	evictions   atomic.Int64
+	reloads     atomic.Int64
+	evictErrors atomic.Int64
+}
+
+type regShard struct {
+	mu      sync.Mutex
+	tenants map[string]*list.Element // userID → element in lru
+	lru     *list.List               // front = most recently used; values are *Tenant
+}
+
+// NewRegistry builds a registry.
+func NewRegistry(cfg RegistryConfig) (*Registry, error) {
+	if cfg.Factory == nil {
+		return nil, fmt.Errorf("server: RegistryConfig.Factory is required")
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 16
+	}
+	r := &Registry{cfg: cfg, shards: make([]*regShard, cfg.Shards)}
+	if cfg.MaxTenants > 0 {
+		// Ceiling split so the aggregate bound is never under MaxTenants.
+		r.perShard = (cfg.MaxTenants + cfg.Shards - 1) / cfg.Shards
+	}
+	for i := range r.shards {
+		r.shards[i] = &regShard{tenants: make(map[string]*list.Element), lru: list.New()}
+	}
+	if cfg.PersistDir != "" {
+		if err := os.MkdirAll(cfg.PersistDir, 0o755); err != nil {
+			return nil, fmt.Errorf("server: creating persist dir: %w", err)
+		}
+	}
+	return r, nil
+}
+
+// ShardFor reports which shard serves userID (exported for tests and the
+// stats endpoint).
+func (r *Registry) ShardFor(userID string) int {
+	h := fnv.New32a()
+	h.Write([]byte(userID))
+	return int(h.Sum32() % uint32(len(r.shards)))
+}
+
+// Get returns userID's tenant with a reference held — the caller must
+// Release it when done. The tenant is activated if needed: activation
+// reloads a persisted cache when one exists, otherwise calls the factory.
+// Get may evict the shard's least recently used unreferenced tenant to
+// stay within the resident bound. Persistence I/O (evict save, reload)
+// runs under the shard lock, stalling only that shard's other users; a
+// background-eviction design can lift this if it ever dominates.
+func (r *Registry) Get(userID string) (*Tenant, error) {
+	sh := r.shards[r.ShardFor(userID)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if el, ok := sh.tenants[userID]; ok {
+		sh.lru.MoveToFront(el)
+		t := el.Value.(*Tenant)
+		t.refs.Add(1)
+		return t, nil
+	}
+	t, err := r.activate(userID)
+	if err != nil {
+		return nil, err
+	}
+	t.refs.Add(1)
+	sh.tenants[userID] = sh.lru.PushFront(t)
+	r.activations.Add(1)
+	for r.perShard > 0 && sh.lru.Len() > r.perShard {
+		before := sh.lru.Len()
+		if err := r.evictLocked(sh); err != nil {
+			// Eviction failure (e.g. persist I/O) must not fail this
+			// request — the requested tenant activated fine and its
+			// reference is already held. The victim stays resident and a
+			// later activation retries.
+			r.evictErrors.Add(1)
+			break
+		}
+		if sh.lru.Len() == before {
+			break // every tenant is pinned by in-flight requests
+		}
+	}
+	return t, nil
+}
+
+// Flush persists every resident tenant's cache and τ (best effort, all
+// shards), without evicting anyone. Call it on shutdown so a restart with
+// the same PersistDir resumes warm; a no-op when persistence is off. The
+// first error is returned after attempting every tenant.
+func (r *Registry) Flush() error {
+	if r.cfg.PersistDir == "" {
+		return nil
+	}
+	var first error
+	for _, sh := range r.shards {
+		sh.mu.Lock()
+		for el := sh.lru.Front(); el != nil; el = el.Next() {
+			t := el.Value.(*Tenant)
+			if err := r.persist(t, r.persistPath(t.ID)); err != nil && first == nil {
+				first = err
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return first
+}
+
+// activate builds a tenant, reviving its persisted cache when present.
+func (r *Registry) activate(userID string) (*Tenant, error) {
+	client := r.cfg.Factory(userID)
+	if path := r.persistPath(userID); path != "" {
+		if _, err := os.Stat(path); err == nil {
+			revived, err := r.reload(userID, client)
+			if err != nil {
+				return nil, err
+			}
+			client = revived
+			r.reloads.Add(1)
+		}
+	}
+	return &Tenant{ID: userID, Client: client, sessions: make(map[string]*tenantSession)}, nil
+}
+
+// reload rebuilds fresh's cache contents — and the persisted
+// feedback-adapted τ — from the tenant's persisted store. The
+// factory-built client supplies everything else (encoder, LLM, context
+// threshold).
+func (r *Registry) reload(userID string, fresh *core.Client) (*core.Client, error) {
+	st, err := store.Open(r.persistPath(userID))
+	if err != nil {
+		return nil, fmt.Errorf("server: opening persisted cache for %q: %w", userID, err)
+	}
+	defer st.Close()
+	opts := fresh.Options()
+	cc, err := cache.LoadFrom(st, fresh.Cache().Dim(), fresh.Cache().Capacity(), opts.Policy)
+	if err != nil {
+		return nil, fmt.Errorf("server: reloading cache for %q: %w", userID, err)
+	}
+	if raw, err := st.Get(tauKey); err == nil && len(raw) == 4 {
+		opts.Tau = math.Float32frombits(binary.LittleEndian.Uint32(raw))
+	}
+	return core.NewWithCache(opts, cc), nil
+}
+
+// evictLocked removes the shard's least recently used tenant with no
+// in-flight references, persisting its cache (and live τ) first when
+// persistence is on. Tenants pinned by in-flight requests are skipped —
+// evicting them would persist a snapshot those requests then mutate
+// invisibly. If every tenant is busy the shard temporarily exceeds its
+// bound. Callers hold sh.mu.
+func (r *Registry) evictLocked(sh *regShard) error {
+	var el *list.Element
+	for cand := sh.lru.Back(); cand != nil; cand = cand.Prev() {
+		if cand.Value.(*Tenant).refs.Load() == 0 {
+			el = cand
+			break
+		}
+	}
+	if el == nil {
+		return nil
+	}
+	t := el.Value.(*Tenant)
+	if path := r.persistPath(t.ID); path != "" {
+		if err := r.persist(t, path); err != nil {
+			return err
+		}
+	}
+	sh.lru.Remove(el)
+	delete(sh.tenants, t.ID)
+	r.evictions.Add(1)
+	return nil
+}
+
+// tauKey stores the tenant's feedback-adapted threshold next to the cache
+// entries, so eviction does not reset what the user taught the system.
+const tauKey = "meta/tau"
+
+// persist writes t's cache and live τ to its store log, compacting the
+// log afterwards so repeated evict/revive cycles do not grow it without
+// bound (SaveTo appends; Compact rewrites only live records).
+func (r *Registry) persist(t *Tenant, path string) error {
+	st, err := store.Open(path)
+	if err != nil {
+		return fmt.Errorf("server: opening persist store for %q: %w", t.ID, err)
+	}
+	err = t.Client.Cache().SaveTo(st)
+	if err == nil {
+		var buf [4]byte
+		binary.LittleEndian.PutUint32(buf[:], math.Float32bits(t.Client.Tau()))
+		err = st.Put(tauKey, buf[:])
+	}
+	if err == nil {
+		err = st.Compact()
+	}
+	if cerr := st.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("server: persisting evicted tenant %q: %w", t.ID, err)
+	}
+	return nil
+}
+
+// persistPath is the tenant's store log path, or "" when persistence is
+// off. The user ID is hex-encoded so arbitrary IDs map to safe, unique
+// file names.
+func (r *Registry) persistPath(userID string) string {
+	if r.cfg.PersistDir == "" {
+		return ""
+	}
+	return filepath.Join(r.cfg.PersistDir, hex.EncodeToString([]byte(userID))+".cache")
+}
+
+// Resident reports the number of currently resident tenants.
+func (r *Registry) Resident() int {
+	n := 0
+	for _, sh := range r.shards {
+		sh.mu.Lock()
+		n += sh.lru.Len()
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// RegistryStats snapshots registry activity.
+type RegistryStats struct {
+	Shards      int   `json:"shards"`
+	Resident    int   `json:"resident_tenants"`
+	Activations int64 `json:"activations"`
+	Evictions   int64 `json:"evictions"`
+	Reloads     int64 `json:"reloads"`
+	EvictErrors int64 `json:"evict_errors,omitempty"`
+}
+
+// Stats snapshots registry counters.
+func (r *Registry) Stats() RegistryStats {
+	return RegistryStats{
+		Shards:      len(r.shards),
+		Resident:    r.Resident(),
+		Activations: r.activations.Load(),
+		Evictions:   r.evictions.Load(),
+		Reloads:     r.reloads.Load(),
+		EvictErrors: r.evictErrors.Load(),
+	}
+}
+
+// Range calls fn for every resident tenant (shard by shard, under each
+// shard's lock — fn must not call back into the registry).
+func (r *Registry) Range(fn func(*Tenant)) {
+	for _, sh := range r.shards {
+		sh.mu.Lock()
+		for el := sh.lru.Front(); el != nil; el = el.Next() {
+			fn(el.Value.(*Tenant))
+		}
+		sh.mu.Unlock()
+	}
+}

@@ -1,0 +1,243 @@
+// Package server is the multi-tenant serving layer: many per-user
+// MeanCache clients (internal/core) behind one concurrent HTTP process —
+// the deployment the paper sketches in Figure 1 scaled from one device to
+// a fleet of users.
+//
+// The pieces:
+//
+//   - Registry: a sharded userID→Tenant table with lazy activation, LRU
+//     idle-tenant eviction, and optional persistence of evicted caches
+//     via internal/store.
+//   - Batcher: an embedding micro-batcher that coalesces concurrent
+//     encode requests across tenants into single batch calls on the
+//     shared encoder.
+//   - Collector: per-tenant and aggregate hit/miss/latency metrics built
+//     on internal/metrics.
+//   - Server: the JSON HTTP API (POST /v1/query, POST /v1/feedback,
+//     GET /v1/stats, GET /healthz) that routes requests by user ID and
+//     proxies misses to the upstream LLM configured in each tenant's
+//     client.
+//
+// cmd/cacheserve runs this process; cmd/loadgen drives it.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Config assembles a Server.
+type Config struct {
+	// Registry supplies tenants. Required.
+	Registry *Registry
+	// Batcher, when non-nil, is reported under /v1/stats. (Tenants use it
+	// through their encoder; the server itself never encodes.)
+	Batcher *Batcher
+	// StatsTenants caps how many per-tenant rows /v1/stats returns,
+	// largest traffic first. Defaults to 20; -1 means all.
+	StatsTenants int
+}
+
+// Server is the HTTP serving process.
+type Server struct {
+	cfg       Config
+	collector *Collector
+	mux       *http.ServeMux
+	http      *http.Server
+	ln        net.Listener
+}
+
+// New builds a Server (not yet listening; use Serve, or Handler with a
+// test server).
+func New(cfg Config) (*Server, error) {
+	if cfg.Registry == nil {
+		return nil, fmt.Errorf("server: Config.Registry is required")
+	}
+	if cfg.StatsTenants == 0 {
+		cfg.StatsTenants = 20
+	}
+	s := &Server{cfg: cfg, collector: NewCollector(), mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
+	s.mux.HandleFunc("POST /v1/feedback", s.handleFeedback)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+	return s, nil
+}
+
+// Handler exposes the API routes (for tests and embedding).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Collector exposes the server's metrics collector.
+func (s *Server) Collector() *Collector { return s.collector }
+
+// Serve binds addr (e.g. "127.0.0.1:0") and serves until Close.
+func (s *Server) Serve(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("server: listening on %s: %w", addr, err)
+	}
+	s.ln = ln
+	s.http = &http.Server{Handler: s.mux}
+	go s.http.Serve(ln)
+	return nil
+}
+
+// Addr reports the bound listen address (after Serve).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the listener down gracefully.
+func (s *Server) Close() error {
+	if s.http == nil {
+		return nil
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	return s.http.Shutdown(ctx)
+}
+
+// QueryRequest is the body of POST /v1/query.
+type QueryRequest struct {
+	// User routes the request to its tenant. Required.
+	User string `json:"user"`
+	// Query is the text to answer. Required.
+	Query string `json:"query"`
+	// Session, when set, names a conversation: the query is asked with
+	// the session's context chain and appended to its history. Empty
+	// means a standalone query.
+	Session string `json:"session,omitempty"`
+}
+
+// QueryResponse is the body of a successful query.
+type QueryResponse struct {
+	Response string `json:"response"`
+	// Hit reports whether the response came from the tenant's cache.
+	Hit bool `json:"hit"`
+	// Score is the match similarity (hits only).
+	Score float32 `json:"score,omitempty"`
+	// LatencyMicros is the end-to-end serving time: semantic search plus,
+	// on a miss, the upstream LLM time (simulated time included when the
+	// upstream runs in virtual-time mode).
+	LatencyMicros int64 `json:"latency_micros"`
+	// SearchMicros isolates the semantic-search component.
+	SearchMicros int64 `json:"search_micros"`
+	// Tau is the tenant's current similarity threshold.
+	Tau float32 `json:"tau"`
+}
+
+// FeedbackRequest is the body of POST /v1/feedback: the user re-asked
+// after a cache hit, i.e. the hit was false (§III-A.2).
+type FeedbackRequest struct {
+	User string `json:"user"`
+}
+
+// FeedbackResponse reports the tenant's threshold after adjustment.
+type FeedbackResponse struct {
+	Tau float32 `json:"tau"`
+}
+
+// StatsResponse is the body of GET /v1/stats.
+type StatsResponse struct {
+	Aggregate TenantMetrics            `json:"aggregate"`
+	Tenants   map[string]TenantMetrics `json:"tenants"`
+	Registry  RegistryStats            `json:"registry"`
+	Batcher   *BatcherStats            `json:"batcher,omitempty"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req QueryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.fail(w, "", http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	if req.User == "" || req.Query == "" {
+		s.fail(w, req.User, http.StatusBadRequest, "user and query are required")
+		return
+	}
+	tenant, err := s.cfg.Registry.Get(req.User)
+	if err != nil {
+		s.fail(w, req.User, http.StatusInternalServerError, "activating tenant: %v", err)
+		return
+	}
+	defer tenant.Release()
+	var res queryResult
+	if req.Session != "" {
+		ts := tenant.session(req.Session)
+		ts.mu.Lock()
+		res.Result, res.err = ts.sess.Ask(req.Query)
+		ts.mu.Unlock()
+	} else {
+		res.Result, res.err = tenant.Client.Query(req.Query)
+	}
+	if res.err != nil {
+		s.fail(w, req.User, http.StatusBadGateway, "querying: %v", res.err)
+		return
+	}
+	s.collector.RecordQuery(req.User, res.Hit, res.Latency, res.SearchTime)
+	writeJSON(w, QueryResponse{
+		Response:      res.Response,
+		Hit:           res.Hit,
+		Score:         res.Score,
+		LatencyMicros: res.Latency.Microseconds(),
+		SearchMicros:  res.SearchTime.Microseconds(),
+		Tau:           tenant.Client.Tau(),
+	})
+}
+
+// queryResult pairs a core.Result with the error from producing it, so
+// the session and standalone paths share one epilogue.
+type queryResult struct {
+	core.Result
+	err error
+}
+
+func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
+	var req FeedbackRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.fail(w, "", http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	if req.User == "" {
+		s.fail(w, "", http.StatusBadRequest, "user is required")
+		return
+	}
+	tenant, err := s.cfg.Registry.Get(req.User)
+	if err != nil {
+		s.fail(w, req.User, http.StatusInternalServerError, "activating tenant: %v", err)
+		return
+	}
+	defer tenant.Release()
+	tenant.Client.ReportFalseHit()
+	s.collector.RecordFeedback(req.User)
+	writeJSON(w, FeedbackResponse{Tau: tenant.Client.Tau()})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	resp := StatsResponse{
+		Aggregate: s.collector.Aggregate(),
+		Tenants:   s.collector.Tenants(s.cfg.StatsTenants),
+		Registry:  s.cfg.Registry.Stats(),
+	}
+	if s.cfg.Batcher != nil {
+		bs := s.cfg.Batcher.Stats()
+		resp.Batcher = &bs
+	}
+	writeJSON(w, resp)
+}
+
+func (s *Server) fail(w http.ResponseWriter, userID string, code int, format string, args ...any) {
+	s.collector.RecordError(userID)
+	http.Error(w, fmt.Sprintf(format, args...), code)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
