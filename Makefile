@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build check test race vet bench loadtest clean
+.PHONY: build check test race vet bench bench-json loadtest loadtest-fl clean
 
 build:
 	$(GO) build ./...
@@ -19,12 +19,19 @@ test:
 # covered by `test` instead.
 race:
 	$(GO) test -race ./internal/core/ ./internal/server/ ./internal/cache/ \
-		./internal/store/ ./internal/fl/ ./internal/llmsim/
+		./internal/store/ ./internal/fl/ ./internal/flserve/ ./internal/llmsim/
 
 check: vet build test race
 
+# bench runs every benchmark in the repo (paper replays at the root,
+# micro-benchmarks in the internal packages).
 bench:
-	$(GO) test -bench . -benchmem -run xxx .
+	$(GO) test -bench . -benchmem -run xxx ./...
+
+# bench-json captures the serving-path micro-benchmarks as JSON, seeding
+# the benchmark trajectory tracked across PRs.
+bench-json:
+	$(GO) run ./cmd/benchrunner -bench-json BENCH_serving.json
 
 # loadtest reproduces the serving acceptance run: cacheserve (race-built,
 # in-process virtual-time upstream) driven by loadgen with 100 users and
@@ -36,6 +43,18 @@ loadtest:
 	./bin/cacheserve -addr 127.0.0.1:18090 -max-tenants 64 -persist-dir bin/tenants & \
 		srv=$$!; sleep 1; \
 		./bin/loadgen -addr 127.0.0.1:18090 -users 100 -cached 8 -probes 12 -concurrency 32; \
+		rc=$$?; kill -INT $$srv; wait $$srv; exit $$rc
+
+# loadtest-fl is the online federated-learning acceptance run: 50 live
+# tenants train the global encoder and τ across 3 rounds between serving
+# phases, under the race detector, reporting the hit-ratio/F1 trajectory
+# against the frozen-model baseline.
+loadtest-fl:
+	$(GO) build -race -o bin/cacheserve ./cmd/cacheserve
+	$(GO) build -race -o bin/loadgen ./cmd/loadgen
+	./bin/cacheserve -addr 127.0.0.1:18091 -fl & \
+		srv=$$!; sleep 2; \
+		./bin/loadgen -addr 127.0.0.1:18091 -users 50 -cached 8 -probes 12 -fl 3; \
 		rc=$$?; kill -INT $$srv; wait $$srv; exit $$rc
 
 clean:

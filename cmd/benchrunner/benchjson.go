@@ -1,0 +1,183 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/embed"
+	"repro/internal/server"
+)
+
+// The -bench-json mode measures the serving hot paths (not the paper
+// replays: those live in the root bench_test.go) and writes the results
+// as JSON, so CI and successive PRs can track a machine-readable
+// performance trajectory.
+
+// benchResult is one serialised benchmark row.
+type benchResult struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// benchReport is the file layout of BENCH_serving.json.
+type benchReport struct {
+	GeneratedAt string        `json:"generated_at"`
+	GoVersion   string        `json:"go_version"`
+	NumCPU      int           `json:"num_cpu"`
+	Results     []benchResult `json:"results"`
+}
+
+type servingBench struct {
+	name string
+	fn   func(b *testing.B)
+}
+
+func runBenchJSON(outPath string) error {
+	benches := servingBenches()
+	report := benchReport{
+		GeneratedAt: time.Now().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		NumCPU:      runtime.NumCPU(),
+	}
+	for _, sb := range benches {
+		fmt.Fprintf(os.Stderr, "[bench] %s...\n", sb.name)
+		r := testing.Benchmark(sb.fn)
+		report.Results = append(report.Results, benchResult{
+			Name:        sb.name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		})
+		fmt.Fprintf(os.Stderr, "[bench] %s: %.0f ns/op (%d iters)\n",
+			sb.name, report.Results[len(report.Results)-1].NsPerOp, r.N)
+	}
+	raw, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	raw = append(raw, '\n')
+	if err := os.WriteFile(outPath, raw, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "[bench] wrote %d results to %s\n", len(report.Results), outPath)
+	return nil
+}
+
+func servingBenches() []servingBench {
+	return []servingBench{
+		{"EncodeMPNetSim", benchEncode},
+		{"EncodeBatch32MPNetSim", benchEncodeBatch},
+		{"CacheFindSimilar768x1000", benchFindSimilar},
+		{"CacheReembed768x500", benchReembed},
+		{"ServerQueryHit", benchServerQueryHit},
+	}
+}
+
+func benchEncode(b *testing.B) {
+	m := embed.NewModel(embed.MPNetSim, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Encode("how do i rotate the api credentials for the billing service")
+	}
+}
+
+func benchEncodeBatch(b *testing.B) {
+	m := embed.NewModel(embed.MPNetSim, 1)
+	texts := make([]string, 32)
+	for i := range texts {
+		texts[i] = fmt.Sprintf("query %d about rotating api credentials", i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.EncodeBatch(texts)
+	}
+}
+
+func benchFindSimilar(b *testing.B) {
+	m := embed.NewModel(embed.MPNetSim, 1)
+	c := cache.New(m.Dim(), 0, cache.LRU{})
+	for i := 0; i < 1000; i++ {
+		q := fmt.Sprintf("cached question number %d", i)
+		if _, err := c.Put(q, "r", m.Encode(q), cache.NoParent); err != nil {
+			b.Fatal(err)
+		}
+	}
+	probe := m.Encode("cached question number 500")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.FindSimilar(probe, 5, 0.8)
+	}
+}
+
+func benchReembed(b *testing.B) {
+	m := embed.NewModel(embed.MPNetSim, 1)
+	c := cache.New(m.Dim(), 0, cache.LRU{})
+	for i := 0; i < 500; i++ {
+		q := fmt.Sprintf("cached question number %d", i)
+		if _, err := c.Put(q, "r", m.Encode(q), cache.NoParent); err != nil {
+			b.Fatal(err)
+		}
+	}
+	m2 := embed.NewModel(embed.MPNetSim, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Reembed(m2.Encode); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+type instantLLM struct{}
+
+func (instantLLM) Query(q string) (string, time.Duration) { return "r", 0 }
+
+func benchServerQueryHit(b *testing.B) {
+	m := embed.NewModel(embed.MPNetSim, 1)
+	reg, err := server.NewRegistry(server.RegistryConfig{
+		Factory: func(string) *core.Client {
+			return core.New(core.Options{Encoder: m, LLM: instantLLM{}, Tau: 0.8, TopK: 5})
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv, err := server.New(server.Config{Registry: reg})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	body, _ := json.Marshal(server.QueryRequest{User: "u", Query: "warm question"})
+	// Warm the cache so the measured path is a hit.
+	resp, err := http.Post(ts.URL+"/v1/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		b.Fatal(err)
+	}
+	resp.Body.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := http.Post(ts.URL+"/v1/query", "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+}

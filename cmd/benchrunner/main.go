@@ -26,13 +26,21 @@ import (
 
 func main() {
 	var (
-		expFlag = flag.String("exp", "all", "comma-separated experiment IDs, or 'all'; known: "+strings.Join(experiments.Names(), ","))
-		quick   = flag.Bool("quick", false, "use the scaled-down test configuration")
-		seed    = flag.Int64("seed", 1, "master random seed")
-		outPath = flag.String("o", "", "also write results to this file")
-		quiet   = flag.Bool("q", false, "suppress progress logging")
+		expFlag   = flag.String("exp", "all", "comma-separated experiment IDs, or 'all'; known: "+strings.Join(experiments.Names(), ","))
+		quick     = flag.Bool("quick", false, "use the scaled-down test configuration")
+		seed      = flag.Int64("seed", 1, "master random seed")
+		outPath   = flag.String("o", "", "also write results to this file")
+		quiet     = flag.Bool("q", false, "suppress progress logging")
+		benchJSON = flag.String("bench-json", "", "skip the experiments; run the serving micro-benchmarks and write JSON here")
 	)
 	flag.Parse()
+
+	if *benchJSON != "" {
+		if err := runBenchJSON(*benchJSON); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	cfg := experiments.DefaultConfig()
 	if *quick {

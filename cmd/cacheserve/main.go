@@ -8,10 +8,20 @@
 // in-process simulator in virtual-time mode — convenient for load tests
 // that should not spend wall-clock time sleeping.
 //
+// With -fl the process additionally runs the online federated-learning
+// coordinator (internal/flserve): live tenants' feedback and hit/miss
+// signals accumulate into private per-tenant training shards, rounds
+// sample cohorts of active tenants, fine-tune the shared encoder and
+// aggregate the global threshold, and every new global model is committed
+// to a versioned registry and hot-rolled into the running tenants.
+//
 // Usage:
 //
 //	cacheserve -addr 127.0.0.1:8090 -upstream 127.0.0.1:8080
+//	cacheserve -fl -fl-interval 30s -fl-dir /var/lib/cacheserve/fl
 //	curl -X POST localhost:8090/v1/query -d '{"user":"u1","query":"what is FL?"}'
+//	curl -X POST localhost:8090/v1/fl/round
+//	curl localhost:8090/v1/fl/status
 //	curl localhost:8090/v1/stats
 package main
 
@@ -20,12 +30,16 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/embed"
+	"repro/internal/flserve"
 	"repro/internal/llmsim"
 	"repro/internal/server"
+	"repro/internal/store"
+	"repro/internal/train"
 )
 
 func main() {
@@ -52,6 +66,16 @@ func main() {
 		noBatch   = flag.Bool("no-batch", false, "disable the embedding micro-batcher")
 
 		statsTenants = flag.Int("stats-tenants", 20, "per-tenant rows in /v1/stats (-1 = all)")
+
+		flOn       = flag.Bool("fl", false, "enable the online federated-learning coordinator")
+		flInterval = flag.Duration("fl-interval", 0, "run FL rounds on this period (0 = only on POST /v1/fl/round)")
+		flCohort   = flag.Int("fl-cohort", 4, "tenants sampled per FL round")
+		flMinPairs = flag.Int("fl-min-pairs", 8, "collected pairs a tenant needs to join a cohort")
+		flEpochs   = flag.Int("fl-epochs", 2, "local fine-tuning epochs per round")
+		flSecure   = flag.Bool("fl-secure", false, "aggregate through pairwise-masked updates (secure agg)")
+		flDir      = flag.String("fl-dir", "", "directory persisting model versions + collected shards (empty = in-memory)")
+		flPCA      = flag.Int("fl-pca", 0, "attach a PCA basis of this dimension to committed versions (0 = off)")
+		flBeta     = flag.Float64("fl-beta", 0.5, "F-beta of the clients' threshold search")
 	)
 	flag.Parse()
 
@@ -76,6 +100,21 @@ func main() {
 		log.Printf("warning: serving with an untrained %s encoder; pass -model for a trained one", *arch)
 	}
 
+	// With FL on, the base model serves through a swappable holder so
+	// round rollouts can replace it atomically under live traffic. The
+	// micro-batcher wraps the holder, so batches follow the swap.
+	var swap *embed.Swappable
+	var flArch embed.Arch
+	if *flOn {
+		m, ok := enc.(*embed.Model)
+		if !ok || !m.Trainable() {
+			log.Fatalf("-fl requires a trainable encoder (got %s)", enc.Name())
+		}
+		flArch = m.Cfg
+		swap = embed.NewSwappable(m)
+		enc = swap
+	}
+
 	var batcher *server.Batcher
 	if !*noBatch {
 		batcher = server.NewBatcher(enc, server.BatcherConfig{MaxBatch: *batch, MaxWait: *batchWait})
@@ -93,6 +132,13 @@ func main() {
 		log.Printf("using in-process simulated LLM upstream (sleep=%v)", *sleep)
 	}
 
+	var collector *flserve.Collector
+	var flHooks *flserve.LateHooks
+	if *flOn {
+		collector = flserve.NewCollector(flserve.CollectorConfig{Seed: *seed})
+		flHooks = &flserve.LateHooks{}
+	}
+
 	reg, err := server.NewRegistry(server.RegistryConfig{
 		Shards:     *shards,
 		MaxTenants: *maxTenants,
@@ -108,14 +154,60 @@ func main() {
 				FeedbackStep: float32(*step),
 			})
 		},
+		Hooks: tenantHooks(flHooks),
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	srv, err := server.New(server.Config{Registry: reg, Batcher: batcher, StatsTenants: *statsTenants})
+	var flsvc *flserve.Service
+	if *flOn {
+		var flStore *store.Store
+		if *flDir != "" {
+			flStore, err = store.Open(filepath.Join(*flDir, "flserve.store"))
+			if err != nil {
+				log.Fatalf("opening FL store: %v", err)
+			}
+			defer flStore.Close()
+		}
+		trainCfg := train.DefaultConfig()
+		trainCfg.Epochs = *flEpochs
+		flsvc, err = flserve.New(flserve.Config{
+			Registry:   reg,
+			Collector:  collector,
+			Encoder:    swap,
+			Arch:       flArch,
+			Store:      flStore,
+			Train:      trainCfg,
+			Beta:       *flBeta,
+			Cohort:     *flCohort,
+			MinPairs:   *flMinPairs,
+			Secure:     *flSecure,
+			InitialTau: *tau,
+			Seed:       *seed,
+			Interval:   *flInterval,
+			PCADim:     *flPCA,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		flHooks.Bind(flsvc)
+	}
+
+	srv, err := server.New(server.Config{
+		Registry:     reg,
+		Batcher:      batcher,
+		StatsTenants: *statsTenants,
+		Observer:     observer(collector),
+	})
 	if err != nil {
 		log.Fatal(err)
+	}
+	if flsvc != nil {
+		flsvc.Register(srv)
+		flsvc.Start()
+		log.Printf("online FL coordinator enabled (cohort=%d, min-pairs=%d, interval=%v, secure=%v)",
+			*flCohort, *flMinPairs, *flInterval, *flSecure)
 	}
 	if err := srv.Serve(*addr); err != nil {
 		log.Fatal(err)
@@ -130,6 +222,15 @@ func main() {
 	log.Printf("shutting down: %d queries, %d hits (%.1f%% hit ratio), %d resident tenants",
 		agg.Queries, agg.Hits, 100*agg.HitRatio, reg.Resident())
 	srv.Close()
+	if flsvc != nil {
+		if rec, ok := flsvc.Models().Latest(); ok {
+			log.Printf("online FL: model version %s (tau=%.3f) after rollouts %+v",
+				rec.Version, rec.Tau, flsvc.RolloutSnapshot())
+		}
+		if err := flsvc.Close(); err != nil {
+			log.Printf("closing FL coordinator: %v", err)
+		}
+	}
 	if *persistDir != "" {
 		if err := reg.Flush(); err != nil {
 			log.Printf("flushing resident tenants: %v", err)
@@ -144,4 +245,19 @@ func orInProcess(upstream string) string {
 		return "in-process"
 	}
 	return upstream
+}
+
+// tenantHooks/observer avoid typed-nil interfaces when FL is off.
+func tenantHooks(h *flserve.LateHooks) server.TenantHooks {
+	if h == nil {
+		return nil
+	}
+	return h
+}
+
+func observer(c *flserve.Collector) server.Observer {
+	if c == nil {
+		return nil
+	}
+	return c
 }

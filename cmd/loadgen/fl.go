@@ -1,0 +1,271 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/flserve"
+)
+
+// flConfig parameterises the online FL scenario.
+type flConfig struct {
+	users       int
+	cached      int // intents warmed into each user's cache
+	probes      int // measured probes per user per phase
+	dup         float64
+	concurrency int
+	rounds      int
+	seed        int64
+}
+
+// flWorkload holds the shared-lexicon, private-intent workload: one
+// dataset generator (so every user's vocabulary hashes into the same
+// token space and federated averaging pools knowledge, as with the
+// paper's common corpus), but each user warms a disjoint intent set —
+// their private data, which never leaves their tenant.
+type flWorkload struct {
+	gen *dataset.Generator
+	rng *rand.Rand
+	cfg flConfig
+
+	// per user: warmed intents and their cached realisations
+	intents [][]dataset.Intent
+	cachedQ [][]string
+	nextID  int
+}
+
+func newFLWorkload(cfg flConfig) *flWorkload {
+	corpusCfg := dataset.DefaultConfig()
+	corpusCfg.Seed = cfg.seed
+	rng := rand.New(rand.NewSource(cfg.seed + 5000))
+	w := &flWorkload{
+		gen:     dataset.NewGenerator(corpusCfg, rng),
+		rng:     rng,
+		cfg:     cfg,
+		intents: make([][]dataset.Intent, cfg.users),
+		cachedQ: make([][]string, cfg.users),
+	}
+	for u := 0; u < cfg.users; u++ {
+		w.intents[u] = make([]dataset.Intent, cfg.cached)
+		w.cachedQ[u] = make([]string, cfg.cached)
+		for i := range w.intents[u] {
+			w.intents[u][i] = w.gen.NewIntent(w.nextID)
+			w.nextID++
+			w.cachedQ[u][i] = w.gen.Realize(w.intents[u][i])
+		}
+	}
+	return w
+}
+
+func userName(u int) string { return fmt.Sprintf("user-%04d", u) }
+
+// warmupJobs populates every user's cache.
+func (w *flWorkload) warmupJobs() []job {
+	var jobs []job
+	for u := 0; u < w.cfg.users; u++ {
+		for _, q := range w.cachedQ[u] {
+			jobs = append(jobs, job{user: userName(u), text: q})
+		}
+	}
+	w.rng.Shuffle(len(jobs), func(i, j int) { jobs[i], jobs[j] = jobs[j], jobs[i] })
+	return jobs
+}
+
+// phaseJobs builds one measurement phase: per user, fresh probe
+// realisations — duplicates of warmed intents (never repeating an earlier
+// phase's exact text) and brand-new intents, hard negatives included at
+// the corpus rate.
+func (w *flWorkload) phaseJobs() []job {
+	var jobs []job
+	cfg := dataset.DefaultConfig() // hard-negative rates only
+	for u := 0; u < w.cfg.users; u++ {
+		nDup := int(float64(w.cfg.probes)*w.cfg.dup + 0.5)
+		for i := 0; i < w.cfg.probes; i++ {
+			j := job{user: userName(u), probe: true, fl: true}
+			if i < nDup {
+				idx := w.rng.Intn(len(w.intents[u]))
+				j.text = w.gen.Realize(w.intents[u][idx])
+				j.dup = true
+				j.dupText = w.cachedQ[u][idx]
+			} else {
+				var it dataset.Intent
+				if w.rng.Float64() < cfg.HardNegativeRate {
+					base := w.intents[u][w.rng.Intn(len(w.intents[u]))]
+					it = w.gen.NewIntentSharing(-1, base, cfg.SharedConcepts)
+				} else {
+					it = w.gen.NewIntent(-1)
+				}
+				j.text = w.gen.Realize(it)
+			}
+			jobs = append(jobs, j)
+		}
+	}
+	w.rng.Shuffle(len(jobs), func(i, j int) { jobs[i], jobs[j] = jobs[j], jobs[i] })
+	return jobs
+}
+
+// phaseResult is one row of the trajectory table.
+type phaseResult struct {
+	label     string
+	version   string
+	tau       float64
+	hitRatio  float64
+	precision float64
+	recall    float64
+	f1        float64
+	queries   int
+	errors    int
+	roundMS   int64
+}
+
+// runFL drives the online federated-learning scenario: baseline phase
+// under the frozen model, then rounds of (feedback-annotated probes → FL
+// round → rollout → fresh probes), reporting the quality trajectory.
+func runFL(r *runner, cfg flConfig) {
+	log.Printf("online FL scenario: %d users sharing one lexicon, %d warmed intents each, %d probes/phase, %d rounds",
+		cfg.users, cfg.cached, cfg.probes, cfg.rounds)
+	w := newFLWorkload(cfg)
+
+	warm := w.warmupJobs()
+	log.Printf("warmup: %d queries", len(warm))
+	r.drive(warm, cfg.concurrency)
+	if r.errors > 0 {
+		log.Fatalf("warmup saw %d errors", r.errors)
+	}
+
+	// roundClient allows FL rounds (training + rollout) to take minutes.
+	roundClient := &http.Client{Timeout: 10 * time.Minute}
+
+	var results []phaseResult
+	for phase := 0; phase <= cfg.rounds; phase++ {
+		r.resetMeasurement()
+		jobs := w.phaseJobs()
+		start := time.Now()
+		r.drive(jobs, cfg.concurrency)
+		elapsed := time.Since(start)
+
+		r.mu.Lock()
+		res := phaseResult{
+			hitRatio:  ratio(r.hits, r.queries),
+			precision: r.confusion.Precision(),
+			recall:    r.confusion.Recall(),
+			f1:        r.confusion.F1(),
+			queries:   r.queries,
+			errors:    r.errors,
+		}
+		r.mu.Unlock()
+		if phase == 0 {
+			res.label = "baseline"
+			res.version = "(frozen)"
+		} else {
+			res.label = fmt.Sprintf("round %d", phase)
+		}
+
+		// Status reflects the model this phase ran under.
+		var st flserve.Status
+		if err := getJSON(r.client, r.base+"/v1/fl/status", &st); err != nil {
+			log.Fatalf("fetching /v1/fl/status (is cacheserve running with -fl?): %v", err)
+		}
+		res.tau = st.Tau
+		if phase > 0 && st.Current != nil {
+			res.version = st.Current.Version
+		}
+		log.Printf("%s: hit %.1f%% F1 %.3f (P %.3f R %.3f) over %d probes in %v",
+			res.label, 100*res.hitRatio, res.f1, res.precision, res.recall, res.queries, elapsed.Round(time.Millisecond))
+
+		results = append(results, res)
+
+		// Trigger the next round (except after the final phase).
+		if phase < cfg.rounds {
+			rep, err := postRound(roundClient, r.base)
+			if err != nil {
+				log.Fatalf("FL round %d: %v", phase, err)
+			}
+			results[len(results)-1].roundMS = rep.TookMillis
+			log.Printf("round %d: version %s tau=%.3f trained=%d/%d eligible=%d reembedded=%d entries in %dms",
+				phase+1, rep.Version, rep.Tau, rep.Trained, rep.Cohort, rep.Eligible, rep.Reembedded, rep.TookMillis)
+		}
+	}
+
+	reportFL(r, results)
+	r.mu.Lock()
+	errs := r.errors
+	r.mu.Unlock()
+	if errs > 0 {
+		os.Exit(1)
+	}
+}
+
+func reportFL(r *runner, results []phaseResult) {
+	fmt.Printf("\n=== online FL trajectory ===\n")
+	fmt.Printf("%-10s %-18s %7s %8s %7s %7s %7s %9s\n",
+		"phase", "model", "tau", "hit%", "P", "R", "F1", "round ms")
+	for _, res := range results {
+		fmt.Printf("%-10s %-18s %7.3f %8.1f %7.3f %7.3f %7.3f %9d\n",
+			res.label, res.version, res.tau, 100*res.hitRatio, res.precision, res.recall, res.f1, res.roundMS)
+	}
+	base, last := results[0], results[len(results)-1]
+	fmt.Printf("\nvs frozen baseline: hit ratio %.1f%% -> %.1f%% (%+.1f pts), F1 %.3f -> %.3f (%+.3f)\n",
+		100*base.hitRatio, 100*last.hitRatio, 100*(last.hitRatio-base.hitRatio),
+		base.f1, last.f1, last.f1-base.f1)
+	if last.f1 > base.f1 && last.hitRatio > base.hitRatio {
+		fmt.Println("improved over the frozen-model baseline ✓")
+	} else {
+		fmt.Println("WARNING: no improvement over the frozen-model baseline")
+	}
+
+	var st flserve.Status
+	if err := getJSON(r.client, r.base+"/v1/fl/status", &st); err == nil {
+		var lineage []string
+		for i := len(st.Versions) - 1; i >= 0; i-- {
+			lineage = append(lineage, st.Versions[i].Version)
+		}
+		fmt.Printf("model lineage    %s\n", strings.Join(lineage, " -> "))
+		fmt.Printf("collector        %d tenants, %d pairs (%d+, %d-, %d retracted)\n",
+			st.Collector.Tenants, st.Collector.Pairs, st.Collector.Positives, st.Collector.Negatives, st.Collector.Retracted)
+		fmt.Printf("rollouts         %d swaps, %d entries re-embedded (%d at activation)\n",
+			st.Rollouts.Swaps, st.Rollouts.EntriesReembedded, st.Rollouts.ActivationsMigrated)
+	}
+}
+
+func ratio(a, b int) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+func postRound(client *http.Client, base string) (flserve.RoundReport, error) {
+	var rep flserve.RoundReport
+	resp, err := client.Post(base+"/v1/fl/round", "application/json", nil)
+	if err != nil {
+		return rep, err
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		return rep, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return rep, fmt.Errorf("round failed: %s", rep.Error)
+	}
+	return rep, nil
+}
+
+func getJSON(client *http.Client, url string, out any) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d", resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}

@@ -10,9 +10,20 @@
 // ground truth (precision/recall/F1 via internal/metrics), and latency
 // percentiles, plus the server's own /v1/stats aggregate.
 //
+// With -fl N the generator instead drives the online federated-learning
+// scenario against a cacheserve started with -fl: users share one lexicon
+// (so federated averaging genuinely pools knowledge) but hold private
+// intent sets; each probe phase files the user feedback the FL collector
+// learns from (missed_dup for duplicates the cache failed to serve,
+// false_hit for wrong hits), then triggers one FL round and measures the
+// next phase under the rolled-out model. The report is the
+// hit-ratio/F1/τ trajectory across rounds against the phase-0
+// frozen-model baseline.
+//
 // Usage:
 //
 //	loadgen -addr 127.0.0.1:8090 -users 100 -probes 12 -concurrency 32
+//	loadgen -addr 127.0.0.1:8090 -users 50 -fl 3
 package main
 
 import (
@@ -37,6 +48,10 @@ type job struct {
 	text  string
 	dup   bool // ground truth: a cached duplicate exists
 	probe bool // measurement phase (false = warmup)
+
+	// fl-scenario fields
+	fl      bool   // file feedback from the outcome (online FL mode)
+	dupText string // the cached query this probe duplicates (for missed_dup)
 }
 
 // runner aggregates results across workers.
@@ -62,6 +77,7 @@ func main() {
 		concurrency = flag.Int("concurrency", 32, "concurrent in-flight requests")
 		seed        = flag.Int64("seed", 42, "workload generation seed")
 		timeout     = flag.Duration("timeout", 30*time.Second, "per-request timeout")
+		flRounds    = flag.Int("fl", 0, "online FL rounds to drive (0 = classic load test)")
 	)
 	flag.Parse()
 
@@ -71,6 +87,19 @@ func main() {
 	}
 	if err := r.health(); err != nil {
 		log.Fatalf("server not healthy at %s: %v", *addr, err)
+	}
+
+	if *flRounds > 0 {
+		runFL(r, flConfig{
+			users:       *users,
+			cached:      *cached,
+			probes:      *probes,
+			dup:         *dup,
+			concurrency: *concurrency,
+			rounds:      *flRounds,
+			seed:        *seed,
+		})
+		return
 	}
 
 	log.Printf("generating workloads for %d users (%d warmup + %d probes each, %.0f%% duplicates)",
@@ -171,6 +200,43 @@ func (r *runner) one(j job) {
 		r.latency.Record(lat)
 	}
 	r.mu.Unlock()
+
+	if j.fl {
+		r.fileFeedback(j, qr)
+	}
+}
+
+// fileFeedback plays the user's role in the online FL loop: a duplicate
+// the cache failed to serve is reported as missed_dup (pointing at the
+// earlier question), a hit on a genuinely new query as false_hit. Correct
+// outcomes need no report — the hit itself already taught the collector a
+// positive pair.
+func (r *runner) fileFeedback(j job, qr server.QueryResponse) {
+	var fb server.FeedbackRequest
+	switch {
+	case j.dup && !qr.Hit && j.dupText != "":
+		fb = server.FeedbackRequest{
+			User: j.user, Kind: server.FeedbackMissedDup,
+			Query: j.text, DuplicateOf: j.dupText,
+		}
+	case !j.dup && qr.Hit:
+		fb = server.FeedbackRequest{
+			User: j.user, Kind: server.FeedbackFalseHit,
+			Query: j.text, DuplicateOf: qr.Matched,
+		}
+	default:
+		return
+	}
+	body, _ := json.Marshal(fb)
+	resp, err := r.client.Post(r.base+"/v1/feedback", "application/json", bytes.NewReader(body))
+	if err != nil {
+		r.recordError(err)
+		return
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		r.recordError(fmt.Errorf("feedback status %d", resp.StatusCode))
+	}
 }
 
 func (r *runner) recordError(err error) {

@@ -1,76 +1,194 @@
-// Federated: the privacy-preserving training loop of §III-A in miniature.
+// Federated: the paper's privacy-preserving training loop, run ONLINE
+// against a live serving process — the deployment shape of §III-A rather
+// than an offline simulation.
 //
-// Twenty clients hold disjoint private query logs (none of which ever
-// leave the client). Each round the server samples four clients, ships
-// the global encoder weights and threshold, the clients fine-tune locally
-// (contrastive + MNRL) and search their optimal cosine threshold, and the
-// server aggregates weights and thresholds with FedAvg. The global model's
-// semantic-matching quality improves round over round — the dynamics of
-// the paper's Figures 11–12.
+// An in-process cacheserve (internal/server + internal/flserve) hosts a
+// fleet of tenants. Simulated users query it over HTTP and file the two
+// feedback signals of the online loop: missed_dup when a paraphrase of an
+// earlier question wasn't served from cache, and false_hit when a wrong
+// hit comes back. The FL coordinator turns that feedback into private
+// per-tenant training shards, and each POST /v1/fl/round samples a cohort,
+// fine-tunes locally, aggregates weights + τ with FedAvg, commits a new
+// model version, and hot-rolls it into the running tenants (re-embedding
+// their caches in the background). No raw query ever leaves its tenant;
+// only weights and thresholds move.
 //
 // Run with: go run ./examples/federated
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
+	"log"
 	"math/rand"
-	"strconv"
-	"strings"
+	"net/http"
+	"time"
 
+	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/embed"
-	"repro/internal/fl"
+	"repro/internal/flserve"
+	"repro/internal/llmsim"
+	"repro/internal/server"
 	"repro/internal/train"
 )
 
+const (
+	users          = 12
+	intentsPerUser = 6
+	probesPerPhase = 8
+	rounds         = 3
+	dupFraction    = 0.5
+)
+
 func main() {
-	const (
-		clients  = 20
-		perRound = 4
-		rounds   = 10
-	)
-
-	// Private data: disjoint shards of the paraphrase corpus.
-	corpusCfg := dataset.DefaultConfig()
-	corpusCfg.Intents = 1200
-	corpus := dataset.GenerateCorpus(corpusCfg)
-	shards := dataset.SplitPairs(corpus.Train, clients, rand.New(rand.NewSource(7)))
-
-	trainCfg := train.DefaultConfig()
-	trainCfg.Epochs = 2
-	fleet := make([]fl.Client, clients)
-	for i := range fleet {
-		fleet[i] = fl.NewLocalClient(i, embed.MPNetSim, 42, shards[i], trainCfg, 0.5)
-	}
-
-	global := embed.NewModel(embed.MPNetSim, 42)
-	baseline := train.Sweep(global, corpus.Val, 0.02, 1).Optimal
-	fmt.Printf("untrained global model: F1=%.3f at its best threshold %.2f\n\n",
-		baseline.Scores.FScore, baseline.Tau)
-
-	srv := fl.NewServer(global, fleet, fl.ServerConfig{
-		Rounds:          rounds,
-		ClientsPerRound: perRound,
-		Seed:            9,
-		InitialTau:      0.7,
-	})
-	fmt.Printf("%5s  %-16s %6s %6s %6s %6s\n", "round", "sampled clients", "tau", "F1", "prec", "rec")
-	err := srv.Run(func(ri fl.RoundInfo) {
-		conf := train.EvaluateAt(global, corpus.Val, ri.GlobalTau)
-		ids := make([]string, len(ri.Sampled))
-		for i, id := range ri.Sampled {
-			ids[i] = strconv.Itoa(id)
-		}
-		fmt.Printf("%5d  %-16s %6.2f %6.3f %6.3f %6.3f\n",
-			ri.Round+1, strings.Join(ids, ","), ri.GlobalTau, conf.F1(), conf.Precision(), conf.Recall())
+	// --- the serving process, with the online FL coordinator enabled ---
+	base := embed.NewModel(embed.AlbertSim, 1)
+	swap := embed.NewSwappable(base)
+	collector := flserve.NewCollector(flserve.CollectorConfig{Seed: 1})
+	hooks := &flserve.LateHooks{}
+	reg, err := server.NewRegistry(server.RegistryConfig{
+		Factory: func(string) *core.Client {
+			return core.New(core.Options{
+				Encoder:      swap,
+				LLM:          llmsim.New(llmsim.DefaultConfig()),
+				Tau:          0.83,
+				TopK:         5,
+				Capacity:     1024,
+				FeedbackStep: 0.01,
+			})
+		},
+		Hooks: hooks,
 	})
 	if err != nil {
-		fmt.Println("FL error:", err)
-		return
+		log.Fatal(err)
+	}
+	trainCfg := train.DefaultConfig()
+	trainCfg.Epochs = 2
+	svc, err := flserve.New(flserve.Config{
+		Registry:  reg,
+		Collector: collector,
+		Encoder:   swap,
+		Arch:      embed.AlbertSim,
+		Train:     trainCfg,
+		Cohort:    4,
+		MinPairs:  6,
+		Seed:      1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	hooks.Bind(svc)
+	defer svc.Close()
+	srv, err := server.New(server.Config{Registry: reg, Observer: collector})
+	if err != nil {
+		log.Fatal(err)
+	}
+	svc.Register(srv)
+	if err := srv.Serve("127.0.0.1:0"); err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	url := "http://" + srv.Addr()
+	fmt.Printf("cacheserve with online FL listening on %s\n\n", srv.Addr())
+
+	// --- simulated users: shared lexicon, private intents ---
+	rng := rand.New(rand.NewSource(7))
+	gen := dataset.NewGenerator(dataset.DefaultConfig(), rng)
+	intents := make([][]dataset.Intent, users)
+	warmed := make([][]string, users)
+	id := 0
+	for u := range intents {
+		for i := 0; i < intentsPerUser; i++ {
+			it := gen.NewIntent(id)
+			id++
+			q := gen.Realize(it)
+			intents[u] = append(intents[u], it)
+			warmed[u] = append(warmed[u], q)
+			ask(url, u, q) // warm the tenant's cache
+		}
 	}
 
-	final := train.Sweep(global, corpus.Val, 0.02, 1).Optimal
-	fmt.Printf("\nafter %d rounds: F1 %.3f -> %.3f, tau_global=%.2f\n",
-		rounds, baseline.Scores.FScore, final.Scores.FScore, srv.Tau())
-	fmt.Println("no client query ever left its device; only weights and thresholds moved.")
+	fmt.Printf("%-10s %-18s %6s %6s %6s\n", "phase", "model", "tau", "hit%", "misses fed back")
+	for phase := 0; phase <= rounds; phase++ {
+		hits, asked, fedback := 0, 0, 0
+		for u := range intents {
+			for p := 0; p < probesPerPhase; p++ {
+				var q string
+				dup := rng.Float64() < dupFraction
+				var dupOf string
+				if dup {
+					k := rng.Intn(len(intents[u]))
+					q, dupOf = gen.Realize(intents[u][k]), warmed[u][k]
+				} else {
+					q = gen.Realize(gen.NewIntent(-1))
+				}
+				qr := ask(url, u, q)
+				asked++
+				if qr.Hit {
+					hits++
+				}
+				switch {
+				case dup && !qr.Hit:
+					// The user points at the earlier question it duplicates.
+					feedback(url, u, server.FeedbackMissedDup, q, dupOf)
+					fedback++
+				case !dup && qr.Hit:
+					feedback(url, u, server.FeedbackFalseHit, q, qr.Matched)
+					fedback++
+				}
+			}
+		}
+		label, version := "baseline", "(frozen)"
+		if phase > 0 {
+			label = fmt.Sprintf("round %d", phase)
+			if rec, ok := svc.Models().Latest(); ok {
+				version = rec.Version
+			}
+		}
+		fmt.Printf("%-10s %-18s %6.2f %6.1f %6d\n",
+			label, version, svc.Tau(), 100*float64(hits)/float64(asked), fedback)
+
+		if phase < rounds {
+			start := time.Now()
+			rep, err := svc.RunRound()
+			if err != nil {
+				log.Fatalf("round: %v", err)
+			}
+			fmt.Printf("  -> FL round %d: cohort %d, version %s, tau %.2f, %d entries re-embedded (%v)\n",
+				phase+1, rep.Cohort, rep.Version, rep.Tau, rep.Reembedded, time.Since(start).Round(time.Millisecond))
+		}
+	}
+
+	fmt.Println("\nmodel lineage (GET /v1/model serves any of these):")
+	for _, rec := range svc.Models().History(0) {
+		fmt.Printf("  %s  round %d  tau=%.3f  cohort=%d\n", rec.Version, rec.Round, rec.Tau, rec.Cohort)
+	}
+	fmt.Println("no client query ever left its tenant; only weights and thresholds moved.")
+}
+
+func ask(url string, user int, q string) server.QueryResponse {
+	body, _ := json.Marshal(server.QueryRequest{User: fmt.Sprintf("user-%d", user), Query: q})
+	resp, err := http.Post(url+"/v1/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var qr server.QueryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+		log.Fatal(err)
+	}
+	return qr
+}
+
+func feedback(url string, user int, kind, q, other string) {
+	body, _ := json.Marshal(server.FeedbackRequest{
+		User: fmt.Sprintf("user-%d", user), Kind: kind, Query: q, DuplicateOf: other,
+	})
+	resp, err := http.Post(url+"/v1/feedback", "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp.Body.Close()
 }

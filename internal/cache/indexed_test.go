@@ -2,6 +2,7 @@ package cache
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 
 	"repro/internal/index"
@@ -80,4 +81,69 @@ func TestNewWithIndexValidation(t *testing.T) {
 		}
 	}()
 	NewWithIndex(8, 0, LRU{}, index.NewFlat(9))
+}
+
+// TestIndexedCacheConcurrent hammers an IVF-backed, capacity-bounded cache
+// with concurrent Put (driving eviction), FindSimilar and Remove — the
+// serving-path mix the flat scan sees in production, now exercised through
+// the external index so the cache-lock/index-consistency contract is
+// covered under the race detector.
+func TestIndexedCacheConcurrent(t *testing.T) {
+	const (
+		dim      = 16
+		capacity = 64
+		writers  = 4
+		readers  = 4
+		perG     = 300
+	)
+	c := NewWithIndex(dim, capacity, LRU{}, index.NewIVF(dim, index.IVFConfig{
+		NList: 8, NProbe: 4, TrainSize: 40, Seed: 1,
+	}))
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				s := int64(w*perG + i)
+				id, err := c.Put(fmt.Sprintf("w%d-q%d", w, i), "r", unit(dim, s), NoParent)
+				if err != nil {
+					t.Errorf("Put: %v", err)
+					return
+				}
+				if i%7 == 0 {
+					c.Remove(id)
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				ms := c.FindSimilar(unit(dim, int64(r*perG+i)), 3, 0.1)
+				for _, m := range ms {
+					if m.Entry == nil || len(m.Entry.Embedding) != dim {
+						t.Error("FindSimilar returned a malformed match")
+						return
+					}
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+
+	if c.Len() > capacity {
+		t.Fatalf("Len = %d, exceeds capacity %d", c.Len(), capacity)
+	}
+	// Cache and index must agree on the live set: every live entry is
+	// findable by its own embedding at a near-exact threshold.
+	for _, e := range c.Entries() {
+		ms := c.FindSimilar(e.Embedding, 1, 0.999)
+		if len(ms) == 0 {
+			t.Fatalf("live entry %d missing from index", e.ID)
+		}
+	}
 }

@@ -1,0 +1,97 @@
+package cache
+
+import (
+	"fmt"
+
+	"repro/internal/vecmath"
+)
+
+// Reembed recomputes every entry's embedding with encode — the hot-rollout
+// path of the online FL loop: after a new global encoder is swapped in,
+// cached entries must move to the new embedding space or probes (encoded
+// with the new model) would be compared against stale vectors.
+//
+// The cache stays fully serviceable throughout: embeddings are computed
+// outside the lock and applied in short write-locked batches, so searches
+// and inserts interleave with the migration. Entries inserted while a pass
+// runs are picked up by a follow-up pass (they may have been encoded with
+// the outgoing model during the swap window); re-encoding an entry that
+// already carries the new embedding is harmless, and the pass count is
+// bounded, so a write-heavy cache cannot livelock the migration.
+//
+// Reembed returns the number of embeddings replaced. It errors if encode
+// produces vectors of the wrong dimension (the rollout path only swaps
+// same-architecture models, so dimensions are stable).
+func (c *Cache) Reembed(encode func(string) []float32) (int, error) {
+	type item struct {
+		id    int
+		query string
+	}
+	const (
+		maxPasses  = 4   // bounds work under sustained concurrent inserts
+		applyChunk = 256 // entries applied per write-lock acquisition
+	)
+	done := make(map[int]bool)
+	total := 0
+	for pass := 0; pass < maxPasses; pass++ {
+		// Snapshot entries not yet migrated.
+		c.mu.RLock()
+		var items []item
+		for _, e := range c.entries {
+			if !done[e.ID] {
+				items = append(items, item{e.ID, e.Query})
+			}
+		}
+		c.mu.RUnlock()
+		if len(items) == 0 {
+			break
+		}
+
+		// Encode outside any lock; encoders are concurrency-safe. Worker
+		// errors land in per-item slots (no shared error write).
+		embs := make([][]float32, len(items))
+		vecmath.ParallelFor(len(items), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				if v := encode(items[i].query); len(v) == c.dim {
+					embs[i] = v
+				}
+			}
+		})
+		for i := range embs {
+			if embs[i] == nil {
+				return total, fmt.Errorf("cache: reembed produced wrong dimension for entry %d (want %d)", items[i].id, c.dim)
+			}
+		}
+
+		// Apply in bounded batches so searches interleave. Each migrated
+		// entry is REPLACED by a copy rather than mutated: callers hold
+		// *Entry pointers beyond the cache lock (context-chain checks,
+		// in-flight match results), so the old entry must stay immutable —
+		// stale readers see a consistent old snapshot, never a torn write.
+		for lo := 0; lo < len(items); lo += applyChunk {
+			hi := min(lo+applyChunk, len(items))
+			c.mu.Lock()
+			for i := lo; i < hi; i++ {
+				it := items[i]
+				done[it.id] = true
+				pos, ok := c.byID[it.id]
+				if !ok {
+					continue // evicted while we encoded
+				}
+				ne := *c.entries[pos]
+				ne.Embedding = embs[i]
+				c.entries[pos] = &ne
+				if c.idx != nil {
+					c.idx.Remove(it.id)
+					if err := c.idx.Add(it.id, ne.Embedding); err != nil {
+						c.mu.Unlock()
+						return total, fmt.Errorf("cache: reindexing entry %d: %w", it.id, err)
+					}
+				}
+				total++
+			}
+			c.mu.Unlock()
+		}
+	}
+	return total, nil
+}

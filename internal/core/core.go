@@ -64,10 +64,10 @@ type Options struct {
 // Concurrency contract (relied upon by internal/server, which multiplexes
 // many goroutines onto one Client per tenant):
 //
-//   - Lookup, Insert, Query, ReportFalseHit, Tau, SetTau, Stats and Cache
-//     are all safe for unrestricted concurrent use. Cache state is guarded
-//     by the cache's own lock, the threshold by an atomic, and the activity
-//     counters by atomics.
+//   - Lookup, Insert, Query, ReportFalseHit, ReportMissedHit, Tau, SetTau,
+//     Reembed, Stats and Cache are all safe for unrestricted concurrent
+//     use. Cache state is guarded by the cache's own lock, the threshold
+//     by an atomic, and the activity counters by atomics.
 //   - A Session is NOT safe for concurrent use: it carries mutable
 //     conversation state (history, parent). Callers must confine each
 //     Session to one goroutine or serialise Ask calls externally (the
@@ -256,14 +256,34 @@ func (c *Client) queryWithContext(q string, ctxTexts []string, parent int) (Resu
 // the LLM after a cache hit, so the hit was wrong. The threshold rises by
 // FeedbackStep (clamped to 1) to make future matches stricter.
 func (c *Client) ReportFalseHit() {
-	if c.opts.FeedbackStep <= 0 {
-		return
+	if c.opts.FeedbackStep > 0 {
+		c.adjustTau(c.opts.FeedbackStep)
 	}
+}
+
+// ReportMissedHit is the complementary feedback signal of the online FL
+// loop: the user indicates a query should have been answered from the
+// cache (a missed duplicate), so the threshold drops by FeedbackStep
+// (clamped to 0) to make future matches more permissive. Like
+// ReportFalseHit it is a coarse per-user adjustment; the federated τ
+// search refines both signals into the aggregated global threshold.
+func (c *Client) ReportMissedHit() {
+	if c.opts.FeedbackStep > 0 {
+		c.adjustTau(-c.opts.FeedbackStep)
+	}
+}
+
+// adjustTau applies a feedback step to τ with a lost-update-free CAS,
+// clamping to [0, 1].
+func (c *Client) adjustTau(delta float32) {
 	for {
 		old := c.tau.Load()
-		tau := math.Float32frombits(old) + c.opts.FeedbackStep
+		tau := math.Float32frombits(old) + delta
 		if tau > 1 {
 			tau = 1
+		}
+		if tau < 0 {
+			tau = 0
 		}
 		if c.tau.CompareAndSwap(old, math.Float32bits(tau)) {
 			return
@@ -273,6 +293,16 @@ func (c *Client) ReportFalseHit() {
 
 // SetTau installs a new threshold (e.g. a freshly aggregated τ_global).
 func (c *Client) SetTau(tau float32) { c.tau.Store(math.Float32bits(tau)) }
+
+// Reembed migrates every cached entry to the client's current encoder —
+// the per-tenant half of a hot model rollout. The serving layer swaps the
+// shared encoder (an embed.Swappable) first, then calls Reembed on each
+// resident tenant so cached embeddings rejoin the probe embedding space.
+// Queries are never blocked: the cache applies updates in short batches
+// (see cache.Reembed). Returns the number of entries migrated.
+func (c *Client) Reembed() (int, error) {
+	return c.cache.Reembed(c.opts.Encoder.Encode)
+}
 
 // Stats summarises the client's activity.
 type Stats struct {

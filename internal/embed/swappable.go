@@ -1,0 +1,68 @@
+package embed
+
+import (
+	"sync/atomic"
+
+	"repro/internal/vecmath"
+)
+
+// Swappable is an Encoder whose underlying encoder can be replaced
+// atomically while serving traffic — the hot-rollout primitive of the
+// online FL loop. Every tenant of a serving process encodes through one
+// Swappable; committing a freshly aggregated global model is a single
+// pointer swap, after which all in-flight and future Encode calls use the
+// new weights while cached entries are re-embedded in the background.
+//
+// The replacement must have the same output dimension as the original
+// (rollouts swap same-architecture models); Swap panics otherwise, because
+// every live cache is sized to the original dimension.
+type Swappable struct {
+	cur atomic.Pointer[encoderBox]
+}
+
+// encoderBox wraps the interface value so distinct concrete encoder types
+// can share one atomic slot.
+type encoderBox struct{ enc Encoder }
+
+// NewSwappable wraps enc.
+func NewSwappable(enc Encoder) *Swappable {
+	s := &Swappable{}
+	s.cur.Store(&encoderBox{enc})
+	return s
+}
+
+// Current returns the encoder currently being served.
+func (s *Swappable) Current() Encoder { return s.cur.Load().enc }
+
+// Swap atomically replaces the served encoder.
+func (s *Swappable) Swap(enc Encoder) {
+	if enc.Dim() != s.Dim() {
+		panic("embed: Swappable.Swap dimension mismatch")
+	}
+	s.cur.Store(&encoderBox{enc})
+}
+
+// Encode implements Encoder.
+func (s *Swappable) Encode(text string) []float32 { return s.Current().Encode(text) }
+
+// EncodeBatch forwards the batch fast path when the current encoder has
+// one (embed.Model does), so the serving micro-batcher keeps its single
+// parallel sweep through a Swappable.
+func (s *Swappable) EncodeBatch(texts []string) *vecmath.Matrix {
+	if bc, ok := s.Current().(interface {
+		EncodeBatch(texts []string) *vecmath.Matrix
+	}); ok {
+		return bc.EncodeBatch(texts)
+	}
+	out := vecmath.NewMatrix(len(texts), s.Dim())
+	for i, t := range texts {
+		copy(out.Row(i), s.Encode(t))
+	}
+	return out
+}
+
+// Dim implements Encoder.
+func (s *Swappable) Dim() int { return s.Current().Dim() }
+
+// Name implements Encoder.
+func (s *Swappable) Name() string { return s.Current().Name() }

@@ -1,0 +1,145 @@
+package fl
+
+import (
+	"encoding/gob"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRunCohortAggregates(t *testing.T) {
+	clients := []Client{
+		&flakyClient{id: 0, weights: []float32{1, 1}},
+		&flakyClient{id: 1, weights: []float32{3, 3}},
+	}
+	res, err := RunCohort(clients, []float32{0, 0}, 0.5, nil, false)
+	if err != nil {
+		t.Fatalf("RunCohort: %v", err)
+	}
+	if res.Weights[0] != 2 || res.Weights[1] != 2 {
+		t.Fatalf("weights = %v, want [2 2]", res.Weights)
+	}
+	if len(res.Trained) != 2 || res.Samples != 2 {
+		t.Fatalf("trained %v samples %d, want 2 clients / 2 samples", res.Trained, res.Samples)
+	}
+}
+
+func TestRunCohortToleratesFailures(t *testing.T) {
+	clients := []Client{
+		&flakyClient{id: 0, weights: []float32{2, 2}},
+		&flakyClient{id: 1, fail: true},
+	}
+	res, err := RunCohort(clients, []float32{0, 0}, 0.5, nil, true)
+	if err != nil {
+		t.Fatalf("RunCohort with tolerance: %v", err)
+	}
+	if len(res.Trained) != 1 || res.Trained[0] != 0 {
+		t.Fatalf("trained = %v, want [0]", res.Trained)
+	}
+	if len(res.Failed) != 1 || res.Failed[0] != 1 {
+		t.Fatalf("failed = %v, want [1]", res.Failed)
+	}
+	if res.Weights[0] != 2 {
+		t.Fatalf("weights = %v, want survivor's [2 2]", res.Weights)
+	}
+}
+
+func TestRunCohortEmptyAndAllFailed(t *testing.T) {
+	if _, err := RunCohort(nil, []float32{0}, 0, nil, true); err == nil {
+		t.Fatal("empty cohort did not error")
+	}
+	clients := []Client{&flakyClient{id: 0, fail: true}}
+	if _, err := RunCohort(clients, []float32{0}, 0, nil, true); err == nil {
+		t.Fatal("all-failed cohort did not error")
+	}
+}
+
+// hangingClientHost registers with the hub and then reads round requests
+// without ever replying — a hung client host.
+func hangingClientHost(t *testing.T, addr string, id int) net.Conn {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	if err := gob.NewEncoder(conn).Encode(hello{ClientID: id}); err != nil {
+		t.Fatalf("hello: %v", err)
+	}
+	go func() {
+		// Drain requests forever, never answering.
+		var req roundRequest
+		dec := gob.NewDecoder(conn)
+		for dec.Decode(&req) == nil {
+		}
+	}()
+	return conn
+}
+
+func TestHubEvictsHungClientMidRound(t *testing.T) {
+	hub, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hub.Close()
+	hub.SetRoundTimeout(150 * time.Millisecond)
+
+	// One responsive client host and one hung one.
+	good := &flakyClient{id: 0, weights: []float32{1, 1}}
+	go func() {
+		if err := ServeClient(hub.Addr(), good); err != nil && !strings.Contains(err.Error(), "closed") {
+			t.Errorf("good client host: %v", err)
+		}
+	}()
+	hung := hangingClientHost(t, hub.Addr(), 1)
+	defer hung.Close()
+
+	clients, err := hub.WaitForClients(2, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	start := time.Now()
+	res, err := RunCohort(clients, []float32{0, 0}, 0.5, nil, true)
+	if err != nil {
+		t.Fatalf("round with hung client: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("round took %v; the hung client stalled it", elapsed)
+	}
+	if len(res.Trained) != 1 || res.Trained[0] != 0 {
+		t.Fatalf("trained = %v, want only the responsive client", res.Trained)
+	}
+	if hub.Evicted() != 1 {
+		t.Fatalf("hub evicted %d clients, want 1", hub.Evicted())
+	}
+
+	// The dead proxy fails fast on the next round instead of re-blocking.
+	var dead, alive *RemoteClient
+	for _, c := range clients {
+		if c.ID() == 1 {
+			dead = c.(*RemoteClient)
+		} else {
+			alive = c.(*RemoteClient)
+		}
+	}
+	if !dead.Dead() {
+		t.Fatal("hung client proxy not marked dead")
+	}
+	start = time.Now()
+	if _, err := dead.TrainRound([]float32{0, 0}, 0.5); err == nil {
+		t.Fatal("dead client accepted a round")
+	}
+	if time.Since(start) > 50*time.Millisecond {
+		t.Fatal("dead client did not fail fast")
+	}
+
+	// The survivor still answers rounds.
+	res, err = RunCohort([]Client{alive}, []float32{0, 0}, 0.5, nil, false)
+	if err != nil {
+		t.Fatalf("follow-up round: %v", err)
+	}
+	if res.Weights[0] != 1 {
+		t.Fatalf("follow-up weights = %v", res.Weights)
+	}
+}

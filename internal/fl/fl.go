@@ -14,7 +14,6 @@ package fl
 import (
 	"fmt"
 	"math/rand"
-	"sync"
 
 	"repro/internal/embed"
 	"repro/internal/train"
@@ -182,54 +181,22 @@ func (s *Server) Run(cb func(RoundInfo)) error {
 func (s *Server) runRound(round int, cb func(RoundInfo)) error {
 	// Step 1: sample clients and ship the global state.
 	perm := s.rng.Perm(len(s.clients))
-	sampled := perm[:s.cfg.ClientsPerRound]
-	global := s.model.Weights()
+	cohort := make([]Client, s.cfg.ClientsPerRound)
+	for i, ci := range perm[:s.cfg.ClientsPerRound] {
+		cohort[i] = s.clients[ci]
+	}
 
-	// Steps 2–3: clients train in parallel and return updates.
-	updates := make([]Update, len(sampled))
-	errs := make([]error, len(sampled))
-	var wg sync.WaitGroup
-	for i, ci := range sampled {
-		wg.Add(1)
-		go func(i, ci int) {
-			defer wg.Done()
-			updates[i], errs[i] = s.clients[ci].TrainRound(global, s.tau)
-		}(i, ci)
+	// Steps 2–4: the transport-agnostic cohort runner trains the sampled
+	// clients in parallel and aggregates their updates.
+	res, err := RunCohort(cohort, s.model.Weights(), s.tau, s.cfg.Aggregator, s.cfg.TolerateFailures)
+	if err != nil {
+		return err
 	}
-	wg.Wait()
-	good := updates[:0]
-	goodIdx := make([]int, 0, len(sampled))
-	for i, err := range errs {
-		if err != nil {
-			if s.cfg.TolerateFailures {
-				continue
-			}
-			return fmt.Errorf("client %d: %w", s.clients[sampled[i]].ID(), err)
-		}
-		if len(updates[i].Weights) != len(global) {
-			return fmt.Errorf("client %d returned %d weights, want %d",
-				s.clients[sampled[i]].ID(), len(updates[i].Weights), len(global))
-		}
-		good = append(good, updates[i])
-		goodIdx = append(goodIdx, sampled[i])
-	}
-	if len(good) == 0 {
-		return fmt.Errorf("all %d sampled clients failed", len(sampled))
-	}
-	updates = good
-	sampled = goodIdx
-
-	// Step 4: aggregate into the new global model and threshold.
-	agg := make([]float32, len(global))
-	s.tau = s.cfg.Aggregator.Aggregate(agg, updates)
-	s.model.SetWeights(agg)
+	s.tau = res.Tau
+	s.model.SetWeights(res.Weights)
 
 	if cb != nil {
-		ids := make([]int, len(sampled))
-		for i, ci := range sampled {
-			ids[i] = s.clients[ci].ID()
-		}
-		cb(RoundInfo{Round: round, Sampled: ids, GlobalTau: s.tau})
+		cb(RoundInfo{Round: round, Sampled: res.Trained, GlobalTau: s.tau})
 	}
 	return nil
 }

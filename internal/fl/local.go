@@ -36,6 +36,23 @@ func NewLocalClient(id int, arch embed.Arch, seed int64, pairs []dataset.Pair, c
 	}
 }
 
+// hasBothLabels reports whether pairs contains at least one duplicate and
+// one non-duplicate — the precondition for a meaningful threshold sweep.
+func hasBothLabels(pairs []trainPair) bool {
+	if len(pairs) < 2 {
+		return false
+	}
+	var dup, nondup bool
+	for _, p := range pairs {
+		if p.Dup {
+			dup = true
+		} else {
+			nondup = true
+		}
+	}
+	return dup && nondup
+}
+
 // ID implements Client.
 func (c *LocalClient) ID() int { return c.id }
 
@@ -56,11 +73,14 @@ func (c *LocalClient) TrainRound(globalWeights []float32, globalTau float64) (Up
 		tr.Train(c.trainSet)
 	}
 	tau := globalTau
-	if len(c.valSet) >= 2 {
+	if hasBothLabels(c.valSet) {
 		// Cache-aware threshold search: the client optimises the F-score
 		// of the cache decision, not the pairwise decision (§III-A.2).
 		// The candidate pool includes the client's full local query log so
 		// the max-over-N similarity tail resembles a deployed cache.
+		// Single-label validation sets (possible for online shards built
+		// from live feedback) skip the search: without both classes the
+		// sweep degenerates to τ=0, which would poison the aggregate.
 		extra := make([]string, 0, 2*len(c.trainSet))
 		for _, p := range c.trainSet {
 			extra = append(extra, p.A, p.B)

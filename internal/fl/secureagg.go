@@ -66,6 +66,9 @@ type SecureRoundResult struct {
 	// Tau is the sample-weighted mean threshold (thresholds are scalars
 	// aggregated in the clear, as in the paper).
 	Tau float64
+	// Samples is the total sample count across clients (the n of Eq. 1;
+	// counts are exchanged in the clear to weight the masked updates).
+	Samples int
 	// MaskedUpdates are the individual masked vectors as the server saw
 	// them, exposed for tests and audits.
 	MaskedUpdates [][]float32
@@ -116,6 +119,7 @@ func RunSecureRound(clients []Client, globalWeights []float32, globalTau float64
 	}
 	res := &SecureRoundResult{
 		Aggregated:    make([]float32, len(globalWeights)),
+		Samples:       total,
 		MaskedUpdates: make([][]float32, len(clients)),
 	}
 	for i, u := range updates {

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -15,6 +16,12 @@ import (
 // transport-agnostic. Messages are gob-encoded; the weight vector
 // (megabytes for the full models) is the dominant payload, exactly as in
 // a real FL deployment.
+//
+// Round exchanges carry per-connection deadlines (Hub.SetRoundTimeout) so
+// a hung or partitioned client host cannot stall a round forever: the
+// exchange times out, the connection is closed, the client is evicted
+// from the hub, and — with ServerConfig.TolerateFailures — the round
+// aggregates over the survivors.
 
 // hello registers a client with the hub.
 type hello struct {
@@ -39,10 +46,12 @@ type roundReply struct {
 type Hub struct {
 	ln net.Listener
 
-	mu      sync.Mutex
-	clients []*RemoteClient
-	err     error
-	done    chan struct{}
+	mu           sync.Mutex
+	clients      []*RemoteClient
+	err          error
+	done         chan struct{}
+	roundTimeout time.Duration
+	evicted      int
 }
 
 // Listen starts a hub on addr ("127.0.0.1:0" picks a free port).
@@ -58,6 +67,27 @@ func Listen(addr string) (*Hub, error) {
 
 // Addr reports the hub's bound address.
 func (h *Hub) Addr() string { return h.ln.Addr().String() }
+
+// SetRoundTimeout bounds every subsequent round exchange (request write +
+// local training + reply read) per connection. A client that misses the
+// deadline is disconnected and evicted from the hub. Zero (the default)
+// means no deadline. Applies to already-registered clients too.
+func (h *Hub) SetRoundTimeout(d time.Duration) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.roundTimeout = d
+	for _, c := range h.clients {
+		c.timeout.Store(int64(d))
+	}
+}
+
+// Evicted reports how many clients the hub has dropped after failed round
+// exchanges.
+func (h *Hub) Evicted() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.evicted
+}
 
 func (h *Hub) acceptLoop() {
 	for {
@@ -84,10 +114,25 @@ func (h *Hub) register(conn net.Conn) {
 		conn.Close()
 		return
 	}
-	rc := &RemoteClient{id: hi.ClientID, conn: conn, enc: enc, dec: dec}
+	rc := &RemoteClient{id: hi.ClientID, conn: conn, enc: enc, dec: dec, hub: h}
 	h.mu.Lock()
+	rc.timeout.Store(int64(h.roundTimeout))
 	h.clients = append(h.clients, rc)
 	h.mu.Unlock()
+}
+
+// evict drops a dead client from the hub so WaitForClients and future
+// rosters no longer see it. The connection is already closed.
+func (h *Hub) evict(rc *RemoteClient) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for i, c := range h.clients {
+		if c == rc {
+			h.clients = append(h.clients[:i], h.clients[i+1:]...)
+			h.evicted++
+			return
+		}
+	}
 }
 
 // WaitForClients blocks until n clients have registered or the timeout
@@ -137,22 +182,59 @@ type RemoteClient struct {
 	mu   sync.Mutex // one outstanding round per connection
 	enc  *gob.Encoder
 	dec  *gob.Decoder
+	hub  *Hub
+
+	// timeout is the round-exchange deadline in nanoseconds (0 = none).
+	timeout atomic.Int64
+	// dead marks a connection whose round exchange failed; subsequent
+	// TrainRound calls fail fast without touching the network.
+	dead atomic.Bool
 }
 
 // ID implements Client.
 func (rc *RemoteClient) ID() int { return rc.id }
 
+// Dead reports whether the connection has been marked dead after a failed
+// round exchange.
+func (rc *RemoteClient) Dead() bool { return rc.dead.Load() }
+
+// fail marks the client dead, closes its connection (unblocking any
+// in-flight gob read), and evicts it from the hub.
+func (rc *RemoteClient) fail(err error) error {
+	if rc.dead.CompareAndSwap(false, true) {
+		rc.conn.Close()
+		if rc.hub != nil {
+			rc.hub.evict(rc)
+		}
+	}
+	return err
+}
+
 // TrainRound implements Client by round-tripping the request over TCP.
+// With a round timeout configured, both the request write and the reply
+// read (which spans the client's local training) carry deadlines; a
+// deadline miss kills the connection and evicts the client so the round
+// can proceed without it.
 func (rc *RemoteClient) TrainRound(globalWeights []float32, globalTau float64) (Update, error) {
 	rc.mu.Lock()
 	defer rc.mu.Unlock()
+	if rc.dead.Load() {
+		return Update{}, fmt.Errorf("fl: client %d connection is dead", rc.id)
+	}
+	d := time.Duration(rc.timeout.Load())
+	if d > 0 {
+		rc.conn.SetDeadline(time.Now().Add(d))
+	} else {
+		rc.conn.SetDeadline(time.Time{})
+	}
 	if err := rc.enc.Encode(roundRequest{Weights: globalWeights, Tau: globalTau}); err != nil {
-		return Update{}, fmt.Errorf("fl: sending round to client %d: %w", rc.id, err)
+		return Update{}, rc.fail(fmt.Errorf("fl: sending round to client %d: %w", rc.id, err))
 	}
 	var reply roundReply
 	if err := rc.dec.Decode(&reply); err != nil {
-		return Update{}, fmt.Errorf("fl: reading update from client %d: %w", rc.id, err)
+		return Update{}, rc.fail(fmt.Errorf("fl: reading update from client %d: %w", rc.id, err))
 	}
+	rc.conn.SetDeadline(time.Time{})
 	if reply.Err != "" {
 		return Update{}, fmt.Errorf("fl: client %d: %s", rc.id, reply.Err)
 	}

@@ -9,6 +9,7 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -91,6 +92,23 @@ func (t *Tenant) Sessions() int {
 	return len(t.sessions)
 }
 
+// TenantHooks lets an optional subsystem (the online FL coordinator)
+// observe tenant lifecycle and piggyback records on tenant persistence.
+// Hook methods run under the owning shard's lock: they must not call back
+// into the registry and should return quickly (TenantActivated may do
+// bounded per-tenant work, e.g. re-embedding a revived cache whose
+// persisted model version is stale — that stalls only the one shard).
+type TenantHooks interface {
+	// TenantActivated fires when a tenant becomes resident. meta holds
+	// the "meta/"-namespaced records from its persisted store, keyed
+	// without the prefix (nil for a fresh tenant with no persisted
+	// state). The "tau" key is reserved by the registry.
+	TenantActivated(t *Tenant, meta map[string][]byte)
+	// TenantMeta contributes extra records persisted with the tenant's
+	// cache on eviction/flush, stored under "meta/<key>".
+	TenantMeta(t *Tenant) map[string][]byte
+}
+
 // RegistryConfig sizes the tenant registry.
 type RegistryConfig struct {
 	// Shards is the number of independently locked shards. Defaults to 16.
@@ -105,6 +123,9 @@ type RegistryConfig struct {
 	PersistDir string
 	// Factory builds new tenants. Required.
 	Factory TenantFactory
+	// Hooks, when non-nil, observes tenant activation and contributes
+	// persisted metadata.
+	Hooks TenantHooks
 }
 
 // Registry is the sharded tenant table: userID → Tenant, with lazy
@@ -226,38 +247,52 @@ func (r *Registry) Flush() error {
 // activate builds a tenant, reviving its persisted cache when present.
 func (r *Registry) activate(userID string) (*Tenant, error) {
 	client := r.cfg.Factory(userID)
+	var meta map[string][]byte
 	if path := r.persistPath(userID); path != "" {
 		if _, err := os.Stat(path); err == nil {
-			revived, err := r.reload(userID, client)
+			revived, m, err := r.reload(userID, client)
 			if err != nil {
 				return nil, err
 			}
-			client = revived
+			client, meta = revived, m
 			r.reloads.Add(1)
 		}
 	}
-	return &Tenant{ID: userID, Client: client, sessions: make(map[string]*tenantSession)}, nil
+	t := &Tenant{ID: userID, Client: client, sessions: make(map[string]*tenantSession)}
+	if r.cfg.Hooks != nil {
+		r.cfg.Hooks.TenantActivated(t, meta)
+	}
+	return t, nil
 }
 
 // reload rebuilds fresh's cache contents — and the persisted
-// feedback-adapted τ — from the tenant's persisted store. The
-// factory-built client supplies everything else (encoder, LLM, context
-// threshold).
-func (r *Registry) reload(userID string, fresh *core.Client) (*core.Client, error) {
+// feedback-adapted τ — from the tenant's persisted store, returning the
+// revived client plus the store's "meta/" records (for lifecycle hooks).
+// The factory-built client supplies everything else (encoder, LLM,
+// context threshold).
+func (r *Registry) reload(userID string, fresh *core.Client) (*core.Client, map[string][]byte, error) {
 	st, err := store.Open(r.persistPath(userID))
 	if err != nil {
-		return nil, fmt.Errorf("server: opening persisted cache for %q: %w", userID, err)
+		return nil, nil, fmt.Errorf("server: opening persisted cache for %q: %w", userID, err)
 	}
 	defer st.Close()
 	opts := fresh.Options()
 	cc, err := cache.LoadFrom(st, fresh.Cache().Dim(), fresh.Cache().Capacity(), opts.Policy)
 	if err != nil {
-		return nil, fmt.Errorf("server: reloading cache for %q: %w", userID, err)
+		return nil, nil, fmt.Errorf("server: reloading cache for %q: %w", userID, err)
 	}
 	if raw, err := st.Get(tauKey); err == nil && len(raw) == 4 {
 		opts.Tau = math.Float32frombits(binary.LittleEndian.Uint32(raw))
 	}
-	return core.NewWithCache(opts, cc), nil
+	meta := make(map[string][]byte)
+	for _, key := range st.Keys() {
+		if name, ok := strings.CutPrefix(key, metaPrefix); ok {
+			if raw, err := st.Get(key); err == nil {
+				meta[name] = raw
+			}
+		}
+	}
+	return core.NewWithCache(opts, cc), meta, nil
 }
 
 // evictLocked removes the shard's least recently used tenant with no
@@ -289,9 +324,14 @@ func (r *Registry) evictLocked(sh *regShard) error {
 	return nil
 }
 
+// metaPrefix namespaces tenant metadata records within a persisted store,
+// alongside the cache's "entry/" records. The registry's own τ record and
+// hook-contributed records both live here.
+const metaPrefix = "meta/"
+
 // tauKey stores the tenant's feedback-adapted threshold next to the cache
 // entries, so eviction does not reset what the user taught the system.
-const tauKey = "meta/tau"
+const tauKey = metaPrefix + "tau"
 
 // persist writes t's cache and live τ to its store log, compacting the
 // log afterwards so repeated evict/revive cycles do not grow it without
@@ -306,6 +346,13 @@ func (r *Registry) persist(t *Tenant, path string) error {
 		var buf [4]byte
 		binary.LittleEndian.PutUint32(buf[:], math.Float32bits(t.Client.Tau()))
 		err = st.Put(tauKey, buf[:])
+	}
+	if err == nil && r.cfg.Hooks != nil {
+		for name, val := range r.cfg.Hooks.TenantMeta(t) {
+			if err = st.Put(metaPrefix+name, val); err != nil {
+				break
+			}
+		}
 	}
 	if err == nil {
 		err = st.Compact()
@@ -360,6 +407,21 @@ func (r *Registry) Stats() RegistryStats {
 		Reloads:     r.reloads.Load(),
 		EvictErrors: r.evictErrors.Load(),
 	}
+}
+
+// IDs returns the user IDs of every resident tenant. Unlike Range, the
+// caller holds no locks afterwards, so it may Get/Release each tenant —
+// the pattern the FL rollout uses to pin tenants while re-embedding.
+func (r *Registry) IDs() []string {
+	var ids []string
+	for _, sh := range r.shards {
+		sh.mu.Lock()
+		for el := sh.lru.Front(); el != nil; el = el.Next() {
+			ids = append(ids, el.Value.(*Tenant).ID)
+		}
+		sh.mu.Unlock()
+	}
+	return ids
 }
 
 // Range calls fn for every resident tenant (shard by shard, under each

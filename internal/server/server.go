@@ -32,6 +32,43 @@ import (
 	"repro/internal/core"
 )
 
+// Observer receives serving-path signals. The online FL example collector
+// (internal/flserve) implements it to turn live traffic into per-tenant
+// private training shards; implementations must be safe for concurrent
+// use and must return quickly (they run on the request path).
+type Observer interface {
+	// ObserveQuery fires after every answered query. matchedQuery is the
+	// cached query that served a hit ("" on a miss); score is the match
+	// similarity.
+	ObserveQuery(user, query string, hit bool, matchedQuery string, score float32)
+	// ObserveFeedback fires after every accepted feedback report.
+	ObserveFeedback(user string, fb Feedback)
+}
+
+// Feedback kinds accepted by POST /v1/feedback.
+const (
+	// FeedbackFalseHit is §III-A.2's signal: a cache hit was wrong (the
+	// user re-asked the LLM). Raises the tenant's τ.
+	FeedbackFalseHit = "false_hit"
+	// FeedbackMissedDup is the complementary online-learning signal: a
+	// query missed although the user had asked it before. Lowers the
+	// tenant's τ and, via the observer, contributes a labelled positive
+	// pair to the tenant's private FL shard.
+	FeedbackMissedDup = "missed_dup"
+)
+
+// Feedback is the normalised form of a feedback report passed to the
+// Observer.
+type Feedback struct {
+	// Kind is FeedbackFalseHit or FeedbackMissedDup.
+	Kind string
+	// Query is the probe the feedback refers to (optional for false_hit).
+	Query string
+	// Other is the counterpart text: the cached query wrongly served
+	// (false_hit) or the earlier query this one duplicates (missed_dup).
+	Other string
+}
+
 // Config assembles a Server.
 type Config struct {
 	// Registry supplies tenants. Required.
@@ -42,6 +79,8 @@ type Config struct {
 	// StatsTenants caps how many per-tenant rows /v1/stats returns,
 	// largest traffic first. Defaults to 20; -1 means all.
 	StatsTenants int
+	// Observer, when non-nil, sees every query and feedback signal.
+	Observer Observer
 }
 
 // Server is the HTTP serving process.
@@ -74,6 +113,13 @@ func New(cfg Config) (*Server, error) {
 
 // Handler exposes the API routes (for tests and embedding).
 func (s *Server) Handler() http.Handler { return s.mux }
+
+// Handle registers an extra route on the server's mux — how optional
+// subsystems (e.g. the online FL coordinator's /v1/fl/* and /v1/model
+// endpoints) join the serving process. Call before Serve.
+func (s *Server) Handle(pattern string, handler http.Handler) {
+	s.mux.Handle(pattern, handler)
+}
 
 // Collector exposes the server's metrics collector.
 func (s *Server) Collector() *Collector { return s.collector }
@@ -122,6 +168,9 @@ type QueryResponse struct {
 	Hit bool `json:"hit"`
 	// Score is the match similarity (hits only).
 	Score float32 `json:"score,omitempty"`
+	// Matched is the cached query that served a hit, so clients can cite
+	// it in feedback reports ("" on a miss).
+	Matched string `json:"matched,omitempty"`
 	// LatencyMicros is the end-to-end serving time: semantic search plus,
 	// on a miss, the upstream LLM time (simulated time included when the
 	// upstream runs in virtual-time mode).
@@ -132,10 +181,21 @@ type QueryResponse struct {
 	Tau float32 `json:"tau"`
 }
 
-// FeedbackRequest is the body of POST /v1/feedback: the user re-asked
-// after a cache hit, i.e. the hit was false (§III-A.2).
+// FeedbackRequest is the body of POST /v1/feedback. Kind defaults to
+// "false_hit" (§III-A.2: the user re-asked after a cache hit, i.e. the
+// hit was wrong); "missed_dup" reports the inverse miss — the query
+// should have been served from cache because it duplicates an earlier
+// one. Query/DuplicateOf carry the texts so the FL example collector can
+// derive labelled pairs; they never leave the serving process.
 type FeedbackRequest struct {
 	User string `json:"user"`
+	// Kind is "false_hit" (default) or "missed_dup".
+	Kind string `json:"kind,omitempty"`
+	// Query is the probe the feedback refers to.
+	Query string `json:"query,omitempty"`
+	// DuplicateOf is the cached query wrongly served (false_hit) or the
+	// earlier query this one duplicates (missed_dup).
+	DuplicateOf string `json:"duplicate_of,omitempty"`
 }
 
 // FeedbackResponse reports the tenant's threshold after adjustment.
@@ -181,10 +241,18 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.collector.RecordQuery(req.User, res.Hit, res.Latency, res.SearchTime)
+	var matched string
+	if res.Hit && res.Entry != nil {
+		matched = res.Entry.Query
+	}
+	if s.cfg.Observer != nil {
+		s.cfg.Observer.ObserveQuery(req.User, req.Query, res.Hit, matched, res.Score)
+	}
 	writeJSON(w, QueryResponse{
 		Response:      res.Response,
 		Hit:           res.Hit,
 		Score:         res.Score,
+		Matched:       matched,
 		LatencyMicros: res.Latency.Microseconds(),
 		SearchMicros:  res.SearchTime.Microseconds(),
 		Tau:           tenant.Client.Tau(),
@@ -208,14 +276,33 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, "", http.StatusBadRequest, "user is required")
 		return
 	}
+	kind := req.Kind
+	if kind == "" {
+		kind = FeedbackFalseHit
+	}
+	if kind != FeedbackFalseHit && kind != FeedbackMissedDup {
+		s.fail(w, req.User, http.StatusBadRequest, "unknown feedback kind %q", req.Kind)
+		return
+	}
+	if kind == FeedbackMissedDup && (req.Query == "" || req.DuplicateOf == "") {
+		s.fail(w, req.User, http.StatusBadRequest, "missed_dup feedback requires query and duplicate_of")
+		return
+	}
 	tenant, err := s.cfg.Registry.Get(req.User)
 	if err != nil {
 		s.fail(w, req.User, http.StatusInternalServerError, "activating tenant: %v", err)
 		return
 	}
 	defer tenant.Release()
-	tenant.Client.ReportFalseHit()
+	if kind == FeedbackFalseHit {
+		tenant.Client.ReportFalseHit()
+	} else {
+		tenant.Client.ReportMissedHit()
+	}
 	s.collector.RecordFeedback(req.User)
+	if s.cfg.Observer != nil {
+		s.cfg.Observer.ObserveFeedback(req.User, Feedback{Kind: kind, Query: req.Query, Other: req.DuplicateOf})
+	}
 	writeJSON(w, FeedbackResponse{Tau: tenant.Client.Tau()})
 }
 
