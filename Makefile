@@ -3,7 +3,8 @@
 
 GO ?= go
 
-.PHONY: build check test race vet bench bench-json loadtest loadtest-fl clean
+.PHONY: build check test race vet bench bench-json loadtest loadtest-fl \
+	conformance fuzz-smoke loadtest-ann clean
 
 build:
 	$(GO) build ./...
@@ -19,9 +20,21 @@ test:
 # covered by `test` instead.
 race:
 	$(GO) test -race ./internal/core/ ./internal/server/ ./internal/cache/ \
-		./internal/store/ ./internal/fl/ ./internal/flserve/ ./internal/llmsim/
+		./internal/store/ ./internal/fl/ ./internal/flserve/ ./internal/llmsim/ \
+		./internal/index/
 
 check: vet build test race
+
+# conformance runs the cross-index property suite (Flat, IVF, HNSW,
+# Adaptive against a brute-force oracle) twice under the race detector.
+conformance:
+	$(GO) test -run Conformance -count=2 -race ./internal/index/...
+
+# fuzz-smoke is the nightly-style fuzz check: 30s of randomized
+# Add/Remove/Search programs checked for exact Flat parity and HNSW
+# result invariants.
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzSearchParity -fuzztime=30s -run xxx ./internal/index/
 
 # bench runs every benchmark in the repo (paper replays at the root,
 # micro-benchmarks in the internal packages).
@@ -56,6 +69,12 @@ loadtest-fl:
 		srv=$$!; sleep 2; \
 		./bin/loadgen -addr 127.0.0.1:18091 -users 50 -cached 8 -probes 12 -fl 3; \
 		rc=$$?; kill -INT $$srv; wait $$srv; exit $$rc
+
+# loadtest-ann is the large-cache ANN acceptance run: 200k entries per
+# tenant index, HNSW must beat the exact Flat scan ≥5× at recall@10
+# ≥ 0.95 (build takes a minute or two; the gate is enforced by exit code).
+loadtest-ann:
+	$(GO) run ./cmd/loadgen -scenario ann -ann-n 200000 -ann-queries 300 -ann-accept
 
 clean:
 	rm -rf bin

@@ -23,6 +23,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/benchfix"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/embed"
@@ -333,4 +334,27 @@ func BenchmarkServerCrossTenantBatchedEncode(b *testing.B) {
 	})
 	b.StopTimer()
 	b.ReportMetric(batcher.Stats().MeanBatch, "mean-batch")
+}
+
+// BenchmarkLargeCacheSearch compares the cache's similarity-search path
+// across the index tiers at the shared benchfix large-tenant operating
+// point (20k entries × 64 dims): the built-in parallel scan versus IVF,
+// HNSW and the int8-quantized HNSW. This is the quantity the adaptive
+// tiering trades on — the same FindSimilar call, orders of magnitude
+// apart in work. cmd/benchrunner publishes the same measurements to
+// BENCH_serving.json.
+func BenchmarkLargeCacheSearch(b *testing.B) {
+	for _, tier := range benchfix.LargeTenantTiers {
+		b.Run(tier, func(b *testing.B) {
+			c, probe, err := benchfix.LargeTenantCache(tier)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.FindSimilar(probe, 5, 0.8)
+			}
+		})
+	}
 }

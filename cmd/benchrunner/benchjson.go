@@ -11,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/benchfix"
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/embed"
@@ -83,6 +84,26 @@ func servingBenches() []servingBench {
 		{"CacheFindSimilar768x1000", benchFindSimilar},
 		{"CacheReembed768x500", benchReembed},
 		{"ServerQueryHit", benchServerQueryHit},
+		{"IndexScan64x20k", benchIndexTier("scan")},
+		{"IndexHNSW64x20k", benchIndexTier("hnsw")},
+		{"IndexHNSWInt8_64x20k", benchIndexTier("hnsw-int8")},
+	}
+}
+
+// benchIndexTier measures the large-tenant similarity-search path through
+// the cache on the shared benchfix operating point (20k entries × 64
+// dims), identical to bench_test.go's BenchmarkLargeCacheSearch.
+func benchIndexTier(tier string) func(b *testing.B) {
+	return func(b *testing.B) {
+		c, probe, err := benchfix.LargeTenantCache(tier)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.FindSimilar(probe, 5, 0.8)
+		}
 	}
 }
 

@@ -15,9 +15,17 @@
 // aggregate the global threshold, and every new global model is committed
 // to a versioned registry and hot-rolled into the running tenants.
 //
+// Each tenant's similarity search runs on the index tier picked with
+// -index: the built-in exact scan (default), flat, ivf, hnsw (optionally
+// int8-quantized with -hnsw-int8), or adaptive — which starts every
+// tenant on the exact scan and promotes to IVF and then HNSW as the
+// cache grows (-tier-flat-max / -tier-ivf-max), migrating in the
+// background. Indexed tenants stay indexed across evict/revive cycles.
+//
 // Usage:
 //
 //	cacheserve -addr 127.0.0.1:8090 -upstream 127.0.0.1:8080
+//	cacheserve -index adaptive -hnsw-int8
 //	cacheserve -fl -fl-interval 30s -fl-dir /var/lib/cacheserve/fl
 //	curl -X POST localhost:8090/v1/query -d '{"user":"u1","query":"what is FL?"}'
 //	curl -X POST localhost:8090/v1/fl/round
@@ -27,6 +35,7 @@ package main
 
 import (
 	"flag"
+	"fmt"
 	"log"
 	"os"
 	"os/signal"
@@ -36,6 +45,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/embed"
 	"repro/internal/flserve"
+	"repro/internal/index"
 	"repro/internal/llmsim"
 	"repro/internal/server"
 	"repro/internal/store"
@@ -56,6 +66,16 @@ func main() {
 		topK     = flag.Int("topk", 5, "candidates context-checked per query")
 		capacity = flag.Int("tenant-capacity", 4096, "cache entries per tenant (0 = unbounded)")
 		step     = flag.Float64("feedback-step", 0.01, "τ increase per false-hit report (0 disables)")
+
+		indexKind  = flag.String("index", "scan", "per-tenant vector index: scan (built-in parallel scan), flat, ivf, hnsw or adaptive")
+		hnswM      = flag.Int("hnsw-m", 16, "HNSW links per node (level 0 allows 2×)")
+		hnswEfCons = flag.Int("hnsw-ef-construction", 200, "HNSW insertion beam width")
+		hnswEf     = flag.Int("hnsw-ef-search", 96, "HNSW query beam width")
+		hnswInt8   = flag.Bool("hnsw-int8", false, "HNSW: score traversal against int8 codes, rescore top candidates in float32")
+		ivfNList   = flag.Int("ivf-nlist", 64, "IVF inverted lists")
+		ivfNProbe  = flag.Int("ivf-nprobe", 8, "IVF lists probed per query")
+		tierFlat   = flag.Int("tier-flat-max", 4096, "adaptive: promote Flat→IVF past this entry count")
+		tierIVF    = flag.Int("tier-ivf-max", 65536, "adaptive: promote IVF→HNSW past this entry count")
 
 		shards     = flag.Int("shards", 16, "tenant registry shards")
 		maxTenants = flag.Int("max-tenants", 0, "resident tenant bound (0 = unbounded)")
@@ -139,6 +159,19 @@ func main() {
 		flHooks = &flserve.LateHooks{}
 	}
 
+	idxFactory, err := indexFactory(*indexKind, indexParams{
+		hnsw: index.HNSWConfig{
+			M: *hnswM, EfConstruction: *hnswEfCons, EfSearch: *hnswEf,
+			Seed: *seed, Quantized: *hnswInt8,
+		},
+		ivf:     index.IVFConfig{NList: *ivfNList, NProbe: *ivfNProbe, Seed: *seed},
+		flatMax: *tierFlat,
+		ivfMax:  *tierIVF,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	reg, err := server.NewRegistry(server.RegistryConfig{
 		Shards:     *shards,
 		MaxTenants: *maxTenants,
@@ -152,6 +185,7 @@ func main() {
 				TopK:         *topK,
 				Capacity:     *capacity,
 				FeedbackStep: float32(*step),
+				IndexFactory: idxFactory,
 			})
 		},
 		Hooks: tenantHooks(flHooks),
@@ -245,6 +279,37 @@ func orInProcess(upstream string) string {
 		return "in-process"
 	}
 	return upstream
+}
+
+// indexParams carries the per-tier knobs from flags to the factory.
+type indexParams struct {
+	hnsw    index.HNSWConfig
+	ivf     index.IVFConfig
+	flatMax int
+	ivfMax  int
+}
+
+// indexFactory maps the -index flag to a per-tenant index constructor
+// (nil = the cache's built-in parallel scan).
+func indexFactory(kind string, p indexParams) (func(dim int) index.Index, error) {
+	switch kind {
+	case "scan", "":
+		return nil, nil
+	case "flat":
+		return func(dim int) index.Index { return index.NewFlat(dim) }, nil
+	case "ivf":
+		return func(dim int) index.Index { return index.NewIVF(dim, p.ivf) }, nil
+	case "hnsw":
+		return func(dim int) index.Index { return index.NewHNSW(dim, p.hnsw) }, nil
+	case "adaptive":
+		return func(dim int) index.Index {
+			return index.NewAdaptive(dim, index.AdaptiveConfig{
+				FlatMax: p.flatMax, IVFMax: p.ivfMax, IVF: p.ivf, HNSW: p.hnsw,
+			})
+		}, nil
+	default:
+		return nil, fmt.Errorf("unknown -index %q (want scan, flat, ivf, hnsw or adaptive)", kind)
+	}
 }
 
 // tenantHooks/observer avoid typed-nil interfaces when FL is off.

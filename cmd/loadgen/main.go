@@ -20,10 +20,17 @@
 // hit-ratio/F1/τ trajectory across rounds against the phase-0
 // frozen-model baseline.
 //
+// With -scenario ann the generator instead benchmarks the large-cache
+// index tiers in process (no server): it builds a clustered corpus under
+// each requested index (-ann-indexes) and reports recall@k plus latency
+// percentiles against the exact Flat ground truth, with an optional
+// acceptance gate (-ann-accept: HNSW ≥5× Flat at recall@10 ≥ 0.95).
+//
 // Usage:
 //
 //	loadgen -addr 127.0.0.1:8090 -users 100 -probes 12 -concurrency 32
 //	loadgen -addr 127.0.0.1:8090 -users 50 -fl 3
+//	loadgen -scenario ann -ann-n 200000 -ann-accept
 package main
 
 import (
@@ -78,8 +85,31 @@ func main() {
 		seed        = flag.Int64("seed", 42, "workload generation seed")
 		timeout     = flag.Duration("timeout", 30*time.Second, "per-request timeout")
 		flRounds    = flag.Int("fl", 0, "online FL rounds to drive (0 = classic load test)")
+
+		scenario   = flag.String("scenario", "serve", "serve (drive a cacheserve instance) or ann (in-process large-cache index comparison)")
+		annN       = flag.Int("ann-n", 200000, "ann: corpus size")
+		annDim     = flag.Int("ann-dim", 64, "ann: vector dimensionality")
+		annQueries = flag.Int("ann-queries", 500, "ann: measured queries")
+		annK       = flag.Int("ann-k", 10, "ann: neighbors per query (recall@k)")
+		annIndexes = flag.String("ann-indexes", "flat,ivf,hnsw,hnsw8", "ann: indexes to compare (must start with flat)")
+		annM       = flag.Int("ann-m", 16, "ann: HNSW links per node")
+		annEfCons  = flag.Int("ann-ef-construction", 100, "ann: HNSW insertion beam width")
+		annEf      = flag.Int("ann-ef-search", 96, "ann: HNSW query beam width")
+		annAccept  = flag.Bool("ann-accept", false, "ann: exit non-zero if the acceptance gate fails")
 	)
 	flag.Parse()
+
+	if *scenario == "ann" {
+		runANN(annConfig{
+			n: *annN, dim: *annDim, queries: *annQueries, k: *annK,
+			seed: *seed, indexes: *annIndexes,
+			m: *annM, efCons: *annEfCons, ef: *annEf, accept: *annAccept,
+		})
+		return
+	}
+	if *scenario != "serve" {
+		log.Fatalf("unknown -scenario %q (want serve or ann)", *scenario)
+	}
 
 	r := &runner{
 		client: &http.Client{Timeout: *timeout},

@@ -1,9 +1,10 @@
 // Largescale: semantic search beyond user-side cache sizes.
 //
 // §III-B notes the semantic search must scale toward a million cached
-// entries. This example indexes 100,000 PCA-compressed embeddings two
-// ways — the exact parallel flat scan and the approximate IVF inverted-
-// file index — and compares search latency and top-1 agreement.
+// entries. This example indexes 100,000 PCA-compressed embeddings four
+// ways — the exact parallel flat scan, the IVF inverted-file index, the
+// HNSW graph and its int8-quantized variant — and compares search latency
+// and top-1 agreement with the exact scan.
 //
 // Run with: go run ./examples/largescale
 package main
@@ -13,8 +14,8 @@ import (
 	"math/rand"
 	"time"
 
+	"repro/internal/dataset"
 	"repro/internal/index"
-	"repro/internal/vecmath"
 )
 
 func main() {
@@ -24,64 +25,63 @@ func main() {
 	)
 	fmt.Printf("generating %d compressed embeddings (%d-d)...\n", n, dim)
 	rng := rand.New(rand.NewSource(1))
-	// Clustered geometry, as real query embeddings are: topics form lobes.
-	anchors := make([][]float32, 256)
-	for i := range anchors {
-		anchors[i] = randUnit(rng, dim)
-	}
-	vecs := make([][]float32, n)
-	for i := range vecs {
-		v := vecmath.Clone(anchors[i%len(anchors)])
-		for j := range v {
-			v[j] += float32(rng.NormFloat64() * 0.25)
-		}
-		vecmath.Normalize(v)
-		vecs[i] = v
-	}
+	// Clustered geometry, as real query embeddings are: topics form lobes
+	// (dataset.ClusteredVectors scales noise by 1/√dim so cluster
+	// tightness matches embedding space regardless of the compression
+	// dimension).
+	vecs := dataset.ClusteredVectors(rng, n, 256, dim, 0.35)
 
-	flat := index.NewFlat(dim)
-	ivf := index.NewIVF(dim, index.IVFConfig{NList: 317, NProbe: 16, Seed: 2})
-	for i, v := range vecs {
-		flat.Add(i, v)
-		ivf.Add(i, v)
+	hnswCfg := index.HNSWConfig{M: 16, EfConstruction: 100, EfSearch: 96, Seed: 2}
+	hnsw8Cfg := hnswCfg
+	hnsw8Cfg.Quantized = true
+	indexes := []struct {
+		name string
+		idx  index.Index
+	}{
+		{"flat (exact)", index.NewFlat(dim)},
+		{"ivf (nprobe=16)", index.NewIVF(dim, index.IVFConfig{NList: 317, NProbe: 16, Seed: 2})},
+		{"hnsw (ef=96)", index.NewHNSW(dim, hnswCfg)},
+		{"hnsw-int8 (ef=96)", index.NewHNSW(dim, hnsw8Cfg)},
 	}
-	ivf.Train()
+	for _, e := range indexes {
+		start := time.Now()
+		for i, v := range vecs {
+			e.idx.Add(i, v)
+		}
+		if ivf, ok := e.idx.(*index.IVF); ok {
+			ivf.Train() // re-cluster on the full corpus, not the bootstrap sample
+		}
+		fmt.Printf("built %-18s in %v\n", e.name, time.Since(start).Round(time.Millisecond))
+	}
 
 	const probes = 200
-	var flatTime, ivfTime time.Duration
-	agree := 0
+	times := make([]time.Duration, len(indexes))
+	agree := make([]int, len(indexes))
 	for q := 0; q < probes; q++ {
-		probe := vecmath.Clone(vecs[rng.Intn(n)])
-		for j := range probe {
-			probe[j] += float32(rng.NormFloat64() * 0.1)
-		}
-		vecmath.Normalize(probe)
+		probe := dataset.PerturbUnit(rng, vecs[rng.Intn(n)], 0.2)
 
-		start := time.Now()
-		exact := flat.Search(probe, 1, 0.5)
-		flatTime += time.Since(start)
-
-		start = time.Now()
-		approx := ivf.Search(probe, 1, 0.5)
-		ivfTime += time.Since(start)
-
-		if len(exact) == 1 && len(approx) == 1 && exact[0].ID == approx[0].ID {
-			agree++
+		var exact []index.Hit
+		for i, e := range indexes {
+			start := time.Now()
+			hits := e.idx.Search(probe, 1, 0.5)
+			times[i] += time.Since(start)
+			if i == 0 {
+				exact = hits
+				agree[0]++
+				continue
+			}
+			// Agreement: same top-1, or both (correctly) empty.
+			if len(exact) == 0 && len(hits) == 0 ||
+				len(exact) == 1 && len(hits) == 1 && exact[0].ID == hits[0].ID {
+				agree[i]++
+			}
 		}
 	}
 
-	fmt.Printf("\n%-22s %14s\n", "index", "search/query")
-	fmt.Printf("%-22s %14v\n", "flat (exact)", (flatTime / probes).Round(time.Microsecond))
-	fmt.Printf("%-22s %14v\n", "ivf (nprobe=16)", (ivfTime / probes).Round(time.Microsecond))
-	fmt.Printf("\ntop-1 agreement with exact search: %d/%d\n", agree, probes)
-	fmt.Printf("speedup: %.1fx\n", float64(flatTime)/float64(ivfTime))
-}
-
-func randUnit(rng *rand.Rand, d int) []float32 {
-	v := make([]float32, d)
-	for i := range v {
-		v[i] = float32(rng.NormFloat64())
+	fmt.Printf("\n%-18s %14s %10s %10s\n", "index", "search/query", "top-1", "speedup")
+	for i, e := range indexes {
+		fmt.Printf("%-18s %14v %7d/%d %9.1fx\n",
+			e.name, (times[i] / probes).Round(time.Microsecond),
+			agree[i], probes, float64(times[0])/float64(times[i]))
 	}
-	vecmath.Normalize(v)
-	return v
 }

@@ -1,0 +1,78 @@
+// Package benchfix holds shared fixtures for the serving benchmarks, so
+// the root bench harness (bench_test.go) and cmd/benchrunner's JSON mode
+// measure the same operating points — one definition of the corpus, tier
+// parameters and probe, no drift between the in-repo numbers and the
+// published BENCH_serving.json rows.
+package benchfix
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"repro/internal/cache"
+	"repro/internal/dataset"
+	"repro/internal/index"
+)
+
+// The large-tenant operating point: a cache big enough that the index
+// tiers separate clearly, at the PCA-compressed dimensionality
+// (§III-A.4).
+const (
+	LargeTenantN   = 20000
+	LargeTenantDim = 64
+)
+
+// LargeTenantTiers lists the tier names LargeTenantCache accepts.
+var LargeTenantTiers = []string{"scan", "ivf", "hnsw", "hnsw-int8"}
+
+// fixtures memoises the built caches: the testing package re-invokes a
+// Benchmark function with growing b.N to calibrate, and rebuilding a 20k
+// HNSW graph per calibration round would dominate the run. Searches do
+// not mutate the cache, so sharing is safe.
+var fixtures sync.Map // tier → *fixture
+
+type fixture struct {
+	once  sync.Once
+	c     *cache.Cache
+	probe []float32
+	err   error
+}
+
+// LargeTenantCache returns the benchmark cache for the named tier —
+// "scan" (the built-in parallel flat scan), "ivf", "hnsw" or "hnsw-int8"
+// — populated with the fixed-seed clustered corpus, plus a near-duplicate
+// probe. The fixture is built once per process and shared.
+func LargeTenantCache(tier string) (*cache.Cache, []float32, error) {
+	v, _ := fixtures.LoadOrStore(tier, &fixture{})
+	f := v.(*fixture)
+	f.once.Do(func() { f.c, f.probe, f.err = buildLargeTenantCache(tier) })
+	return f.c, f.probe, f.err
+}
+
+func buildLargeTenantCache(tier string) (*cache.Cache, []float32, error) {
+	hnswCfg := index.HNSWConfig{M: 16, EfConstruction: 80, EfSearch: 96, Seed: 1}
+	var c *cache.Cache
+	switch tier {
+	case "scan":
+		c = cache.New(LargeTenantDim, 0, cache.LRU{})
+	case "ivf":
+		c = cache.NewWithIndex(LargeTenantDim, 0, cache.LRU{},
+			index.NewIVF(LargeTenantDim, index.IVFConfig{NList: 141, NProbe: 12, Seed: 1}))
+	case "hnsw":
+		c = cache.NewWithIndex(LargeTenantDim, 0, cache.LRU{}, index.NewHNSW(LargeTenantDim, hnswCfg))
+	case "hnsw-int8":
+		hnswCfg.Quantized = true
+		c = cache.NewWithIndex(LargeTenantDim, 0, cache.LRU{}, index.NewHNSW(LargeTenantDim, hnswCfg))
+	default:
+		return nil, nil, fmt.Errorf("benchfix: unknown tier %q", tier)
+	}
+	rng := rand.New(rand.NewSource(7))
+	vecs := dataset.ClusteredVectors(rng, LargeTenantN, 128, LargeTenantDim, 0.4)
+	for i, v := range vecs {
+		if _, err := c.Put(fmt.Sprintf("q%d", i), "r", v, cache.NoParent); err != nil {
+			return nil, nil, err
+		}
+	}
+	return c, dataset.PerturbUnit(rng, vecs[0], 0.2), nil
+}

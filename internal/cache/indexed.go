@@ -4,13 +4,16 @@ import (
 	"fmt"
 
 	"repro/internal/index"
+	"repro/internal/store"
 )
 
 // NewWithIndex creates a cache whose similarity search is delegated to the
-// given vector index instead of the built-in parallel flat scan. Use an
-// index.IVF for very large caches (§III-B cites million-entry semantic
-// search); the built-in scan remains the default for user-side cache
-// sizes. The index must be empty and match dim.
+// given vector index instead of the built-in parallel flat scan: an
+// index.IVF or index.HNSW for very large caches (§III-B cites
+// million-entry semantic search), or an index.Adaptive to let each tenant
+// start on the exact scan and promote as it grows. The built-in scan
+// remains the default for user-side cache sizes. The index must be empty
+// and match dim.
 func NewWithIndex(dim, capacity int, policy Policy, idx index.Index) *Cache {
 	if idx.Dim() != dim {
 		panic(fmt.Sprintf("cache: index dim %d != cache dim %d", idx.Dim(), dim))
@@ -21,6 +24,30 @@ func NewWithIndex(dim, capacity int, policy Policy, idx index.Index) *Cache {
 	c := New(dim, capacity, policy)
 	c.idx = idx
 	return c
+}
+
+// LoadFromWithIndex rebuilds a cache from records written by SaveTo, like
+// LoadFrom, and attaches the given (empty) vector index, inserting every
+// revived embedding into it — the revival path for tenants served through
+// an external index.
+func LoadFromWithIndex(st *store.Store, dim, capacity int, policy Policy, idx index.Index) (*Cache, error) {
+	if idx.Dim() != dim {
+		return nil, fmt.Errorf("cache: index dim %d != cache dim %d", idx.Dim(), dim)
+	}
+	if idx.Len() != 0 {
+		return nil, fmt.Errorf("cache: index must start empty")
+	}
+	c, err := LoadFrom(st, dim, capacity, policy)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range c.entries {
+		if err := idx.Add(e.ID, e.Embedding); err != nil {
+			return nil, fmt.Errorf("cache: indexing revived entry %d: %w", e.ID, err)
+		}
+	}
+	c.idx = idx
+	return c, nil
 }
 
 // Indexed reports whether an external vector index is attached.

@@ -2,10 +2,12 @@ package cache
 
 import (
 	"fmt"
+	"path/filepath"
 	"sync"
 	"testing"
 
 	"repro/internal/index"
+	"repro/internal/store"
 )
 
 func TestIndexedCacheMatchesFlatCache(t *testing.T) {
@@ -145,5 +147,119 @@ func TestIndexedCacheConcurrent(t *testing.T) {
 		if len(ms) == 0 {
 			t.Fatalf("live entry %d missing from index", e.ID)
 		}
+	}
+}
+
+// TestAdaptiveIndexedCacheConcurrent runs the same serving mix over an
+// adaptive index with thresholds low enough that both tier promotions
+// (Flat→IVF→HNSW) happen mid-traffic, with background migrations racing
+// live Put/FindSimilar/Remove.
+func TestAdaptiveIndexedCacheConcurrent(t *testing.T) {
+	const (
+		dim     = 16
+		writers = 4
+		readers = 4
+		perG    = 300
+	)
+	adaptive := index.NewAdaptive(dim, index.AdaptiveConfig{
+		FlatMax: 100, IVFMax: 400,
+		IVF:  index.IVFConfig{NList: 8, NProbe: 8, Seed: 1},
+		HNSW: index.HNSWConfig{M: 8, EfConstruction: 60, EfSearch: 64, Seed: 1},
+	})
+	c := NewWithIndex(dim, 0, LRU{}, adaptive)
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				s := int64(w*perG + i)
+				id, err := c.Put(fmt.Sprintf("w%d-q%d", w, i), "r", unit(dim, s), NoParent)
+				if err != nil {
+					t.Errorf("Put: %v", err)
+					return
+				}
+				if i%9 == 0 {
+					c.Remove(id)
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				for _, m := range c.FindSimilar(unit(dim, int64(r*perG+i)), 3, 0.1) {
+					if m.Entry == nil || len(m.Entry.Embedding) != dim {
+						t.Error("FindSimilar returned a malformed match")
+						return
+					}
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	adaptive.WaitMigration()
+
+	if got := adaptive.Tier(); got != "hnsw" {
+		t.Fatalf("tier = %s after %d puts, want hnsw", got, writers*perG)
+	}
+	if c.Len() != adaptive.Len() {
+		t.Fatalf("cache Len %d != index Len %d", c.Len(), adaptive.Len())
+	}
+	for _, e := range c.Entries() {
+		if ms := c.FindSimilar(e.Embedding, 1, 0.999); len(ms) == 0 {
+			t.Fatalf("live entry %d missing from promoted index", e.ID)
+		}
+	}
+}
+
+// TestLoadFromWithIndex covers the indexed-tenant revival path: a saved
+// cache reloaded onto a fresh index must have every entry searchable
+// through it.
+func TestLoadFromWithIndex(t *testing.T) {
+	st, err := store.Open(filepath.Join(t.TempDir(), "cache.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	c := New(8, 0, LRU{})
+	ids := make([]int, 20)
+	for i := int64(0); i < 20; i++ {
+		id, err := c.Put(fmt.Sprintf("q%d", i), "r", unit(8, i), NoParent)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+	}
+	if err := c.SaveTo(st); err != nil {
+		t.Fatal(err)
+	}
+
+	revived, err := LoadFromWithIndex(st, 8, 0, LRU{},
+		index.NewHNSW(8, index.HNSWConfig{M: 8, EfConstruction: 40, EfSearch: 40, Seed: 2}))
+	if err != nil {
+		t.Fatalf("LoadFromWithIndex: %v", err)
+	}
+	if !revived.Indexed() || revived.Len() != 20 {
+		t.Fatalf("revived: Indexed=%v Len=%d", revived.Indexed(), revived.Len())
+	}
+	for i := int64(0); i < 20; i++ {
+		ms := revived.FindSimilar(unit(8, i), 1, 0.999)
+		if len(ms) != 1 || ms[0].Entry.ID != ids[i] {
+			t.Fatalf("revived entry %d not searchable through the index", ids[i])
+		}
+	}
+
+	// Error paths: wrong dimension, pre-populated index.
+	if _, err := LoadFromWithIndex(st, 8, 0, LRU{}, index.NewFlat(9)); err == nil {
+		t.Fatal("dim mismatch accepted")
+	}
+	used := index.NewFlat(8)
+	used.Add(1, unit(8, 1))
+	if _, err := LoadFromWithIndex(st, 8, 0, LRU{}, used); err == nil {
+		t.Fatal("non-empty index accepted")
 	}
 }

@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/embed"
+	"repro/internal/index"
 	"repro/internal/vecmath"
 )
 
@@ -53,6 +54,12 @@ type Options struct {
 	// eviction victims (default LRU, as in Figure 1).
 	Capacity int
 	Policy   cache.Policy
+	// IndexFactory, when non-nil, builds the vector index backing the
+	// cache's similarity search (index.NewHNSW, index.NewAdaptive, …)
+	// instead of the built-in parallel flat scan. The serving layer also
+	// uses it when reviving a persisted tenant, so indexed tenants stay
+	// indexed across evictions.
+	IndexFactory func(dim int) index.Index
 	// FeedbackStep is how much a false-hit report raises Tau (§III-A.2:
 	// the threshold adapts from user feedback). Zero disables adjustment.
 	FeedbackStep float32
@@ -98,7 +105,11 @@ func New(opts Options) *Client {
 	if opts.Policy == nil {
 		opts.Policy = cache.LRU{}
 	}
-	return NewWithCache(opts, cache.New(opts.Encoder.Dim(), opts.Capacity, opts.Policy))
+	dim := opts.Encoder.Dim()
+	if opts.IndexFactory != nil {
+		return NewWithCache(opts, cache.NewWithIndex(dim, opts.Capacity, opts.Policy, opts.IndexFactory(dim)))
+	}
+	return NewWithCache(opts, cache.New(dim, opts.Capacity, opts.Policy))
 }
 
 // NewWithCache builds a Client around an existing cache — typically one

@@ -286,3 +286,44 @@ func TestNewIntentSharingSharesConcepts(t *testing.T) {
 		t.Fatal("hard negative should share the question prefix")
 	}
 }
+
+func TestClusteredVectors(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	vecs := ClusteredVectors(rng, 64, 8, 32, 0.35)
+	if len(vecs) != 64 {
+		t.Fatalf("got %d vectors", len(vecs))
+	}
+	for i, v := range vecs {
+		if len(v) != 32 {
+			t.Fatalf("vector %d has dim %d", i, len(v))
+		}
+		var norm float64
+		for _, x := range v {
+			norm += float64(x) * float64(x)
+		}
+		if norm < 0.99 || norm > 1.01 {
+			t.Fatalf("vector %d has norm² %f, want 1", i, norm)
+		}
+	}
+	// Same-cluster members (round-robin: i and i+8) must be far more
+	// similar than cross-cluster ones.
+	dot := func(a, b []float32) float64 {
+		var s float64
+		for i := range a {
+			s += float64(a[i]) * float64(b[i])
+		}
+		return s
+	}
+	if same, cross := dot(vecs[0], vecs[8]), dot(vecs[0], vecs[1]); same < cross+0.3 {
+		t.Fatalf("cluster structure missing: same %.3f, cross %.3f", same, cross)
+	}
+	// Determinism: the same seed reproduces the corpus.
+	again := ClusteredVectors(rand.New(rand.NewSource(5)), 64, 8, 32, 0.35)
+	for i := range vecs {
+		for j := range vecs[i] {
+			if vecs[i][j] != again[i][j] {
+				t.Fatal("ClusteredVectors not deterministic for a fixed seed")
+			}
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package index
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+// TestGoldenRecall pins recall@10 on a fixed-seed corpus for every
+// approximate configuration, so a parameter regression (smaller ef, a
+// broken neighbor heuristic, a mis-tuned nprobe) fails loudly here
+// instead of silently degrading the serving hit ratio.
+//
+// The floors are the measured recall minus a 0.02 safety margin. If a
+// deliberate change improves recall, re-measure (go test -run GoldenRecall
+// -v prints the observed values) and raise the floors; never lower a
+// floor to make a regression pass.
+func TestGoldenRecall(t *testing.T) {
+	const (
+		n       = 4000
+		dim     = 32
+		queries = 200
+		k       = 10
+		seed    = 1234
+	)
+	golden := []struct {
+		name   string
+		build  func() Index
+		golden float64 // measured recall@10 at the pinned seed
+	}{
+		{
+			name:   "ivf-nlist64-nprobe8",
+			build:  func() Index { return NewIVF(dim, IVFConfig{NList: 64, NProbe: 8, Seed: seed}) },
+			golden: 0.831,
+		},
+		{
+			name:   "hnsw-m16-ef96",
+			build:  func() Index { return NewHNSW(dim, HNSWConfig{M: 16, EfConstruction: 100, EfSearch: 96, Seed: seed}) },
+			golden: 1.000,
+		},
+		{
+			name: "hnsw-int8-m16-ef96",
+			build: func() Index {
+				return NewHNSW(dim, HNSWConfig{M: 16, EfConstruction: 100, EfSearch: 96, Seed: seed, Quantized: true})
+			},
+			golden: 0.999,
+		},
+		{
+			name: "hnsw-m8-ef32",
+			build: func() Index {
+				return NewHNSW(dim, HNSWConfig{M: 8, EfConstruction: 60, EfSearch: 32, Seed: seed})
+			},
+			golden: 0.977,
+		},
+		{
+			name: "adaptive-promoted",
+			build: func() Index {
+				return NewAdaptive(dim, AdaptiveConfig{
+					FlatMax: 500, IVFMax: 1500,
+					IVF:  IVFConfig{NList: 32, NProbe: 8, Seed: seed},
+					HNSW: HNSWConfig{M: 16, EfConstruction: 100, EfSearch: 96, Seed: seed},
+				})
+			},
+			golden: 1.000,
+		},
+	}
+
+	// Overlapping clusters (total noise norm ~0.9) make the neighbor
+	// problem genuinely hard, so the measured recalls sit below 1.0 and
+	// parameter regressions move them.
+	rng := rand.New(rand.NewSource(seed))
+	anchors := makeAnchors(rng, 256, dim)
+	loose := func() []float32 {
+		return dataset.PerturbUnit(rng, anchors[rng.Intn(len(anchors))], 0.9)
+	}
+	corpus := make([][]float32, n)
+	for i := range corpus {
+		corpus[i] = loose()
+	}
+	probes := make([][]float32, queries)
+	for i := range probes {
+		probes[i] = loose()
+	}
+	truth := NewFlat(dim)
+	for i, v := range corpus {
+		truth.Add(i, v)
+	}
+
+	for _, g := range golden {
+		t.Run(g.name, func(t *testing.T) {
+			idx := g.build()
+			for i, v := range corpus {
+				if err := idx.Add(i, v); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if ivf, ok := idx.(*IVF); ok && !ivf.Trained() {
+				ivf.Train()
+			}
+			if a, ok := idx.(*Adaptive); ok {
+				a.WaitMigration()
+				if tier := a.Tier(); tier != "hnsw" {
+					t.Fatalf("adaptive stuck on tier %s", tier)
+				}
+			}
+			var inter, total int
+			for _, q := range probes {
+				want := truth.Search(q, k, -1)
+				got := idx.Search(q, k, -1)
+				in := make(map[int]bool, len(got))
+				for _, h := range got {
+					in[h.ID] = true
+				}
+				for _, h := range want {
+					total++
+					if in[h.ID] {
+						inter++
+					}
+				}
+			}
+			recall := float64(inter) / float64(total)
+			t.Logf("%s recall@%d = %.3f (golden %.3f)", g.name, k, recall, g.golden)
+			if recall < g.golden-0.02 {
+				t.Fatalf("%s: recall@%d %.3f regressed below golden %.3f − 0.02", g.name, k, recall, g.golden)
+			}
+		})
+	}
+}

@@ -1,7 +1,7 @@
 // Package index provides the vector-similarity indexes behind the semantic
 // cache's FindSimilarQueriesinCache step (Algorithm 1).
 //
-// Two implementations share one interface:
+// Four implementations share one interface:
 //
 //   - Flat: exact brute-force cosine scan, parallelised across the worker
 //     pool. Right for user-side caches (thousands of entries).
@@ -9,6 +9,13 @@
 //     lists; a query probes only the nearest lists. Approximate but
 //     sub-linear, for the million-entry regime §III-B cites (SBERT's
 //     semantic search "can handle up to 1 million entries").
+//   - HNSW: a hierarchical navigable-small-world graph with logarithmic
+//     search, tunable via M/efConstruction/efSearch, and an optional int8
+//     storage mode (internal/quantize) that scores graph traversal against
+//     quantised codes and rescores the top candidates in float32.
+//   - Adaptive: a tiering wrapper that starts Flat and promotes to IVF and
+//     then HNSW as the tenant's cache grows past configurable thresholds,
+//     migrating in the background so searches keep being served.
 //
 // All vectors must be unit-norm (dot product = cosine), which is the
 // contract internal/embed guarantees.
@@ -16,6 +23,7 @@ package index
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/vecmath"
 )
@@ -27,16 +35,19 @@ type Hit struct {
 }
 
 // Index is a maintained set of unit vectors searchable by cosine
-// similarity. Implementations are safe for concurrent Search; Add/Remove
-// must be externally serialised with respect to each other (the cache
-// holds its own write lock).
+// similarity. Implementations guard their state internally: Search may run
+// concurrently with other Searches and with Add/Remove. Add/Remove are
+// serialised by the implementation's own write lock, so external callers
+// (the cache holds its own write lock around mutations) compose without
+// extra coordination.
 type Index interface {
 	// Add stores vec under id. The id must be unique; vec must have the
-	// index's dimension.
+	// index's dimension. The vector is copied — callers may reuse vec.
 	Add(id int, vec []float32) error
 	// Remove deletes id; removing an absent id is a no-op.
 	Remove(id int)
-	// Search returns up to k hits with score >= tau, best first.
+	// Search returns up to k hits with score >= tau, ordered by
+	// descending score with ties broken by ascending ID.
 	Search(vec []float32, k int, tau float32) []Hit
 	// Len reports the number of stored vectors.
 	Len() int
@@ -44,12 +55,42 @@ type Index interface {
 	Dim() int
 }
 
-// sortHits orders by descending score, ties by ascending ID.
+// iterable is the internal enumeration contract over an index's contents.
+// fn must not retain vec across calls; implementations may pass views
+// into internal storage. forEach holds the index's read lock for the full
+// pass — fine for tests and small indexes, but Adaptive migration uses
+// the snapshotter protocol instead so one long pass cannot park a writer
+// (and, via RWMutex writer preference, every later reader) behind it.
+type iterable interface {
+	forEach(fn func(id int, vec []float32))
+}
+
+// snapshotter is the incremental-snapshot contract Adaptive migration
+// uses: idList returns the stored IDs under one short read lock, and
+// vecClone copies a single vector under its own short read lock (nil if
+// the ID is gone). Entries added or removed between calls are reconciled
+// by the migration journal.
+type snapshotter interface {
+	idList() []int
+	vecClone(id int) []float32
+}
+
+// hitBetter reports whether a ranks before b: descending score, ties by
+// ascending ID. Every search path uses this single comparator so tie
+// ordering is identical across all four index implementations.
+func hitBetter(a, b Hit) bool {
+	if a.Score != b.Score {
+		return a.Score > b.Score
+	}
+	return a.ID < b.ID
+}
+
+// sortHits orders by descending score, ties by ascending ID (insertion
+// sort — used for small, already-truncated slices).
 func sortHits(hs []Hit) {
 	for i := 1; i < len(hs); i++ {
 		for j := i; j > 0; j-- {
-			if hs[j].Score > hs[j-1].Score ||
-				(hs[j].Score == hs[j-1].Score && hs[j].ID < hs[j-1].ID) {
+			if hitBetter(hs[j], hs[j-1]) {
 				hs[j], hs[j-1] = hs[j-1], hs[j]
 			} else {
 				break
@@ -58,8 +99,65 @@ func sortHits(hs []Hit) {
 	}
 }
 
+// topKHits selects the best k of hs in hitBetter order, destructively
+// reordering hs. For small inputs it falls back to the insertion sort;
+// beyond that it runs bounded heap selection — a size-k min-heap whose
+// root is the worst retained hit — for O(n log k) instead of the O(n·k)
+// the insertion sort degrades to once candidate lists are long.
+func topKHits(hs []Hit, k int) []Hit {
+	if k <= 0 {
+		return nil
+	}
+	if len(hs) <= k || len(hs) <= 32 {
+		sortHits(hs)
+		if len(hs) > k {
+			hs = hs[:k]
+		}
+		return hs
+	}
+	// Build the min-heap (worst at the root) over the first k hits.
+	heap := hs[:k]
+	for i := k/2 - 1; i >= 0; i-- {
+		siftDownHits(heap, i)
+	}
+	for _, h := range hs[k:] {
+		if hitBetter(h, heap[0]) {
+			heap[0] = h
+			siftDownHits(heap, 0)
+		}
+	}
+	// Heap-sort the survivors into hitBetter order: repeatedly swap the
+	// root (worst remaining) to the back.
+	for end := k - 1; end > 0; end-- {
+		heap[0], heap[end] = heap[end], heap[0]
+		siftDownHits(heap[:end], 0)
+	}
+	return heap
+}
+
+// siftDownHits restores the min-heap property (worst hit at the root)
+// below position i.
+func siftDownHits(heap []Hit, i int) {
+	for {
+		left := 2*i + 1
+		if left >= len(heap) {
+			return
+		}
+		worst := left
+		if right := left + 1; right < len(heap) && hitBetter(heap[left], heap[right]) {
+			worst = right
+		}
+		if hitBetter(heap[worst], heap[i]) {
+			return
+		}
+		heap[i], heap[worst] = heap[worst], heap[i]
+		i = worst
+	}
+}
+
 // Flat is the exact index: a dense scan over all stored vectors.
 type Flat struct {
+	mu   sync.RWMutex
 	dim  int
 	ids  []int
 	vecs []float32 // row-major, len(ids) × dim
@@ -78,13 +176,19 @@ func NewFlat(dim int) *Flat {
 func (f *Flat) Dim() int { return f.dim }
 
 // Len implements Index.
-func (f *Flat) Len() int { return len(f.ids) }
+func (f *Flat) Len() int {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return len(f.ids)
+}
 
 // Add implements Index.
 func (f *Flat) Add(id int, vec []float32) error {
 	if len(vec) != f.dim {
 		return fmt.Errorf("index: vector dim %d, want %d", len(vec), f.dim)
 	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	if _, dup := f.pos[id]; dup {
 		return fmt.Errorf("index: duplicate id %d", id)
 	}
@@ -96,6 +200,8 @@ func (f *Flat) Add(id int, vec []float32) error {
 
 // Remove implements Index (swap-delete).
 func (f *Flat) Remove(id int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	i, ok := f.pos[id]
 	if !ok {
 		return
@@ -109,11 +215,42 @@ func (f *Flat) Remove(id int) {
 	delete(f.pos, id)
 }
 
+// forEach implements iterable.
+func (f *Flat) forEach(fn func(id int, vec []float32)) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	for i, id := range f.ids {
+		fn(id, f.vecs[i*f.dim:(i+1)*f.dim])
+	}
+}
+
+// idList implements snapshotter.
+func (f *Flat) idList() []int {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	out := make([]int, len(f.ids))
+	copy(out, f.ids)
+	return out
+}
+
+// vecClone implements snapshotter.
+func (f *Flat) vecClone(id int) []float32 {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	i, ok := f.pos[id]
+	if !ok {
+		return nil
+	}
+	return vecmath.Clone(f.vecs[i*f.dim : (i+1)*f.dim])
+}
+
 // Search implements Index with a parallel exact scan.
 func (f *Flat) Search(vec []float32, k int, tau float32) []Hit {
 	if len(vec) != f.dim {
 		panic(fmt.Sprintf("index: Search dim %d, want %d", len(vec), f.dim))
 	}
+	f.mu.RLock()
+	defer f.mu.RUnlock()
 	n := len(f.ids)
 	if n == 0 || k <= 0 {
 		return nil
@@ -140,9 +277,5 @@ func (f *Flat) Search(vec []float32, k int, tau float32) []Hit {
 	for _, l := range locals {
 		all = append(all, l...)
 	}
-	sortHits(all)
-	if len(all) > k {
-		all = all[:k]
-	}
-	return all
+	return topKHits(all, k)
 }

@@ -3,6 +3,7 @@ package index
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"repro/internal/vecmath"
 )
@@ -16,6 +17,7 @@ import (
 // reaches its target size), vectors accumulate in a flat buffer and
 // searches are exact, so a cold cache behaves exactly like Flat.
 type IVF struct {
+	mu     sync.RWMutex
 	dim    int
 	nlist  int
 	nprobe int
@@ -86,6 +88,8 @@ func (x *IVF) Dim() int { return x.dim }
 
 // Len implements Index.
 func (x *IVF) Len() int {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
 	if !x.trained {
 		return x.bootstrap.Len()
 	}
@@ -93,7 +97,11 @@ func (x *IVF) Len() int {
 }
 
 // Trained reports whether centroids have been fitted.
-func (x *IVF) Trained() bool { return x.trained }
+func (x *IVF) Trained() bool {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	return x.trained
+}
 
 // Add implements Index. Before training, vectors accumulate in the exact
 // bootstrap buffer; once the buffer reaches the training threshold the
@@ -102,12 +110,14 @@ func (x *IVF) Add(id int, vec []float32) error {
 	if len(vec) != x.dim {
 		return fmt.Errorf("index: vector dim %d, want %d", len(vec), x.dim)
 	}
+	x.mu.Lock()
+	defer x.mu.Unlock()
 	if !x.trained {
 		if err := x.bootstrap.Add(id, vec); err != nil {
 			return err
 		}
 		if x.bootstrap.Len() >= x.trainSize {
-			x.Train()
+			x.trainLocked()
 		}
 		return nil
 	}
@@ -124,8 +134,13 @@ func (x *IVF) insert(id int, vec []float32) {
 	x.lists[li] = append(x.lists[li], entry{id: id, vec: vec})
 }
 
-// Remove implements Index.
+// Remove implements Index. The vacated tail slot is zeroed so the removed
+// entry's vector does not stay reachable through the list's backing array
+// (a removed-ID leak: the entry was invisible to Search but pinned in
+// memory, and a later Train that walked backing arrays could resurrect it).
 func (x *IVF) Remove(id int) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
 	if !x.trained {
 		x.bootstrap.Remove(id)
 		return
@@ -136,16 +151,68 @@ func (x *IVF) Remove(id int) {
 	}
 	list := x.lists[ref.list]
 	last := len(list) - 1
-	list[ref.pos] = list[last]
-	x.where[list[ref.pos].id] = listRef{list: ref.list, pos: ref.pos}
+	if ref.pos != last {
+		list[ref.pos] = list[last]
+		x.where[list[ref.pos].id] = listRef{list: ref.list, pos: ref.pos}
+	}
+	list[last] = entry{}
 	x.lists[ref.list] = list[:last]
 	delete(x.where, id)
+}
+
+// forEach implements iterable.
+func (x *IVF) forEach(fn func(id int, vec []float32)) {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	if !x.trained {
+		x.bootstrap.forEach(fn)
+		return
+	}
+	for _, list := range x.lists {
+		for _, e := range list {
+			fn(e.id, e.vec)
+		}
+	}
+}
+
+// idList implements snapshotter.
+func (x *IVF) idList() []int {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	if !x.trained {
+		return x.bootstrap.idList()
+	}
+	out := make([]int, 0, len(x.where))
+	for id := range x.where {
+		out = append(out, id)
+	}
+	return out
+}
+
+// vecClone implements snapshotter.
+func (x *IVF) vecClone(id int) []float32 {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	if !x.trained {
+		return x.bootstrap.vecClone(id)
+	}
+	ref, ok := x.where[id]
+	if !ok {
+		return nil
+	}
+	return vecmath.Clone(x.lists[ref.list][ref.pos].vec)
 }
 
 // Train fits centroids on whatever vectors are currently stored and
 // migrates them into inverted lists. Calling Train on an already-trained
 // index re-clusters in place.
 func (x *IVF) Train() {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	x.trainLocked()
+}
+
+func (x *IVF) trainLocked() {
 	// Gather all current vectors.
 	var all []entry
 	if x.trained {
@@ -193,6 +260,8 @@ func (x *IVF) Search(vec []float32, k int, tau float32) []Hit {
 	if len(vec) != x.dim {
 		panic(fmt.Sprintf("index: Search dim %d, want %d", len(vec), x.dim))
 	}
+	x.mu.RLock()
+	defer x.mu.RUnlock()
 	if !x.trained {
 		return x.bootstrap.Search(vec, k, tau)
 	}
@@ -225,11 +294,7 @@ func (x *IVF) Search(vec []float32, k int, tau float32) []Hit {
 			}
 		}
 	}
-	sortHits(hits)
-	if len(hits) > k {
-		hits = hits[:k]
-	}
-	return hits
+	return topKHits(hits, k)
 }
 
 // sphericalKMeans clusters unit vectors by cosine with k-means++ style

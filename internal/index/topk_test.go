@@ -1,0 +1,78 @@
+package index
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// randomHits generates n hits with deliberately colliding scores so ties
+// are exercised.
+func randomHits(rng *rand.Rand, n int) []Hit {
+	hs := make([]Hit, n)
+	for i := range hs {
+		hs[i] = Hit{ID: i, Score: float32(rng.Intn(n/4+1)) / float32(n/4+1)}
+	}
+	rng.Shuffle(n, func(i, j int) { hs[i], hs[j] = hs[j], hs[i] })
+	return hs
+}
+
+func TestTopKHitsMatchesFullSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for _, n := range []int{0, 1, 5, 33, 100, 1000} {
+		for _, k := range []int{0, 1, 3, 10, 64, 100, 2000} {
+			hs := randomHits(rng, n)
+			want := make([]Hit, n)
+			copy(want, hs)
+			sortHits(want)
+			if len(want) > k {
+				want = want[:k]
+			}
+			got := topKHits(hs, k)
+			if len(got) != len(want) {
+				t.Fatalf("n=%d k=%d: %d hits, want %d", n, k, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("n=%d k=%d: hit %d = %+v, want %+v", n, k, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// insertionTopK is the pre-heap implementation kept for the benchmark:
+// full insertion sort, then truncate. O(n·k) once candidates mostly
+// arrive out of order, against the heap's O(n log k).
+func insertionTopK(hs []Hit, k int) []Hit {
+	sortHits(hs)
+	if len(hs) > k {
+		hs = hs[:k]
+	}
+	return hs
+}
+
+// BenchmarkTopK shows the bounded-heap selection winning from k=64 up —
+// the satellite claim. Candidate counts model a probe over a large tenant
+// (every entry above tau reaches the selector).
+func BenchmarkTopK(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	for _, n := range []int{4096, 16384} {
+		for _, k := range []int{64, 256} {
+			src := randomHits(rng, n)
+			buf := make([]Hit, n)
+			b.Run(fmt.Sprintf("heap/n%d/k%d", n, k), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					copy(buf, src)
+					topKHits(buf, k)
+				}
+			})
+			b.Run(fmt.Sprintf("insertion/n%d/k%d", n, k), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					copy(buf, src)
+					insertionTopK(buf, k)
+				}
+			})
+		}
+	}
+}

@@ -277,7 +277,13 @@ func (r *Registry) reload(userID string, fresh *core.Client) (*core.Client, map[
 	}
 	defer st.Close()
 	opts := fresh.Options()
-	cc, err := cache.LoadFrom(st, fresh.Cache().Dim(), fresh.Cache().Capacity(), opts.Policy)
+	dim, capacity := fresh.Cache().Dim(), fresh.Cache().Capacity()
+	var cc *cache.Cache
+	if opts.IndexFactory != nil {
+		cc, err = cache.LoadFromWithIndex(st, dim, capacity, opts.Policy, opts.IndexFactory(dim))
+	} else {
+		cc, err = cache.LoadFrom(st, dim, capacity, opts.Policy)
+	}
 	if err != nil {
 		return nil, nil, fmt.Errorf("server: reloading cache for %q: %w", userID, err)
 	}

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/core"
+	"repro/internal/index"
 )
 
 // testFactory builds tenants around stub encoders, counting activations.
@@ -278,5 +279,64 @@ func TestRegistryFlushPersistsResidentTenants(t *testing.T) {
 	}
 	if st := r2.Stats(); st.Reloads != 2 {
 		t.Errorf("Reloads = %d, want 2", st.Reloads)
+	}
+}
+
+// TestRegistryIndexedTenantRevival: a tenant whose cache runs on an
+// external vector index (Options.IndexFactory) must come back indexed
+// after an evict/revive cycle, with every persisted entry searchable
+// through the rebuilt index.
+func TestRegistryIndexedTenantRevival(t *testing.T) {
+	dir := t.TempDir()
+	factory := func(userID string) *core.Client {
+		return core.New(core.Options{
+			Encoder: &stubEncoder{dim: 16},
+			Tau:     0.9,
+			TopK:    4,
+			IndexFactory: func(dim int) index.Index {
+				return index.NewHNSW(dim, index.HNSWConfig{M: 8, EfConstruction: 40, EfSearch: 48, Seed: 1})
+			},
+		})
+	}
+	r, err := NewRegistry(RegistryConfig{
+		Shards: 1, MaxTenants: 1, PersistDir: dir, Factory: factory,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	alice, err := r.Get("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !alice.Client.Cache().Indexed() {
+		t.Fatal("fresh tenant cache is not indexed")
+	}
+	queries := make([]string, 10)
+	for i := range queries {
+		queries[i] = fmt.Sprintf("indexed question %d", i)
+		if _, err := alice.Client.Insert(queries[i], "a", cache.NoParent); err != nil {
+			t.Fatal(err)
+		}
+	}
+	alice.Release()
+
+	bob, err := r.Get("bob") // evicts alice
+	if err != nil {
+		t.Fatal(err)
+	}
+	bob.Release()
+
+	revived, err := r.Get("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer revived.Release()
+	if !revived.Client.Cache().Indexed() {
+		t.Fatal("revived tenant cache lost its index")
+	}
+	for _, q := range queries {
+		if res := revived.Client.Lookup(q, nil); !res.Hit {
+			t.Fatalf("revived indexed lookup missed %q", q)
+		}
 	}
 }
