@@ -4,7 +4,7 @@
 GO ?= go
 
 .PHONY: build check test race vet bench bench-json loadtest loadtest-fl \
-	conformance fuzz-smoke loadtest-ann clean
+	conformance fuzz-smoke loadtest-ann loadtest-cluster clean
 
 build:
 	$(GO) build ./...
@@ -21,7 +21,7 @@ test:
 race:
 	$(GO) test -race ./internal/core/ ./internal/server/ ./internal/cache/ \
 		./internal/store/ ./internal/fl/ ./internal/flserve/ ./internal/llmsim/ \
-		./internal/index/
+		./internal/index/ ./internal/cluster/
 
 check: vet build test race
 
@@ -32,9 +32,11 @@ conformance:
 
 # fuzz-smoke is the nightly-style fuzz check: 30s of randomized
 # Add/Remove/Search programs checked for exact Flat parity and HNSW
-# result invariants.
+# result invariants, plus 30s of arbitrary bytes against the cluster
+# wire codec (no panics, no over-allocation, canonical round trips).
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzSearchParity -fuzztime=30s -run xxx ./internal/index/
+	$(GO) test -fuzz=FuzzWireCodec -fuzztime=30s -run xxx ./internal/cluster/
 
 # bench runs every benchmark in the repo (paper replays at the root,
 # micro-benchmarks in the internal packages).
@@ -75,6 +77,16 @@ loadtest-fl:
 # ≥ 0.95 (build takes a minute or two; the gate is enforced by exit code).
 loadtest-ann:
 	$(GO) run ./cmd/loadgen -scenario ann -ann-n 200000 -ann-queries 300 -ann-accept
+
+# loadtest-cluster is the failover acceptance run: the ring property
+# tests prove the balance and minimal-movement bounds, then a 3-node
+# in-process cluster (shared persist dir, virtual-time upstream) takes
+# an abrupt node kill mid-run and must finish with zero request errors,
+# zero lost tenants, and ≥90% duplicate-hit-rate retention.
+loadtest-cluster:
+	$(GO) test -run 'TestRingBalance|TestRingMinimalMovement' -count=1 ./internal/cluster/
+	$(GO) run ./cmd/loadgen -scenario cluster -users 80 -cached 6 -probes 12 \
+		-dup 0.4 -concurrency 24 -cluster-accept
 
 clean:
 	rm -rf bin

@@ -15,6 +15,16 @@
 // aggregate the global threshold, and every new global model is committed
 // to a versioned registry and hot-rolled into the running tenants.
 //
+// With -cluster the process becomes one node of a horizontally sharded
+// deployment (internal/cluster): tenants place deterministically on a
+// consistent-hash ring over the live members, requests for tenants owned
+// by a peer are forwarded to it (bounded retries, one hedge on slow
+// peers), and when membership changes — join, leave, or death detected by
+// health probes — each node drains the tenants it no longer owns through
+// the store-persistence path so the new owner revives them (τ, model
+// version and index config intact). -persist-dir must point at storage
+// all nodes share. GET /v1/cluster/status reports ring and peer health.
+//
 // Each tenant's similarity search runs on the index tier picked with
 // -index: the built-in exact scan (default), flat, ivf, hnsw (optionally
 // int8-quantized with -hnsw-int8), or adaptive — which starts every
@@ -27,6 +37,8 @@
 //	cacheserve -addr 127.0.0.1:8090 -upstream 127.0.0.1:8080
 //	cacheserve -index adaptive -hnsw-int8
 //	cacheserve -fl -fl-interval 30s -fl-dir /var/lib/cacheserve/fl
+//	cacheserve -addr 10.0.0.1:8090 -cluster -peers 10.0.0.2:8090,10.0.0.3:8090 \
+//	    -vnodes 128 -persist-dir /mnt/shared/tenants
 //	curl -X POST localhost:8090/v1/query -d '{"user":"u1","query":"what is FL?"}'
 //	curl -X POST localhost:8090/v1/fl/round
 //	curl localhost:8090/v1/fl/status
@@ -40,8 +52,10 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/embed"
 	"repro/internal/flserve"
@@ -80,6 +94,12 @@ func main() {
 		shards     = flag.Int("shards", 16, "tenant registry shards")
 		maxTenants = flag.Int("max-tenants", 0, "resident tenant bound (0 = unbounded)")
 		persistDir = flag.String("persist-dir", "", "directory for evicted tenants' caches (empty = drop on eviction)")
+
+		clusterOn        = flag.Bool("cluster", false, "cluster mode: shard tenants across peers on a consistent-hash ring")
+		peers            = flag.String("peers", "", "cluster: comma-separated peer addresses (host:port)")
+		vnodes           = flag.Int("vnodes", cluster.DefaultVNodes, "cluster: virtual nodes per ring member")
+		clusterHeartbeat = flag.Duration("cluster-heartbeat", 500*time.Millisecond, "cluster: peer health-probe period")
+		clusterDeadAfter = flag.Int("cluster-dead-after", 3, "cluster: consecutive probe failures before a peer is dead")
 
 		batch     = flag.Int("batch", 32, "embedding micro-batch size cap")
 		batchWait = flag.Duration("batch-wait", 200*time.Microsecond, "micro-batch gather window")
@@ -237,6 +257,33 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+
+	var node *cluster.Node
+	if *clusterOn {
+		if *persistDir == "" {
+			log.Fatal("-cluster requires -persist-dir (on storage all nodes share: tenant handoff travels through it)")
+		}
+		var peerList []string
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peerList = append(peerList, p)
+			}
+		}
+		node, err = cluster.New(cluster.Config{
+			Self:      *addr,
+			Peers:     peerList,
+			VNodes:    *vnodes,
+			Registry:  reg,
+			Heartbeat: *clusterHeartbeat,
+			DeadAfter: *clusterDeadAfter,
+			Logf:      log.Printf,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		node.Register(srv)
+		srv.Wrap(node.Wrap)
+	}
 	if flsvc != nil {
 		flsvc.Register(srv)
 		flsvc.Start()
@@ -245,6 +292,11 @@ func main() {
 	}
 	if err := srv.Serve(*addr); err != nil {
 		log.Fatal(err)
+	}
+	if node != nil {
+		node.Start()
+		log.Printf("cluster mode: self=%s, peers=%v, vnodes=%d, heartbeat=%v",
+			*addr, *peers, *vnodes, *clusterHeartbeat)
 	}
 	log.Printf("cacheserve listening on %s (encoder=%s, shards=%d, upstream=%s)",
 		srv.Addr(), enc.Name(), *shards, orInProcess(*upstream))
@@ -256,6 +308,9 @@ func main() {
 	log.Printf("shutting down: %d queries, %d hits (%.1f%% hit ratio), %d resident tenants",
 		agg.Queries, agg.Hits, 100*agg.HitRatio, reg.Resident())
 	srv.Close()
+	if node != nil {
+		node.Close()
+	}
 	if flsvc != nil {
 		if rec, ok := flsvc.Models().Latest(); ok {
 			log.Printf("online FL: model version %s (tau=%.3f) after rollouts %+v",

@@ -86,7 +86,7 @@ func main() {
 		timeout     = flag.Duration("timeout", 30*time.Second, "per-request timeout")
 		flRounds    = flag.Int("fl", 0, "online FL rounds to drive (0 = classic load test)")
 
-		scenario   = flag.String("scenario", "serve", "serve (drive a cacheserve instance) or ann (in-process large-cache index comparison)")
+		scenario   = flag.String("scenario", "serve", "serve (drive a cacheserve instance), ann (in-process large-cache index comparison) or cluster (in-process N-node failover run)")
 		annN       = flag.Int("ann-n", 200000, "ann: corpus size")
 		annDim     = flag.Int("ann-dim", 64, "ann: vector dimensionality")
 		annQueries = flag.Int("ann-queries", 500, "ann: measured queries")
@@ -96,6 +96,12 @@ func main() {
 		annEfCons  = flag.Int("ann-ef-construction", 100, "ann: HNSW insertion beam width")
 		annEf      = flag.Int("ann-ef-search", 96, "ann: HNSW query beam width")
 		annAccept  = flag.Bool("ann-accept", false, "ann: exit non-zero if the acceptance gate fails")
+
+		clusterNodes     = flag.Int("cluster-nodes", 3, "cluster: in-process nodes")
+		clusterVNodes    = flag.Int("cluster-vnodes", 64, "cluster: virtual nodes per member")
+		clusterKill      = flag.Int("cluster-kill", 1, "cluster: node index killed mid-run (-1 = no kill)")
+		clusterAccept    = flag.Bool("cluster-accept", false, "cluster: exit non-zero if the failover gate fails")
+		clusterRetention = flag.Float64("cluster-retention", 0.9, "cluster: dup-hit-rate retention floor after failover")
 	)
 	flag.Parse()
 
@@ -107,8 +113,17 @@ func main() {
 		})
 		return
 	}
+	if *scenario == "cluster" {
+		runCluster(clusterConfig{
+			nodes: *clusterNodes, vnodes: *clusterVNodes, killIndex: *clusterKill,
+			users: *users, cached: *cached, probes: *probes, dup: *dup,
+			concurrency: *concurrency, seed: *seed, timeout: *timeout,
+			accept: *clusterAccept, retention: *clusterRetention,
+		})
+		return
+	}
 	if *scenario != "serve" {
-		log.Fatalf("unknown -scenario %q (want serve or ann)", *scenario)
+		log.Fatalf("unknown -scenario %q (want serve, ann or cluster)", *scenario)
 	}
 
 	r := &runner{

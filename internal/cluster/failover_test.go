@@ -1,0 +1,196 @@
+package cluster
+
+import (
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestClusterFailover is the end-to-end failover scenario: three
+// in-process nodes serve a tenant population under live traffic, the
+// node owning a watched tenant is killed abruptly, and the survivors
+// must (a) keep every tenant serveable — zero lost tenants — and (b)
+// revive the watched tenant with its feedback-adapted τ, its stamped
+// model version, and its cached entries intact, via the registry's
+// normal store-revival path against shared storage.
+func TestClusterFailover(t *testing.T) {
+	recorder := newReviveRecorder()
+	h := startTestCluster(t, 3, recorder)
+	client := &http.Client{Timeout: 10 * time.Second}
+	if err := h.WaitConverged(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// Warm a population of tenants through rotating entry nodes, so many
+	// requests exercise the forwarding path. Each tenant caches 2
+	// queries.
+	const users = 24
+	names := tenantNames(users, 99)
+	for u, name := range names {
+		for q := 0; q < 2; q++ {
+			if _, err := queryUser(client, pickEntry(h, u+q), name, userText(u, q)); err != nil {
+				t.Fatalf("warming %s: %v", name, err)
+			}
+		}
+	}
+
+	// Pick a watched tenant and adapt its τ through feedback: three
+	// false-hit reports raise τ by 3×FeedbackStep.
+	watched := names[0]
+	ownerAddr := h.Owner(watched)
+	var adaptedTau float32
+	for i := 0; i < 3; i++ {
+		fr, _, err := postJSON[struct {
+			Tau float32 `json:"tau"`
+		}](client, pickEntry(h, i)+"/v1/feedback", map[string]string{"user": watched})
+		if err != nil {
+			t.Fatalf("feedback %d: %v", i, err)
+		}
+		adaptedTau = fr.Tau
+	}
+	if adaptedTau <= 0.9 {
+		t.Fatalf("feedback did not raise τ (got %.4f)", adaptedTau)
+	}
+
+	// Checkpoint to shared storage — the durability boundary an abrupt
+	// kill is measured against.
+	if err := h.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Keep traffic flowing from background workers while the owner dies.
+	// Workers only target surviving entry nodes (client-side failover);
+	// requests routed to the dead owner must fall back, not fail.
+	ownerIdx := -1
+	for i, hn := range h.Nodes() {
+		if hn.Addr == ownerAddr {
+			ownerIdx = i
+		}
+	}
+	if ownerIdx < 0 {
+		t.Fatalf("owner %s not in harness", ownerAddr)
+	}
+	survivors := make([]string, 0, 2)
+	for i, hn := range h.Nodes() {
+		if i != ownerIdx {
+			survivors = append(survivors, hn.URL())
+		}
+	}
+	stopTraffic := make(chan struct{})
+	var trafficErrs atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stopTraffic:
+					return
+				default:
+				}
+				u := (w*7 + i) % users
+				if _, err := queryUser(client, survivors[i%2], names[u], userText(u, i%2)); err != nil {
+					trafficErrs.Add(1)
+				}
+			}
+		}(w)
+	}
+
+	time.Sleep(50 * time.Millisecond) // let traffic reach steady state
+	if err := h.Kill(ownerIdx, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.WaitConverged(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(100 * time.Millisecond) // traffic across the healed ring
+	close(stopTraffic)
+	wg.Wait()
+	if n := trafficErrs.Load(); n > 0 {
+		t.Errorf("%d requests failed during failover (want 0: forwards to the dead owner must fall back)", n)
+	}
+
+	// Zero lost tenants: every tenant answers from a survivor, and the
+	// watched tenant's warmed entry is a cache hit (its entries were
+	// revived, not rebuilt).
+	for u, name := range names {
+		qr, err := queryUser(client, survivors[u%2], name, userText(u, 0))
+		if err != nil {
+			t.Fatalf("tenant %s lost after failover: %v", name, err)
+		}
+		if name == watched {
+			if !qr.Hit {
+				t.Errorf("watched tenant's warmed query missed after revival (cache contents lost)")
+			}
+			if qr.Tau != adaptedTau {
+				t.Errorf("watched tenant revived with τ %.4f, want adapted %.4f", qr.Tau, adaptedTau)
+			}
+		}
+	}
+
+	// The revival carried the persisted metadata through the hooks: the
+	// stamped model version arrived on a surviving node.
+	meta := recorder.meta(watched)
+	if meta == nil {
+		t.Fatal("watched tenant revived with no persisted metadata")
+	}
+	if got := string(meta["modelver"]); got != "model-v7" {
+		t.Errorf("revived model version = %q, want %q", got, "model-v7")
+	}
+	if on := recorder.revivedOn(watched); on == ownerAddr {
+		t.Errorf("watched tenant revived on the dead owner %s", on)
+	}
+
+	// The new ring no longer contains the dead node, and the watched
+	// tenant has a live owner.
+	if h.Owner(watched) == ownerAddr {
+		t.Error("ring still places the watched tenant on the dead node")
+	}
+}
+
+// TestClusterForwarding checks steady-state routing: a request entering
+// through a non-owner is served by the owner (one hop), and cluster
+// status reports the forward.
+func TestClusterForwarding(t *testing.T) {
+	h := startTestCluster(t, 3, nil)
+	client := &http.Client{Timeout: 10 * time.Second}
+	if err := h.WaitConverged(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	user := "forward-probe-user"
+	owner := h.Owner(user)
+	var entry *HarnessNode
+	for _, hn := range h.Nodes() {
+		if hn.Addr != owner {
+			entry = hn
+			break
+		}
+	}
+	if _, err := queryUser(client, entry.URL(), user, "a brand new question"); err != nil {
+		t.Fatal(err)
+	}
+	// The tenant must be resident on its owner, not on the entry node.
+	found := false
+	for _, id := range h.NodeAt(owner).Registry().IDs() {
+		if id == user {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("tenant not resident on its ring owner %s", owner)
+	}
+	for _, id := range entry.Registry().IDs() {
+		if id == user {
+			t.Errorf("tenant also resident on entry node %s (should have been forwarded)", entry.Addr)
+		}
+	}
+	if st := entry.ClusterNode().StatusSnapshot(); st.Forwards == 0 {
+		t.Error("entry node reports zero forwards")
+	}
+	if st := h.NodeAt(owner).ClusterNode().StatusSnapshot(); st.ForwardedServed == 0 {
+		t.Error("owner reports zero forwarded-served requests")
+	}
+}

@@ -1,0 +1,300 @@
+package cluster
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"time"
+
+	"repro/internal/server"
+)
+
+// Harness spins an N-node cacheserve cluster inside one process, each
+// node a full serving stack (registry + HTTP mux + cluster Node) behind
+// a real loopback listener. The end-to-end failover tests and `loadgen
+// -scenario cluster` both drive clusters through it: it can kill a node
+// mid-traffic (abruptly or after a graceful flush), revive it on the
+// same address, and wait for the survivors' rings to converge. All
+// methods are safe for concurrent use — traffic keeps flowing while a
+// node is killed, which is the point.
+type Harness struct {
+	cfg   HarnessConfig
+	nodes []*HarnessNode
+}
+
+// HarnessConfig sizes an in-process cluster.
+type HarnessConfig struct {
+	// Nodes is the cluster size. Required.
+	Nodes int
+	// MakeNode builds one node's serving stack. The registry must share
+	// PersistDir with every other node's (the harness's stand-in for
+	// shared storage) and the server must not be listening yet. Required.
+	MakeNode func(self string) (*server.Registry, *server.Server, error)
+
+	// VNodes, Heartbeat, DeadAfter, DrainWait, SweepEvery and Logf are
+	// passed through to each Node's Config (zero = that config's
+	// default). Tests use a short heartbeat so failover converges in
+	// tens of milliseconds.
+	VNodes     int
+	Heartbeat  time.Duration
+	DeadAfter  int
+	DrainWait  time.Duration
+	SweepEvery time.Duration
+	Logf       func(format string, args ...any)
+}
+
+// HarnessNode is one member of the in-process cluster. Addr is fixed for
+// the harness's lifetime; the serving stack behind it is replaced on
+// revival.
+type HarnessNode struct {
+	Addr string
+
+	mu       sync.Mutex
+	registry *server.Registry
+	server   *server.Server
+	node     *Node
+	hts      *httptest.Server
+	alive    bool
+}
+
+// Alive reports whether the node is currently serving.
+func (hn *HarnessNode) Alive() bool {
+	hn.mu.Lock()
+	defer hn.mu.Unlock()
+	return hn.alive
+}
+
+// Registry returns the node's current tenant registry.
+func (hn *HarnessNode) Registry() *server.Registry {
+	hn.mu.Lock()
+	defer hn.mu.Unlock()
+	return hn.registry
+}
+
+// ClusterNode returns the node's current cluster membership object.
+func (hn *HarnessNode) ClusterNode() *Node {
+	hn.mu.Lock()
+	defer hn.mu.Unlock()
+	return hn.node
+}
+
+// URL is the node's base URL (e.g. "http://127.0.0.1:43113").
+func (hn *HarnessNode) URL() string { return "http://" + hn.Addr }
+
+// StartHarness boots the cluster: all listeners are bound first so every
+// node knows the full peer address set, then each serving stack is wired
+// and started.
+func StartHarness(cfg HarnessConfig) (*Harness, error) {
+	if cfg.Nodes <= 0 {
+		return nil, fmt.Errorf("cluster: harness needs at least one node")
+	}
+	if cfg.MakeNode == nil {
+		return nil, fmt.Errorf("cluster: HarnessConfig.MakeNode is required")
+	}
+	h := &Harness{cfg: cfg}
+	addrs := make([]string, cfg.Nodes)
+	listeners := make([]*httptest.Server, cfg.Nodes)
+	for i := 0; i < cfg.Nodes; i++ {
+		listeners[i] = httptest.NewUnstartedServer(http.NotFoundHandler())
+		addrs[i] = listeners[i].Listener.Addr().String()
+		h.nodes = append(h.nodes, &HarnessNode{Addr: addrs[i]})
+	}
+	for i, hn := range h.nodes {
+		if err := h.wire(hn, listeners[i], peersExcept(addrs, i)); err != nil {
+			h.Close()
+			return nil, err
+		}
+	}
+	return h, nil
+}
+
+// wire assembles and starts one node's serving stack on its bound
+// listener, installing it into hn.
+func (h *Harness) wire(hn *HarnessNode, hts *httptest.Server, peers []string) error {
+	reg, srv, err := h.cfg.MakeNode(hn.Addr)
+	if err != nil {
+		return fmt.Errorf("cluster: building node %s: %w", hn.Addr, err)
+	}
+	node, err := New(Config{
+		Self:       hn.Addr,
+		Peers:      peers,
+		VNodes:     h.cfg.VNodes,
+		Registry:   reg,
+		Heartbeat:  h.cfg.Heartbeat,
+		DeadAfter:  h.cfg.DeadAfter,
+		DrainWait:  h.cfg.DrainWait,
+		SweepEvery: h.cfg.SweepEvery,
+		Logf:       h.cfg.Logf,
+	})
+	if err != nil {
+		return err
+	}
+	node.Register(srv)
+	srv.Wrap(node.Wrap)
+	hts.Config.Handler = srv.Handler()
+	hts.Start()
+	node.Start()
+	hn.mu.Lock()
+	hn.registry, hn.server, hn.node, hn.hts, hn.alive = reg, srv, node, hts, true
+	hn.mu.Unlock()
+	return nil
+}
+
+func peersExcept(addrs []string, i int) []string {
+	peers := make([]string, 0, len(addrs)-1)
+	for j, a := range addrs {
+		if j != i {
+			peers = append(peers, a)
+		}
+	}
+	return peers
+}
+
+// Nodes returns all harness nodes (dead ones included).
+func (h *Harness) Nodes() []*HarnessNode { return h.nodes }
+
+// LiveURLs returns the base URLs of currently-serving nodes.
+func (h *Harness) LiveURLs() []string {
+	var urls []string
+	for _, hn := range h.nodes {
+		if hn.Alive() {
+			urls = append(urls, hn.URL())
+		}
+	}
+	return urls
+}
+
+// Checkpoint flushes every live node's resident tenants to shared
+// storage — the durability boundary an abrupt kill is measured against.
+func (h *Harness) Checkpoint() error {
+	var first error
+	for _, hn := range h.nodes {
+		if reg := h.takeIfAlive(hn); reg != nil {
+			if err := reg.Flush(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}
+
+func (h *Harness) takeIfAlive(hn *HarnessNode) *server.Registry {
+	hn.mu.Lock()
+	defer hn.mu.Unlock()
+	if !hn.alive {
+		return nil
+	}
+	return hn.registry
+}
+
+// Kill stops node i. graceful first flushes its registry to shared
+// storage (a drained shutdown); abrupt (graceful=false) closes the
+// listener with whatever was last checkpointed — the crash case the
+// failover gate measures.
+func (h *Harness) Kill(i int, graceful bool) error {
+	hn := h.nodes[i]
+	hn.mu.Lock()
+	if !hn.alive {
+		hn.mu.Unlock()
+		return nil
+	}
+	hn.alive = false
+	reg, node, hts := hn.registry, hn.node, hn.hts
+	hn.mu.Unlock()
+	var err error
+	if graceful {
+		err = reg.Flush()
+	}
+	node.Close()
+	hts.CloseClientConnections()
+	hts.Close()
+	return err
+}
+
+// Revive restarts node i on its original address with a fresh serving
+// stack (fresh process semantics: resident state comes only from shared
+// storage). The address may take a moment to become bindable again after
+// a kill, so binding retries briefly.
+func (h *Harness) Revive(i int) error {
+	hn := h.nodes[i]
+	if hn.Alive() {
+		return nil
+	}
+	var ln net.Listener
+	var err error
+	for attempt := 0; attempt < 100; attempt++ {
+		if ln, err = net.Listen("tcp", hn.Addr); err == nil {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err != nil {
+		return fmt.Errorf("cluster: rebinding %s: %w", hn.Addr, err)
+	}
+	hts := httptest.NewUnstartedServer(http.NotFoundHandler())
+	hts.Listener.Close()
+	hts.Listener = ln
+	var addrs []string
+	for _, other := range h.nodes {
+		addrs = append(addrs, other.Addr)
+	}
+	return h.wire(hn, hts, peersExcept(addrs, i))
+}
+
+// WaitConverged blocks until every live node's ring holds exactly the
+// live member set (or the timeout elapses).
+func (h *Harness) WaitConverged(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		var want []string
+		for _, hn := range h.nodes {
+			if hn.Alive() {
+				want = append(want, hn.Addr)
+			}
+		}
+		converged := true
+		for _, hn := range h.nodes {
+			if node := hn.ClusterNode(); hn.Alive() && !sameMembers(node.Ring().Members(), want) {
+				converged = false
+				break
+			}
+		}
+		if converged {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("cluster: rings did not converge within %v", timeout)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// Owner reports which node owns user, according to the first live
+// node's ring (rings agree once converged).
+func (h *Harness) Owner(user string) string {
+	for _, hn := range h.nodes {
+		if hn.Alive() {
+			return hn.ClusterNode().Ring().Owner(user)
+		}
+	}
+	return ""
+}
+
+// NodeAt returns the harness node advertised at addr (nil if unknown).
+func (h *Harness) NodeAt(addr string) *HarnessNode {
+	for _, hn := range h.nodes {
+		if hn.Addr == addr {
+			return hn
+		}
+	}
+	return nil
+}
+
+// Close tears the whole cluster down (no flush).
+func (h *Harness) Close() {
+	for i := range h.nodes {
+		h.Kill(i, false)
+	}
+}

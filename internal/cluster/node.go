@@ -1,0 +1,866 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/server"
+)
+
+// Config assembles a cluster Node around one serving process.
+type Config struct {
+	// Self is this node's advertised address (host:port) — its identity
+	// on the ring and the address peers forward to. Required.
+	Self string
+	// Peers lists the other nodes' advertised addresses. The membership
+	// set is static configuration; health checking decides which members
+	// are live (and therefore on the ring) at any moment.
+	Peers []string
+	// VNodes is the virtual-node count per member (DefaultVNodes when 0).
+	VNodes int
+	// Registry is the tenant table requests route into. It should be
+	// backed by storage all nodes can reach (a shared PersistDir), so a
+	// drained tenant's state is visible to its next owner. Required.
+	Registry *server.Registry
+
+	// Heartbeat is the peer health-probe period. Defaults to 500ms.
+	Heartbeat time.Duration
+	// DeadAfter is how many consecutive probe failures mark a peer dead
+	// (removing it from the ring). Defaults to 3.
+	DeadAfter int
+	// ProbeTimeout bounds one health probe. Defaults to Heartbeat.
+	ProbeTimeout time.Duration
+
+	// ForwardTimeout bounds one forward attempt. Defaults to 5s.
+	ForwardTimeout time.Duration
+	// ForwardRetries is how many further attempts follow a failed
+	// forward (re-resolving the owner between attempts, since a failure
+	// often coincides with a membership change). Defaults to 2.
+	ForwardRetries int
+	// HedgeAfter launches one duplicate attempt when the owner has not
+	// answered within this window, taking whichever response lands
+	// first. 0 defaults to 10× the heartbeat, capped at half the
+	// forward timeout (a hedge armed at the timeout could never win);
+	// negative disables hedging.
+	HedgeAfter time.Duration
+
+	// DrainWait is the total in-flight-request wait budget of one
+	// handoff sweep; tenants still pinned when it runs out retry on a
+	// later sweep. Defaults to 2s.
+	DrainWait time.Duration
+	// SweepEvery is the period of the ownership-reconciliation sweep
+	// that drains tenants the node no longer owns (ring changes also
+	// trigger a sweep immediately). Defaults to 4× the heartbeat.
+	SweepEvery time.Duration
+
+	// Client, when non-nil, is used for probes and forwards (tests
+	// inject one; production gets a pooled default).
+	Client *http.Client
+	// Logf, when non-nil, receives membership and handoff events.
+	Logf func(format string, args ...any)
+}
+
+// Node is one member of a cacheserve cluster: it health-checks peers,
+// maintains the consistent-hash ring, routes tenant requests to their
+// owners, and drains tenants it no longer owns after ring changes.
+type Node struct {
+	cfg    Config
+	ring   atomic.Pointer[Ring]
+	ringV  atomic.Uint64
+	ringMu sync.Mutex // serializes rebuildRing's read-modify-write
+	peers  []*peer
+
+	inner  atomic.Pointer[http.Handler] // serving mux, set by Wrap
+	client *http.Client
+
+	stop chan struct{}
+	kick chan struct{} // handoff trigger, buffered 1
+	wg   sync.WaitGroup
+
+	forwards        atomic.Int64
+	forwardErrors   atomic.Int64
+	hedges          atomic.Int64
+	localFallbacks  atomic.Int64
+	forwardedServed atomic.Int64
+	staleForwards   atomic.Int64
+	handoffs        atomic.Int64
+	handoffBusy     atomic.Int64
+	handoffErrors   atomic.Int64
+}
+
+// peer tracks one configured peer's health.
+type peer struct {
+	addr string
+
+	mu       sync.Mutex
+	alive    bool
+	failures int
+	ringV    uint64 // last ring version the peer reported
+}
+
+// forwardedHeader marks a request already routed by a peer, so the
+// receiving node serves it locally instead of consulting the ring —
+// routing disagreements must never loop a request between nodes.
+const forwardedHeader = "X-Cluster-Forwarded-By"
+
+// servedByHeader names the node that actually served a routed request.
+const servedByHeader = "X-Cluster-Served-By"
+
+// New builds a Node. The initial ring presumes every configured peer
+// alive; the first DeadAfter probe rounds correct that for peers that are
+// actually down.
+func New(cfg Config) (*Node, error) {
+	if cfg.Self == "" {
+		return nil, fmt.Errorf("cluster: Config.Self is required")
+	}
+	// Self is the node's ring identity AND the address peers dial and
+	// verify against gossip replies. A wildcard bind (":8090",
+	// "0.0.0.0:…") would make every gossip identity check fail, quietly
+	// collapsing each node's ring to itself — a split brain over the
+	// shared persist dir. Fail fast instead.
+	host, _, err := net.SplitHostPort(cfg.Self)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: Config.Self %q is not host:port: %w", cfg.Self, err)
+	}
+	if host == "" || host == "0.0.0.0" || host == "::" {
+		return nil, fmt.Errorf("cluster: Config.Self %q must be the dialable advertised address, not a wildcard bind", cfg.Self)
+	}
+	if cfg.Registry == nil {
+		return nil, fmt.Errorf("cluster: Config.Registry is required")
+	}
+	if !cfg.Registry.Persistent() {
+		// The handoff sweep drains tenants through the persistence path;
+		// without it a ring change would silently destroy tenant state.
+		return nil, fmt.Errorf("cluster: the registry must persist tenants (set PersistDir, on storage all nodes share)")
+	}
+	if cfg.Heartbeat <= 0 {
+		cfg.Heartbeat = 500 * time.Millisecond
+	}
+	if cfg.DeadAfter <= 0 {
+		cfg.DeadAfter = 3
+	}
+	if cfg.ProbeTimeout <= 0 {
+		cfg.ProbeTimeout = cfg.Heartbeat
+	}
+	if cfg.ForwardTimeout <= 0 {
+		cfg.ForwardTimeout = 5 * time.Second
+	}
+	if cfg.ForwardRetries < 0 {
+		cfg.ForwardRetries = 0
+	} else if cfg.ForwardRetries == 0 {
+		cfg.ForwardRetries = 2
+	}
+	if cfg.HedgeAfter == 0 {
+		cfg.HedgeAfter = min(10*cfg.Heartbeat, cfg.ForwardTimeout/2)
+	}
+	if cfg.DrainWait <= 0 {
+		cfg.DrainWait = 2 * time.Second
+	}
+	if cfg.SweepEvery <= 0 {
+		cfg.SweepEvery = 4 * cfg.Heartbeat
+	}
+	n := &Node{
+		cfg:    cfg,
+		client: cfg.Client,
+		stop:   make(chan struct{}),
+		kick:   make(chan struct{}, 1),
+	}
+	if n.client == nil {
+		n.client = &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 64}}
+	}
+	members := []string{cfg.Self}
+	for _, p := range cfg.Peers {
+		if p == "" || p == cfg.Self {
+			continue
+		}
+		n.peers = append(n.peers, &peer{addr: p, alive: true})
+		members = append(members, p)
+	}
+	sort.Slice(n.peers, func(i, j int) bool { return n.peers[i].addr < n.peers[j].addr })
+	n.ring.Store(BuildRing(n.ringV.Add(1), members, cfg.VNodes))
+	return n, nil
+}
+
+// Ring returns the current ring (immutable; lock-free).
+func (n *Node) Ring() *Ring { return n.ring.Load() }
+
+// Self reports the node's advertised address.
+func (n *Node) Self() string { return n.cfg.Self }
+
+// Start launches the health-check and handoff loops.
+func (n *Node) Start() {
+	n.wg.Add(2)
+	go n.heartbeatLoop()
+	go n.handoffLoop()
+}
+
+// Close stops the background loops. It does not drain the registry: a
+// graceful shutdown flushes it (as cacheserve does on SIGINT), and peers
+// detect the death and remap within DeadAfter heartbeats either way.
+func (n *Node) Close() {
+	select {
+	case <-n.stop:
+		return
+	default:
+	}
+	close(n.stop)
+	n.wg.Wait()
+}
+
+// Register installs the cluster routes — /v1/cluster/status (JSON, for
+// humans and load generators), /v1/cluster/gossip (binary PeerStatus, the
+// health-probe endpoint) and /v1/cluster/forward (binary envelope, the
+// peer-forwarding endpoint) — on the serving mux.
+func (n *Node) Register(mux interface {
+	Handle(pattern string, handler http.Handler)
+}) {
+	mux.Handle("GET /v1/cluster/status", http.HandlerFunc(n.handleStatus))
+	mux.Handle("GET /v1/cluster/gossip", http.HandlerFunc(n.handleGossip))
+	mux.Handle("POST /v1/cluster/forward", http.HandlerFunc(n.handleForward))
+}
+
+// routedPaths are the tenant-scoped serving routes the cluster router
+// owns placement for, with per-route hedging policy. Everything else
+// (stats, health, FL admin, the cluster routes themselves) serves
+// locally on whichever node receives it. Queries are idempotent, so a
+// slow owner gets a hedged duplicate; feedback mutates τ, so it is
+// never hedged — retries and the local fallback still give it
+// at-least-once (not exactly-once) semantics, which τ's small clamped
+// steps tolerate.
+var routedPaths = map[string]struct{ hedge bool }{
+	"/v1/query":    {hedge: true},
+	"/v1/feedback": {hedge: false},
+}
+
+// Wrap returns the routing middleware around the serving mux: requests
+// for tenants this node owns pass straight through; requests for tenants
+// owned elsewhere are forwarded to the owner. The ownership check is one
+// atomic ring load — no locks on the hot path.
+func (n *Node) Wrap(inner http.Handler) http.Handler {
+	n.inner.Store(&inner)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		route, routed := routedPaths[r.URL.Path]
+		if r.Method != http.MethodPost || !routed || r.Header.Get(forwardedHeader) != "" {
+			inner.ServeHTTP(w, r)
+			return
+		}
+		body, err := io.ReadAll(io.LimitReader(r.Body, maxWireBody+1))
+		if err != nil {
+			http.Error(w, fmt.Sprintf("cluster: reading request: %v", err), http.StatusBadRequest)
+			return
+		}
+		if len(body) > maxWireBody {
+			// Too large to forward, but not too large to serve: splice
+			// the unread remainder back on and serve locally, preserving
+			// single-node behavior for owned tenants (and a degraded
+			// local serve for the rare over-cap non-owned request).
+			r.Body = io.NopCloser(io.MultiReader(bytes.NewReader(body), r.Body))
+			inner.ServeHTTP(w, r)
+			return
+		}
+		serveLocal := func() {
+			r.Body = io.NopCloser(bytes.NewReader(body))
+			r.ContentLength = int64(len(body))
+			inner.ServeHTTP(w, r)
+		}
+		user := peekUser(body)
+		owner := n.ring.Load().Owner(user)
+		if user == "" || owner == "" || owner == n.cfg.Self {
+			serveLocal() // ours (or malformed — let the mux reject it)
+			return
+		}
+		resp, err := n.forward(r.Context(), owner, r.URL.Path, user, body, route.hedge)
+		if err != nil {
+			var answered *peerAnsweredError
+			if errors.As(err, &answered) {
+				// The owner is alive and declined — surface its error;
+				// serving locally would double-serve a healthy owner's
+				// tenant.
+				http.Error(w, err.Error(), http.StatusBadGateway)
+				return
+			}
+			// The owner is unreachable after retries (and, if the
+			// failures crossed DeadAfter, now off the ring). Serving
+			// locally keeps the tenant available: the registry revives it
+			// from shared storage, and if this node is not the tenant's
+			// home on the healed ring, the sweep hands it back off. A
+			// request whose forward timed out mid-flight may be processed
+			// twice this way — acceptable for an idempotent query path,
+			// and why hedging is safe to enable at all.
+			n.localFallbacks.Add(1)
+			serveLocal()
+			return
+		}
+		w.Header().Set(servedByHeader, resp.Node)
+		if resp.Status == http.StatusOK {
+			w.Header().Set("Content-Type", "application/json")
+		} else {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		}
+		w.WriteHeader(int(resp.Status))
+		w.Write(resp.Body)
+	})
+}
+
+// peekUser extracts the tenant ID from a serving-route body.
+func peekUser(body []byte) string {
+	var p struct {
+		User string `json:"user"`
+	}
+	if json.Unmarshal(body, &p) != nil {
+		return ""
+	}
+	return p.User
+}
+
+// forward ships a tenant request to its owner, retrying up to
+// ForwardRetries times. Between attempts the owner is re-resolved — a
+// forward failure usually coincides with a membership change, and the
+// retry should chase the tenant's new home, not hammer the old one.
+// When hedge is set (idempotent routes only), a single duplicate fires
+// if the first attempt is slow.
+func (n *Node) forward(ctx context.Context, owner, path, user string, body []byte, hedge bool) (*ForwardResponse, error) {
+	var lastErr error
+	for attempt := 0; attempt <= n.cfg.ForwardRetries; attempt++ {
+		if attempt > 0 {
+			cur := n.ring.Load().Owner(user)
+			if cur == n.cfg.Self || cur == "" {
+				return nil, lastErr // the tenant is ours now — serve locally
+			}
+			owner = cur
+		}
+		env, err := EncodeForwardRequest(&ForwardRequest{
+			Origin:      n.cfg.Self,
+			RingVersion: n.ring.Load().Version(),
+			Hops:        uint8(attempt) + 1,
+			User:        user,
+			Path:        path,
+			Body:        body,
+		})
+		if err != nil {
+			return nil, err
+		}
+		n.forwards.Add(1)
+		resp, err := n.forwardHedged(ctx, owner, env, hedge)
+		if err == nil {
+			// The peer answered: it is demonstrably alive, so failures
+			// accumulated from unrelated hiccups reset.
+			if p := n.peerByAddr(owner); p != nil && p.noteExchange() {
+				n.rebuildRing("forward success")
+			}
+			return resp, nil
+		}
+		lastErr = err
+		n.forwardErrors.Add(1)
+		var answered *peerAnsweredError
+		if errors.As(err, &answered) {
+			// The peer is alive, it just could not serve this request;
+			// retrying a deterministic application error elsewhere (or
+			// blaming the peer's health) would make things worse.
+			if p := n.peerByAddr(owner); p != nil && p.noteExchange() {
+				n.rebuildRing("forward success")
+			}
+			return nil, err
+		}
+		if ctx.Err() != nil {
+			// The *client* gave up (disconnect, short deadline) — that
+			// says nothing about the peer's health, and further attempts
+			// on the dead context would fail instantly and unfairly trip
+			// the death counter.
+			return nil, lastErr
+		}
+		// Genuine transport failures feed the same failure counter as
+		// missed heartbeats, so a dead owner is detected at traffic
+		// speed, not just probe speed.
+		if p := n.peerByAddr(owner); p != nil && p.recordFailure(n.cfg.DeadAfter) {
+			n.rebuildRing("forward failures")
+		}
+	}
+	return nil, lastErr
+}
+
+// forwardHedged runs one forward attempt and, when hedge is set,
+// launches a single duplicate if the first has not answered within
+// HedgeAfter. The first successful response wins; the loser's
+// connection is cancelled by context.
+func (n *Node) forwardHedged(ctx context.Context, owner string, env []byte, hedge bool) (*ForwardResponse, error) {
+	ctx, cancel := context.WithTimeout(ctx, n.cfg.ForwardTimeout)
+	defer cancel()
+	results := make(chan forwardResult, 2)
+	post := func() {
+		resp, err := n.postForward(ctx, owner, env)
+		results <- forwardResult{resp, err}
+	}
+	go post()
+	inFlight := 1
+	var hedgeTimer <-chan time.Time
+	if hedge && n.cfg.HedgeAfter > 0 {
+		t := time.NewTimer(n.cfg.HedgeAfter)
+		defer t.Stop()
+		hedgeTimer = t.C
+	}
+	var lastErr error
+	for inFlight > 0 {
+		select {
+		case res := <-results:
+			inFlight--
+			if res.err == nil {
+				return res.resp, nil
+			}
+			lastErr = res.err
+		case <-hedgeTimer:
+			hedgeTimer = nil
+			n.hedges.Add(1)
+			inFlight++
+			go post()
+		}
+	}
+	return nil, lastErr
+}
+
+type forwardResult struct {
+	resp *ForwardResponse
+	err  error
+}
+
+// peerAnsweredError reports that the owner's forward endpoint answered
+// but with an application-level error (non-200, or an undecodable
+// envelope from a live listener). The peer is demonstrably alive: the
+// failure must reach the client as an error, not feed the death counter
+// or trigger the local fallback — both of those are for peers that
+// cannot answer at all.
+type peerAnsweredError struct {
+	peer   string
+	status int
+	msg    string
+}
+
+func (e *peerAnsweredError) Error() string {
+	return fmt.Sprintf("cluster: peer %s answered forward with status %d: %s", e.peer, e.status, e.msg)
+}
+
+// postForward performs the HTTP exchange for one forward attempt.
+func (n *Node) postForward(ctx context.Context, owner string, env []byte) (*ForwardResponse, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		"http://"+owner+"/v1/cluster/forward", bytes.NewReader(env))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	hr, err := n.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer hr.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(hr.Body, maxWireMessage))
+	if err != nil {
+		return nil, err
+	}
+	if hr.StatusCode != http.StatusOK {
+		return nil, &peerAnsweredError{peer: owner, status: hr.StatusCode, msg: string(bytes.TrimSpace(raw))}
+	}
+	resp, err := DecodeForwardResponse(raw)
+	if err != nil {
+		return nil, &peerAnsweredError{peer: owner, status: hr.StatusCode, msg: err.Error()}
+	}
+	return resp, nil
+}
+
+// handleForward serves a peer-forwarded request against the local mux.
+// It serves the request even if this node no longer believes it owns the
+// tenant — the forwarder routed on its ring, and re-forwarding on a
+// disagreement would loop; the handoff sweep reconciles ownership
+// afterwards through the persistence path.
+func (n *Node) handleForward(w http.ResponseWriter, r *http.Request) {
+	innerp := n.inner.Load()
+	if innerp == nil {
+		http.Error(w, "cluster: node not serving yet", http.StatusServiceUnavailable)
+		return
+	}
+	raw, err := io.ReadAll(io.LimitReader(r.Body, maxWireMessage))
+	if err != nil {
+		http.Error(w, fmt.Sprintf("cluster: reading envelope: %v", err), http.StatusBadRequest)
+		return
+	}
+	env, err := DecodeForwardRequest(raw)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if _, ok := routedPaths[env.Path]; !ok {
+		http.Error(w, fmt.Sprintf("cluster: path %q is not forwardable", env.Path), http.StatusBadRequest)
+		return
+	}
+	n.forwardedServed.Add(1)
+	if env.RingVersion != n.ring.Load().Version() {
+		// The forwarder routed on a different ring generation — expected
+		// briefly around membership changes; persistent growth of this
+		// counter means a peer's ring is not converging.
+		n.staleForwards.Add(1)
+	}
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodPost, env.Path, bytes.NewReader(env.Body))
+	if err != nil {
+		http.Error(w, fmt.Sprintf("cluster: rebuilding request: %v", err), http.StatusInternalServerError)
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(forwardedHeader, env.Origin)
+	rec := &responseCapture{status: http.StatusOK}
+	(*innerp).ServeHTTP(rec, req)
+	out, err := EncodeForwardResponse(&ForwardResponse{
+		Node:   n.cfg.Self,
+		Status: uint16(rec.status),
+		Body:   rec.body.Bytes(),
+	})
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(out)
+}
+
+// responseCapture buffers the local mux's response for re-encoding.
+type responseCapture struct {
+	status int
+	body   bytes.Buffer
+	header http.Header
+}
+
+func (c *responseCapture) Header() http.Header {
+	if c.header == nil {
+		c.header = make(http.Header)
+	}
+	return c.header
+}
+
+func (c *responseCapture) WriteHeader(status int)      { c.status = status }
+func (c *responseCapture) Write(p []byte) (int, error) { return c.body.Write(p) }
+
+// handleGossip answers a peer health probe with this node's view.
+func (n *Node) handleGossip(w http.ResponseWriter, _ *http.Request) {
+	ring := n.ring.Load()
+	resident := n.cfg.Registry.Resident()
+	if resident > int(^uint32(0)>>1) {
+		resident = int(^uint32(0) >> 1)
+	}
+	out, err := EncodePeerStatus(&PeerStatus{
+		Node:        n.cfg.Self,
+		RingVersion: ring.Version(),
+		Resident:    uint32(resident),
+		Alive:       ring.Members(),
+	})
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(out)
+}
+
+// PeerInfo is one peer's health as reported by /v1/cluster/status.
+type PeerInfo struct {
+	Addr        string `json:"addr"`
+	Alive       bool   `json:"alive"`
+	Failures    int    `json:"failures,omitempty"`
+	RingVersion uint64 `json:"ring_version,omitempty"`
+}
+
+// Status is the body of GET /v1/cluster/status.
+type Status struct {
+	Node            string     `json:"node"`
+	RingVersion     uint64     `json:"ring_version"`
+	Members         []string   `json:"members"`
+	VNodes          int        `json:"vnodes"`
+	Peers           []PeerInfo `json:"peers"`
+	Resident        int        `json:"resident_tenants"`
+	Forwards        int64      `json:"forwards"`
+	ForwardErrors   int64      `json:"forward_errors,omitempty"`
+	Hedges          int64      `json:"hedges,omitempty"`
+	LocalFallbacks  int64      `json:"local_fallbacks,omitempty"`
+	ForwardedServed int64      `json:"forwarded_served"`
+	StaleForwards   int64      `json:"stale_forwards,omitempty"`
+	Handoffs        int64      `json:"handoffs"`
+	HandoffBusy     int64      `json:"handoff_busy,omitempty"`
+	HandoffErrors   int64      `json:"handoff_errors,omitempty"`
+}
+
+// StatusSnapshot assembles the status document (also used in-process by
+// the harness and load generator).
+func (n *Node) StatusSnapshot() Status {
+	ring := n.ring.Load()
+	st := Status{
+		Node:            n.cfg.Self,
+		RingVersion:     ring.Version(),
+		Members:         ring.Members(),
+		VNodes:          ring.VNodes(),
+		Resident:        n.cfg.Registry.Resident(),
+		Forwards:        n.forwards.Load(),
+		ForwardErrors:   n.forwardErrors.Load(),
+		Hedges:          n.hedges.Load(),
+		LocalFallbacks:  n.localFallbacks.Load(),
+		ForwardedServed: n.forwardedServed.Load(),
+		StaleForwards:   n.staleForwards.Load(),
+		Handoffs:        n.handoffs.Load(),
+		HandoffBusy:     n.handoffBusy.Load(),
+		HandoffErrors:   n.handoffErrors.Load(),
+	}
+	for _, p := range n.peers {
+		p.mu.Lock()
+		st.Peers = append(st.Peers, PeerInfo{
+			Addr: p.addr, Alive: p.alive, Failures: p.failures, RingVersion: p.ringV,
+		})
+		p.mu.Unlock()
+	}
+	return st
+}
+
+func (n *Node) handleStatus(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(n.StatusSnapshot())
+}
+
+// heartbeatLoop probes every peer each Heartbeat and rebuilds the ring
+// when the live set changes.
+func (n *Node) heartbeatLoop() {
+	defer n.wg.Done()
+	ticker := time.NewTicker(n.cfg.Heartbeat)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-n.stop:
+			return
+		case <-ticker.C:
+			n.probePeers()
+		}
+	}
+}
+
+// probePeers health-checks all peers concurrently, then reconciles the
+// ring with the observed live set.
+func (n *Node) probePeers() {
+	var wg sync.WaitGroup
+	changed := atomic.Bool{}
+	for _, p := range n.peers {
+		wg.Add(1)
+		go func(p *peer) {
+			defer wg.Done()
+			status, err := n.probe(p.addr)
+			if err != nil {
+				if p.recordFailure(n.cfg.DeadAfter) {
+					// Log on the alive→dead flip only (bounded volume):
+					// a persistent cause — like an identity mismatch from
+					// a misconfigured peer list — must be diagnosable.
+					n.logf("cluster: peer %s marked dead: %v", p.addr, err)
+					changed.Store(true)
+				}
+				return
+			}
+			if p.recordSuccess(status.RingVersion) {
+				changed.Store(true)
+			}
+		}(p)
+	}
+	wg.Wait()
+	if changed.Load() {
+		n.rebuildRing("heartbeat")
+	}
+}
+
+// probe performs one health check against a peer's gossip endpoint.
+func (n *Node) probe(addr string) (*PeerStatus, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), n.cfg.ProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+addr+"/v1/cluster/gossip", nil)
+	if err != nil {
+		return nil, err
+	}
+	hr, err := n.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer hr.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(hr.Body, maxWireMessage))
+	if err != nil {
+		return nil, err
+	}
+	if hr.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("cluster: probe status %d", hr.StatusCode)
+	}
+	status, err := DecodePeerStatus(raw)
+	if err != nil {
+		return nil, err
+	}
+	if status.Node != addr {
+		// A different node answering on this address is a deployment
+		// error; trusting it would split the ring.
+		return nil, fmt.Errorf("cluster: peer at %s identifies as %s", addr, status.Node)
+	}
+	return status, nil
+}
+
+// recordFailure notes a failed exchange; reports true when it flips the
+// peer from alive to dead.
+func (p *peer) recordFailure(deadAfter int) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.failures++
+	if p.alive && p.failures >= deadAfter {
+		p.alive = false
+		return true
+	}
+	return false
+}
+
+// recordSuccess notes a healthy probe; reports true when it revives a
+// dead peer.
+func (p *peer) recordSuccess(ringV uint64) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.failures = 0
+	p.ringV = ringV
+	if !p.alive {
+		p.alive = true
+		return true
+	}
+	return false
+}
+
+// noteExchange records a successful non-probe exchange with the peer;
+// reports true when it revives a dead peer. Unlike recordSuccess it
+// leaves the last-reported ring version alone (a forward response does
+// not carry one).
+func (p *peer) noteExchange() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.failures = 0
+	if !p.alive {
+		p.alive = true
+		return true
+	}
+	return false
+}
+
+func (p *peer) isAlive() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.alive
+}
+
+// peerByAddr resolves a configured peer (nil for self/unknown).
+func (n *Node) peerByAddr(addr string) *peer {
+	i := sort.Search(len(n.peers), func(i int) bool { return n.peers[i].addr >= addr })
+	if i < len(n.peers) && n.peers[i].addr == addr {
+		return n.peers[i]
+	}
+	return nil
+}
+
+// rebuildRing recomputes the ring from the live member set and swaps it
+// atomically if it differs from the current one, kicking a handoff
+// sweep. The compare-and-swap sequence runs under ringMu: a heartbeat
+// rebuild and a forward-failure rebuild may race, and without the lock
+// the loser could overwrite a newer ring with a staler member set that
+// nothing would ever correct (readers still load the pointer lock-free).
+func (n *Node) rebuildRing(cause string) {
+	n.ringMu.Lock()
+	defer n.ringMu.Unlock()
+	members := []string{n.cfg.Self}
+	for _, p := range n.peers {
+		if p.isAlive() {
+			members = append(members, p.addr)
+		}
+	}
+	cur := n.ring.Load()
+	if sameMembers(cur.Members(), members) {
+		return
+	}
+	next := BuildRing(n.ringV.Add(1), members, n.cfg.VNodes)
+	n.ring.Store(next)
+	n.logf("cluster: ring v%d (%s): members %v", next.Version(), cause, next.Members())
+	select {
+	case n.kick <- struct{}{}:
+	default:
+	}
+}
+
+// sameMembers compares a sorted ring member list against an unsorted
+// candidate set.
+func sameMembers(sorted, candidate []string) bool {
+	if len(sorted) != len(candidate) {
+		return false
+	}
+	c := append([]string(nil), candidate...)
+	sort.Strings(c)
+	for i := range c {
+		if c[i] != sorted[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// handoffLoop drains non-owned tenants after ring changes and on a slow
+// periodic sweep (which also catches tenants revived locally by the
+// degraded forward fallback).
+func (n *Node) handoffLoop() {
+	defer n.wg.Done()
+	ticker := time.NewTicker(n.cfg.SweepEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-n.stop:
+			return
+		case <-n.kick:
+		case <-ticker.C:
+		}
+		n.handoffSweep()
+	}
+}
+
+// handoffSweep drains every resident tenant the current ring places on
+// another node. DrainWait budgets the whole sweep, not each tenant:
+// waiting the full budget on one continuously-hot tenant must not stall
+// the drainable tenants queued behind it, so once the budget is spent
+// remaining tenants get a single pin check. Busy tenants are left for
+// the next sweep — a request is never dropped to make a handoff
+// deadline.
+func (n *Node) handoffSweep() {
+	deadline := time.Now().Add(n.cfg.DrainWait)
+	for _, id := range n.cfg.Registry.IDs() {
+		owner := n.ring.Load().Owner(id)
+		if owner == n.cfg.Self || owner == "" {
+			continue
+		}
+		wait := time.Until(deadline)
+		if wait < 0 {
+			wait = 0
+		}
+		resident, err := n.cfg.Registry.Drain(id, wait)
+		switch {
+		case err == server.ErrTenantBusy:
+			n.handoffBusy.Add(1)
+		case err != nil:
+			n.handoffErrors.Add(1)
+			n.logf("cluster: handing off %q to %s: %v", id, owner, err)
+		case resident:
+			n.handoffs.Add(1)
+		}
+	}
+}
+
+func (n *Node) logf(format string, args ...any) {
+	if n.cfg.Logf != nil {
+		n.cfg.Logf(format, args...)
+	}
+}

@@ -1,0 +1,168 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// tenantNames builds a deterministic tenant population shaped like the
+// serving layer's user IDs.
+func tenantNames(n int, seed int64) []string {
+	rng := rand.New(rand.NewSource(seed))
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("user-%08x", rng.Int63())
+	}
+	return names
+}
+
+func memberNames(n int) []string {
+	members := make([]string, n)
+	for i := range members {
+		members[i] = fmt.Sprintf("10.0.0.%d:8090", i+1)
+	}
+	return members
+}
+
+// TestRingBalance is the load-balance property: at realistic vnode
+// counts, tenant load across nodes stays within a bounded spread of the
+// perfect share. The bounds are generous relative to typical spread
+// (max/mean lands around 1.1–1.25 at 128 vnodes) so the test pins the
+// property, not the hash's exact behaviour.
+func TestRingBalance(t *testing.T) {
+	cases := []struct {
+		nodes, vnodes, tenants int
+		maxOverMean            float64 // max node share / perfect share
+		minOverMean            float64
+	}{
+		{3, 64, 30000, 1.35, 0.65},
+		{5, 128, 50000, 1.30, 0.70},
+		{8, 128, 80000, 1.30, 0.70},
+		{16, 256, 160000, 1.30, 0.70},
+	}
+	for _, tc := range cases {
+		t.Run(fmt.Sprintf("%dnodes_%dvnodes", tc.nodes, tc.vnodes), func(t *testing.T) {
+			members := memberNames(tc.nodes)
+			ring := BuildRing(1, members, tc.vnodes)
+			counts := make(map[string]int, tc.nodes)
+			for _, u := range tenantNames(tc.tenants, 42) {
+				counts[ring.Owner(u)]++
+			}
+			mean := float64(tc.tenants) / float64(tc.nodes)
+			for _, m := range members {
+				share := float64(counts[m]) / mean
+				if share > tc.maxOverMean || share < tc.minOverMean {
+					t.Errorf("node %s holds %.2f× the perfect share (want within [%.2f, %.2f]); counts=%v",
+						m, share, tc.minOverMean, tc.maxOverMean, counts)
+				}
+			}
+		})
+	}
+}
+
+// TestRingMinimalMovementOnLeave is half of the minimal-movement
+// invariant: removing a node remaps exactly that node's tenants —
+// every tenant whose owner survives keeps it.
+func TestRingMinimalMovementOnLeave(t *testing.T) {
+	for _, nodes := range []int{3, 5, 10} {
+		t.Run(fmt.Sprintf("%dnodes", nodes), func(t *testing.T) {
+			members := memberNames(nodes)
+			before := BuildRing(1, members, 128)
+			removed := members[nodes/2]
+			after := BuildRing(2, append(append([]string{}, members[:nodes/2]...), members[nodes/2+1:]...), 128)
+
+			tenants := tenantNames(20000, 7)
+			moved, ownedByRemoved := 0, 0
+			for _, u := range tenants {
+				was, is := before.Owner(u), after.Owner(u)
+				if was == removed {
+					ownedByRemoved++
+					if is == removed {
+						t.Fatalf("tenant %s still owned by removed node", u)
+					}
+					continue
+				}
+				if was != is {
+					moved++
+				}
+			}
+			if moved != 0 {
+				t.Errorf("%d tenants not owned by the removed node remapped (consistent hashing should move only the removed node's %d tenants)",
+					moved, ownedByRemoved)
+			}
+			// The removed node's tenants are ~1/n of the population; allow
+			// slack for hash-spread variance.
+			frac := float64(ownedByRemoved) / float64(len(tenants))
+			if bound := 1/float64(nodes) + 0.10; frac > bound {
+				t.Errorf("removed node owned %.3f of tenants, want ≤ %.3f", frac, bound)
+			}
+		})
+	}
+}
+
+// TestRingMinimalMovementOnJoin is the other half: adding a node remaps
+// at most ~(1/(n+1) + ε) of tenants, and every remapped tenant moves to
+// the new node — nobody shuffles between survivors.
+func TestRingMinimalMovementOnJoin(t *testing.T) {
+	for _, nodes := range []int{2, 4, 9} {
+		t.Run(fmt.Sprintf("%d_to_%dnodes", nodes, nodes+1), func(t *testing.T) {
+			members := memberNames(nodes + 1)
+			before := BuildRing(1, members[:nodes], 128)
+			after := BuildRing(2, members, 128)
+			joined := members[nodes]
+
+			tenants := tenantNames(20000, 11)
+			moved := 0
+			for _, u := range tenants {
+				was, is := before.Owner(u), after.Owner(u)
+				if was == is {
+					continue
+				}
+				moved++
+				if is != joined {
+					t.Fatalf("tenant %s remapped %s→%s, but only moves to the joining node %s are minimal",
+						u, was, is, joined)
+				}
+			}
+			frac := float64(moved) / float64(len(tenants))
+			if bound := 1/float64(nodes+1) + 0.10; frac > bound {
+				t.Errorf("join remapped %.3f of tenants, want ≤ %.3f (minimal movement)", frac, bound)
+			}
+		})
+	}
+}
+
+// TestRingDeterminism: placement depends only on the member set — not
+// on list order, duplicates, or which node computes it.
+func TestRingDeterminism(t *testing.T) {
+	a := BuildRing(1, []string{"c:1", "a:1", "b:1"}, 64)
+	b := BuildRing(9, []string{"b:1", "a:1", "c:1", "a:1"}, 64)
+	for _, u := range tenantNames(5000, 3) {
+		if a.Owner(u) != b.Owner(u) {
+			t.Fatalf("placement differs for %s: %s vs %s (must be order- and duplicate-insensitive)",
+				u, a.Owner(u), b.Owner(u))
+		}
+	}
+}
+
+// TestRingEdgeCases covers the degenerate rings routing has to survive.
+func TestRingEdgeCases(t *testing.T) {
+	var nilRing *Ring
+	if got := nilRing.Owner("u"); got != "" {
+		t.Errorf("nil ring owner = %q, want empty", got)
+	}
+	empty := BuildRing(1, nil, 64)
+	if got := empty.Owner("u"); got != "" {
+		t.Errorf("empty ring owner = %q, want empty", got)
+	}
+	solo := BuildRing(1, []string{"only:1"}, 64)
+	for _, u := range tenantNames(100, 5) {
+		if got := solo.Owner(u); got != "only:1" {
+			t.Fatalf("single-member ring owner = %q", got)
+		}
+	}
+	if !solo.Has("only:1") || solo.Has("other:1") {
+		t.Error("Has misreports membership")
+	}
+}

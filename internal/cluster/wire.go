@@ -1,0 +1,345 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// The cluster wire codec: a compact, length-prefixed binary encoding for
+// the two message families nodes exchange —
+//
+//   - PeerStatus: the health-probe response (GET /v1/cluster/gossip).
+//   - ForwardRequest / ForwardResponse: the forwarded-request envelope
+//     (POST /v1/cluster/forward) carrying a tenant request to its owner
+//     and the owner's answer back.
+//
+// Every message starts with a 3-byte header: magic 0xC5, codec version,
+// message kind. Strings and byte slices are u32-length-prefixed with hard
+// caps, so a decoder fed hostile or corrupt bytes fails with an error —
+// never a panic or an unbounded allocation (see FuzzWireCodec).
+
+const (
+	wireMagic   = 0xC5
+	wireVersion = 1
+
+	kindPeerStatus      = 1
+	kindForwardRequest  = 2
+	kindForwardResponse = 3
+
+	// Decode-side caps. Encoding a message that exceeds them fails too,
+	// so a round trip either works in both directions or in neither.
+	maxWireString = 4 << 10 // node IDs, paths, user IDs
+	maxWireBody   = 4 << 20 // forwarded request/response bodies
+	maxWirePeers  = 1 << 10 // alive-member lists
+)
+
+// maxWireMessage bounds a whole encoded message of any kind: the HTTP
+// read limit peers apply before decoding. It must dominate the largest
+// legal encoding — a forward envelope is a near-cap body plus up to
+// three near-cap strings, a peer status up to maxWirePeers near-cap
+// strings — or a valid message would be truncated at the reader and
+// deterministically rejected, falsely feeding the peer-death counter.
+const maxWireMessage = maxWireBody + (maxWirePeers+3)*(maxWireString+4) + 64
+
+// ErrWireCorrupt reports bytes that are not a valid cluster wire message.
+var ErrWireCorrupt = errors.New("cluster: corrupt wire message")
+
+// PeerStatus is a node's health-probe response: who it is, which ring it
+// is on, what it holds, and who it currently believes is alive.
+type PeerStatus struct {
+	// Node is the responder's advertised address (its ring member ID).
+	Node string
+	// RingVersion is the responder's current ring version.
+	RingVersion uint64
+	// Resident is the responder's resident tenant count.
+	Resident uint32
+	// Alive lists the members the responder's ring currently includes.
+	Alive []string
+}
+
+// ForwardRequest is the envelope a router sends to a tenant's owner in
+// place of the original client request.
+type ForwardRequest struct {
+	// Origin is the forwarding node's advertised address.
+	Origin string
+	// RingVersion is the ring the forwarder routed on; the receiver
+	// counts mismatches against its own ring (stale_forwards in
+	// /v1/cluster/status), a convergence diagnostic.
+	RingVersion uint64
+	// Hops is the forwarder's attempt number, for diagnostics. Loop
+	// prevention does not depend on it: an envelope is always served
+	// where it lands (the rebuilt request carries the forwarded marker,
+	// which the routing middleware passes straight through).
+	Hops uint8
+	// User is the tenant the request belongs to.
+	User string
+	// Path is the serving route the body targets (e.g. "/v1/query").
+	Path string
+	// Body is the original JSON request body.
+	Body []byte
+}
+
+// ForwardResponse carries the owner's answer back to the forwarder.
+type ForwardResponse struct {
+	// Node is the answering node's advertised address.
+	Node string
+	// Status is the HTTP status the serving mux produced.
+	Status uint16
+	// Body is the response body (JSON on success, error text otherwise).
+	Body []byte
+}
+
+// EncodePeerStatus serialises s.
+func EncodePeerStatus(s *PeerStatus) ([]byte, error) {
+	if len(s.Alive) > maxWirePeers {
+		return nil, fmt.Errorf("cluster: encoding peer status: %d alive members exceeds cap %d", len(s.Alive), maxWirePeers)
+	}
+	b := []byte{wireMagic, wireVersion, kindPeerStatus}
+	b, err := appendString(b, s.Node, maxWireString)
+	if err != nil {
+		return nil, err
+	}
+	b = binary.LittleEndian.AppendUint64(b, s.RingVersion)
+	b = binary.LittleEndian.AppendUint32(b, s.Resident)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(s.Alive)))
+	for _, m := range s.Alive {
+		if b, err = appendString(b, m, maxWireString); err != nil {
+			return nil, err
+		}
+	}
+	return b, nil
+}
+
+// DecodePeerStatus parses bytes produced by EncodePeerStatus.
+func DecodePeerStatus(b []byte) (*PeerStatus, error) {
+	d, err := newWireReader(b, kindPeerStatus)
+	if err != nil {
+		return nil, err
+	}
+	var s PeerStatus
+	if s.Node, err = d.str(maxWireString); err != nil {
+		return nil, err
+	}
+	if s.RingVersion, err = d.u64(); err != nil {
+		return nil, err
+	}
+	res, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	s.Resident = res
+	n, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	if n > maxWirePeers {
+		return nil, fmt.Errorf("%w: %d alive members exceeds cap %d", ErrWireCorrupt, n, maxWirePeers)
+	}
+	if n > 0 {
+		s.Alive = make([]string, n)
+		for i := range s.Alive {
+			if s.Alive[i], err = d.str(maxWireString); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return &s, d.done()
+}
+
+// EncodeForwardRequest serialises f.
+func EncodeForwardRequest(f *ForwardRequest) ([]byte, error) {
+	b := []byte{wireMagic, wireVersion, kindForwardRequest}
+	var err error
+	if b, err = appendString(b, f.Origin, maxWireString); err != nil {
+		return nil, err
+	}
+	b = binary.LittleEndian.AppendUint64(b, f.RingVersion)
+	b = append(b, f.Hops)
+	if b, err = appendString(b, f.User, maxWireString); err != nil {
+		return nil, err
+	}
+	if b, err = appendString(b, f.Path, maxWireString); err != nil {
+		return nil, err
+	}
+	return appendBytes(b, f.Body, maxWireBody)
+}
+
+// DecodeForwardRequest parses bytes produced by EncodeForwardRequest.
+func DecodeForwardRequest(b []byte) (*ForwardRequest, error) {
+	d, err := newWireReader(b, kindForwardRequest)
+	if err != nil {
+		return nil, err
+	}
+	var f ForwardRequest
+	if f.Origin, err = d.str(maxWireString); err != nil {
+		return nil, err
+	}
+	if f.RingVersion, err = d.u64(); err != nil {
+		return nil, err
+	}
+	if f.Hops, err = d.u8(); err != nil {
+		return nil, err
+	}
+	if f.User, err = d.str(maxWireString); err != nil {
+		return nil, err
+	}
+	if f.Path, err = d.str(maxWireString); err != nil {
+		return nil, err
+	}
+	if f.Body, err = d.bytes(maxWireBody); err != nil {
+		return nil, err
+	}
+	return &f, d.done()
+}
+
+// EncodeForwardResponse serialises f.
+func EncodeForwardResponse(f *ForwardResponse) ([]byte, error) {
+	b := []byte{wireMagic, wireVersion, kindForwardResponse}
+	var err error
+	if b, err = appendString(b, f.Node, maxWireString); err != nil {
+		return nil, err
+	}
+	b = binary.LittleEndian.AppendUint16(b, f.Status)
+	return appendBytes(b, f.Body, maxWireBody)
+}
+
+// DecodeForwardResponse parses bytes produced by EncodeForwardResponse.
+func DecodeForwardResponse(b []byte) (*ForwardResponse, error) {
+	d, err := newWireReader(b, kindForwardResponse)
+	if err != nil {
+		return nil, err
+	}
+	var f ForwardResponse
+	if f.Node, err = d.str(maxWireString); err != nil {
+		return nil, err
+	}
+	if f.Status, err = d.u16(); err != nil {
+		return nil, err
+	}
+	if f.Body, err = d.bytes(maxWireBody); err != nil {
+		return nil, err
+	}
+	return &f, d.done()
+}
+
+// appendString appends a u32-length-prefixed string, enforcing cap.
+func appendString(b []byte, s string, cap int) ([]byte, error) {
+	if len(s) > cap {
+		return nil, fmt.Errorf("cluster: encoding: string of %d bytes exceeds cap %d", len(s), cap)
+	}
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(s)))
+	return append(b, s...), nil
+}
+
+// appendBytes appends a u32-length-prefixed byte slice, enforcing cap.
+func appendBytes(b, v []byte, cap int) ([]byte, error) {
+	if len(v) > cap {
+		return nil, fmt.Errorf("cluster: encoding: body of %d bytes exceeds cap %d", len(v), cap)
+	}
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(v)))
+	return append(b, v...), nil
+}
+
+// wireReader is a bounds-checked cursor over an encoded message.
+type wireReader struct {
+	b   []byte
+	off int
+}
+
+// newWireReader validates the 3-byte header and positions the cursor
+// after it.
+func newWireReader(b []byte, kind byte) (*wireReader, error) {
+	if len(b) < 3 {
+		return nil, fmt.Errorf("%w: %d-byte message is shorter than the header", ErrWireCorrupt, len(b))
+	}
+	if b[0] != wireMagic {
+		return nil, fmt.Errorf("%w: bad magic 0x%02x", ErrWireCorrupt, b[0])
+	}
+	if b[1] != wireVersion {
+		return nil, fmt.Errorf("cluster: unsupported wire version %d (have %d)", b[1], wireVersion)
+	}
+	if b[2] != kind {
+		return nil, fmt.Errorf("%w: message kind %d, want %d", ErrWireCorrupt, b[2], kind)
+	}
+	return &wireReader{b: b, off: 3}, nil
+}
+
+func (d *wireReader) take(n int) ([]byte, error) {
+	if n < 0 || d.off+n > len(d.b) {
+		return nil, fmt.Errorf("%w: truncated at offset %d (need %d of %d bytes)", ErrWireCorrupt, d.off, n, len(d.b)-d.off)
+	}
+	v := d.b[d.off : d.off+n]
+	d.off += n
+	return v, nil
+}
+
+func (d *wireReader) u8() (byte, error) {
+	v, err := d.take(1)
+	if err != nil {
+		return 0, err
+	}
+	return v[0], nil
+}
+
+func (d *wireReader) u16() (uint16, error) {
+	v, err := d.take(2)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint16(v), nil
+}
+
+func (d *wireReader) u32() (uint32, error) {
+	v, err := d.take(4)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(v), nil
+}
+
+func (d *wireReader) u64() (uint64, error) {
+	v, err := d.take(8)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(v), nil
+}
+
+// str reads a length-prefixed string, enforcing cap before allocating.
+func (d *wireReader) str(cap int) (string, error) {
+	v, err := d.bytes(cap)
+	return string(v), err
+}
+
+// bytes reads a length-prefixed byte slice, enforcing cap before
+// allocating. The returned slice is copied so decoded messages do not
+// alias the network buffer.
+func (d *wireReader) bytes(cap int) ([]byte, error) {
+	n, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	if int(n) > cap {
+		return nil, fmt.Errorf("%w: %d-byte field exceeds cap %d", ErrWireCorrupt, n, cap)
+	}
+	v, err := d.take(int(n))
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	out := make([]byte, n)
+	copy(out, v)
+	return out, nil
+}
+
+// done verifies the message was consumed exactly — trailing garbage is
+// corruption, not padding.
+func (d *wireReader) done() error {
+	if d.off != len(d.b) {
+		return fmt.Errorf("%w: %d trailing bytes", ErrWireCorrupt, len(d.b)-d.off)
+	}
+	return nil
+}

@@ -1,0 +1,80 @@
+package cluster
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// FuzzWireCodec mirrors the index package's FuzzSearchParity harness for
+// the cluster wire codec: arbitrary bytes are fed to all three decoders,
+// which must reject or accept cleanly — never panic, never allocate
+// beyond the caps — and anything a decoder accepts must survive a
+// canonical re-encode/re-decode round trip unchanged.
+func FuzzWireCodec(f *testing.F) {
+	if b, err := EncodePeerStatus(&PeerStatus{
+		Node: "10.0.0.1:8090", RingVersion: 3, Resident: 12,
+		Alive: []string{"10.0.0.1:8090", "10.0.0.2:8090"},
+	}); err == nil {
+		f.Add(b)
+	}
+	if b, err := EncodeForwardRequest(&ForwardRequest{
+		Origin: "10.0.0.2:8090", RingVersion: 3, Hops: 1,
+		User: "user-0007", Path: "/v1/query",
+		Body: []byte(`{"user":"user-0007","query":"hi"}`),
+	}); err == nil {
+		f.Add(b)
+	}
+	if b, err := EncodeForwardResponse(&ForwardResponse{
+		Node: "10.0.0.1:8090", Status: 200, Body: []byte(`{"hit":false}`),
+	}); err == nil {
+		f.Add(b)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{wireMagic})
+	f.Add([]byte{wireMagic, wireVersion, kindPeerStatus})
+	f.Add([]byte{wireMagic, wireVersion, kindForwardRequest, 0xFF, 0xFF, 0xFF, 0xFF})
+	f.Add(bytes.Repeat([]byte{0xC5}, 64))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if s, err := DecodePeerStatus(data); err == nil {
+			re, err := EncodePeerStatus(s)
+			if err != nil {
+				t.Fatalf("re-encoding accepted peer status: %v", err)
+			}
+			s2, err := DecodePeerStatus(re)
+			if err != nil {
+				t.Fatalf("re-decoding canonical peer status: %v", err)
+			}
+			if !reflect.DeepEqual(s, s2) {
+				t.Fatalf("peer status round trip diverged: %+v vs %+v", s, s2)
+			}
+		}
+		if q, err := DecodeForwardRequest(data); err == nil {
+			re, err := EncodeForwardRequest(q)
+			if err != nil {
+				t.Fatalf("re-encoding accepted forward request: %v", err)
+			}
+			q2, err := DecodeForwardRequest(re)
+			if err != nil {
+				t.Fatalf("re-decoding canonical forward request: %v", err)
+			}
+			if !reflect.DeepEqual(q, q2) {
+				t.Fatalf("forward request round trip diverged: %+v vs %+v", q, q2)
+			}
+		}
+		if r, err := DecodeForwardResponse(data); err == nil {
+			re, err := EncodeForwardResponse(r)
+			if err != nil {
+				t.Fatalf("re-encoding accepted forward response: %v", err)
+			}
+			r2, err := DecodeForwardResponse(re)
+			if err != nil {
+				t.Fatalf("re-decoding canonical forward response: %v", err)
+			}
+			if !reflect.DeepEqual(r, r2) {
+				t.Fatalf("forward response round trip diverged: %+v vs %+v", r, r2)
+			}
+		}
+	})
+}

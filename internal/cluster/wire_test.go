@@ -1,0 +1,119 @@
+package cluster
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestWireRoundTrip(t *testing.T) {
+	status := &PeerStatus{
+		Node:        "10.0.0.1:8090",
+		RingVersion: 42,
+		Resident:    1337,
+		Alive:       []string{"10.0.0.1:8090", "10.0.0.2:8090", "10.0.0.3:8090"},
+	}
+	sb, err := EncodePeerStatus(status)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodePeerStatus(sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(status, got) {
+		t.Errorf("peer status round trip: got %+v, want %+v", got, status)
+	}
+
+	freq := &ForwardRequest{
+		Origin:      "10.0.0.2:8090",
+		RingVersion: 7,
+		Hops:        1,
+		User:        "user-0042",
+		Path:        "/v1/query",
+		Body:        []byte(`{"user":"user-0042","query":"what is FL?"}`),
+	}
+	fb, err := EncodeForwardRequest(freq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotReq, err := DecodeForwardRequest(fb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(freq, gotReq) {
+		t.Errorf("forward request round trip: got %+v, want %+v", gotReq, freq)
+	}
+
+	fresp := &ForwardResponse{Node: "10.0.0.3:8090", Status: 200, Body: []byte(`{"hit":true}`)}
+	rb, err := EncodeForwardResponse(fresp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotResp, err := DecodeForwardResponse(rb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fresp, gotResp) {
+		t.Errorf("forward response round trip: got %+v, want %+v", gotResp, fresp)
+	}
+}
+
+func TestWireEmptyFields(t *testing.T) {
+	b, err := EncodePeerStatus(&PeerStatus{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodePeerStatus(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Node != "" || got.Alive != nil || got.Resident != 0 {
+		t.Errorf("zero peer status round trip: %+v", got)
+	}
+	rb, err := EncodeForwardResponse(&ForwardResponse{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeForwardResponse(rb); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWireRejects(t *testing.T) {
+	good, err := EncodeForwardRequest(&ForwardRequest{Origin: "a:1", User: "u", Path: "/v1/query", Body: []byte("{}")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":         {},
+		"short":         {wireMagic, wireVersion},
+		"bad magic":     append([]byte{0x00}, good[1:]...),
+		"bad version":   append([]byte{wireMagic, 99}, good[2:]...),
+		"wrong kind":    append([]byte{wireMagic, wireVersion, kindPeerStatus}, good[3:]...),
+		"truncated":     good[:len(good)-3],
+		"trailing junk": append(append([]byte{}, good...), 0xFF),
+	}
+	for name, b := range cases {
+		if _, err := DecodeForwardRequest(b); err == nil {
+			t.Errorf("%s: decode accepted corrupt input", name)
+		}
+	}
+	// A length prefix pointing far past the buffer must fail cleanly
+	// without allocating the claimed size.
+	huge := append([]byte{wireMagic, wireVersion, kindForwardRequest}, 0xFF, 0xFF, 0xFF, 0xFF)
+	if _, err := DecodeForwardRequest(huge); err == nil {
+		t.Error("decode accepted a length prefix beyond the buffer")
+	}
+	// Encoding oversized fields fails symmetrically.
+	if _, err := EncodeForwardRequest(&ForwardRequest{Path: strings.Repeat("p", maxWireString+1)}); err == nil {
+		t.Error("encode accepted an oversized string")
+	}
+	if _, err := EncodeForwardRequest(&ForwardRequest{Body: bytes.Repeat([]byte("b"), maxWireBody+1)}); err == nil {
+		t.Error("encode accepted an oversized body")
+	}
+	if _, err := EncodePeerStatus(&PeerStatus{Alive: make([]string, maxWirePeers+1)}); err == nil {
+		t.Error("encode accepted an oversized member list")
+	}
+}

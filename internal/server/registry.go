@@ -4,6 +4,7 @@ import (
 	"container/list"
 	"encoding/binary"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"math"
@@ -12,6 +13,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/cache"
 	"repro/internal/core"
@@ -141,6 +143,7 @@ type Registry struct {
 	evictions   atomic.Int64
 	reloads     atomic.Int64
 	evictErrors atomic.Int64
+	drains      atomic.Int64
 }
 
 type regShard struct {
@@ -169,9 +172,32 @@ func NewRegistry(cfg RegistryConfig) (*Registry, error) {
 		if err := os.MkdirAll(cfg.PersistDir, 0o755); err != nil {
 			return nil, fmt.Errorf("server: creating persist dir: %w", err)
 		}
+		sweepOrphanedTemps(cfg.PersistDir)
 	}
 	return r, nil
 }
+
+// sweepOrphanedTemps removes persist temp files abandoned by a crash
+// between CreateTemp and rename, which would otherwise accumulate in a
+// long-lived persist dir. Only stale temps go: in cluster mode the dir
+// is shared, and a young temp may be a live peer's in-flight persist.
+func sweepOrphanedTemps(dir string) {
+	const staleAfter = time.Hour
+	matches, err := filepath.Glob(filepath.Join(dir, "*.cache.tmp-*"))
+	if err != nil {
+		return
+	}
+	for _, path := range matches {
+		if info, err := os.Stat(path); err == nil && time.Since(info.ModTime()) > staleAfter {
+			os.Remove(path)
+		}
+	}
+}
+
+// Persistent reports whether evicted/drained tenants are persisted (a
+// PersistDir is configured). Cluster handoff requires it: draining a
+// tenant from a non-persistent registry would simply destroy its state.
+func (r *Registry) Persistent() bool { return r.cfg.PersistDir != "" }
 
 // ShardFor reports which shard serves userID (exported for tests and the
 // stats endpoint).
@@ -242,6 +268,51 @@ func (r *Registry) Flush() error {
 		sh.mu.Unlock()
 	}
 	return first
+}
+
+// ErrTenantBusy is returned by Drain when in-flight requests still pin
+// the tenant after the wait budget; the caller retries on a later sweep.
+var ErrTenantBusy = errors.New("server: tenant pinned by in-flight requests")
+
+// Drain removes userID from residency, persisting its cache and τ first
+// when persistence is on — the tenant-handoff path used by cluster mode
+// when a ring change moves a tenant to another node. Unlike eviction it
+// targets one tenant and waits (up to wait, polling) for in-flight
+// references to clear rather than skipping pinned tenants; the refs check
+// and removal happen under the shard lock, so no new reference can slip
+// in between them (the same invariant evictLocked relies on). Returns
+// whether the tenant was resident; a tenant still pinned at the deadline
+// stays resident and ErrTenantBusy is returned.
+func (r *Registry) Drain(userID string, wait time.Duration) (bool, error) {
+	sh := r.shards[r.ShardFor(userID)]
+	deadline := time.Now().Add(wait)
+	for {
+		sh.mu.Lock()
+		el, ok := sh.tenants[userID]
+		if !ok {
+			sh.mu.Unlock()
+			return false, nil
+		}
+		t := el.Value.(*Tenant)
+		if t.refs.Load() == 0 {
+			if path := r.persistPath(t.ID); path != "" {
+				if err := r.persist(t, path); err != nil {
+					sh.mu.Unlock()
+					return true, err
+				}
+			}
+			sh.lru.Remove(el)
+			delete(sh.tenants, t.ID)
+			sh.mu.Unlock()
+			r.drains.Add(1)
+			return true, nil
+		}
+		sh.mu.Unlock()
+		if !time.Now().Before(deadline) {
+			return true, ErrTenantBusy
+		}
+		time.Sleep(time.Millisecond)
+	}
 }
 
 // activate builds a tenant, reviving its persisted cache when present.
@@ -339,12 +410,25 @@ const metaPrefix = "meta/"
 // entries, so eviction does not reset what the user taught the system.
 const tauKey = metaPrefix + "tau"
 
-// persist writes t's cache and live τ to its store log, compacting the
-// log afterwards so repeated evict/revive cycles do not grow it without
-// bound (SaveTo appends; Compact rewrites only live records).
+// persist writes t's full state — cache entries, live τ, hook metadata —
+// to a fresh store at a unique temp path, then renames it over the
+// tenant's store log atomically. Writers therefore race whole files, not
+// interleaved appends: in cluster mode two nodes can transiently persist
+// the same tenant through shared storage (a degraded local-fallback serve
+// racing the owner's handoff), and last-writer-wins with a consistent
+// store is the invariant revival depends on. A fresh store is compact by
+// construction, so repeated evict/revive cycles do not grow the log.
 func (r *Registry) persist(t *Tenant, path string) error {
-	st, err := store.Open(path)
+	dir, base := filepath.Split(path)
+	tmpf, err := os.CreateTemp(dir, base+".tmp-*")
 	if err != nil {
+		return fmt.Errorf("server: creating temp store for %q: %w", t.ID, err)
+	}
+	tmp := tmpf.Name()
+	tmpf.Close()
+	st, err := store.Open(tmp)
+	if err != nil {
+		os.Remove(tmp)
 		return fmt.Errorf("server: opening persist store for %q: %w", t.ID, err)
 	}
 	err = t.Client.Cache().SaveTo(st)
@@ -361,13 +445,24 @@ func (r *Registry) persist(t *Tenant, path string) error {
 		}
 	}
 	if err == nil {
-		err = st.Compact()
+		// Data must be durable before the rename destroys the previous
+		// good store, or an OS crash could leave the tenant's path
+		// pointing at a truncated file.
+		err = st.Sync()
 	}
 	if cerr := st.Close(); err == nil {
 		err = cerr
 	}
+	if err == nil {
+		err = os.Rename(tmp, path)
+	}
 	if err != nil {
+		os.Remove(tmp)
 		return fmt.Errorf("server: persisting evicted tenant %q: %w", t.ID, err)
+	}
+	if d, derr := os.Open(dir); derr == nil {
+		d.Sync() // best-effort directory fsync so the rename itself is durable
+		d.Close()
 	}
 	return nil
 }
@@ -401,6 +496,7 @@ type RegistryStats struct {
 	Evictions   int64 `json:"evictions"`
 	Reloads     int64 `json:"reloads"`
 	EvictErrors int64 `json:"evict_errors,omitempty"`
+	Drains      int64 `json:"drains,omitempty"`
 }
 
 // Stats snapshots registry counters.
@@ -412,6 +508,7 @@ func (r *Registry) Stats() RegistryStats {
 		Evictions:   r.evictions.Load(),
 		Reloads:     r.reloads.Load(),
 		EvictErrors: r.evictErrors.Load(),
+		Drains:      r.drains.Load(),
 	}
 }
 

@@ -88,6 +88,7 @@ type Server struct {
 	cfg       Config
 	collector *Collector
 	mux       *http.ServeMux
+	wrapper   func(http.Handler) http.Handler
 	http      *http.Server
 	ln        net.Listener
 }
@@ -111,8 +112,20 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
-// Handler exposes the API routes (for tests and embedding).
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler exposes the API routes (for tests and embedding), with the
+// Wrap middleware applied when one is installed.
+func (s *Server) Handler() http.Handler {
+	if s.wrapper != nil {
+		return s.wrapper(s.mux)
+	}
+	return s.mux
+}
+
+// Wrap installs a middleware around the whole mux — how cluster mode
+// interposes its tenant router in front of every serving route. Call
+// before Serve; at most one wrapper is supported (later calls replace
+// earlier ones).
+func (s *Server) Wrap(mw func(http.Handler) http.Handler) { s.wrapper = mw }
 
 // Handle registers an extra route on the server's mux — how optional
 // subsystems (e.g. the online FL coordinator's /v1/fl/* and /v1/model
@@ -131,7 +144,7 @@ func (s *Server) Serve(addr string) error {
 		return fmt.Errorf("server: listening on %s: %w", addr, err)
 	}
 	s.ln = ln
-	s.http = &http.Server{Handler: s.mux}
+	s.http = &http.Server{Handler: s.Handler()}
 	go s.http.Serve(ln)
 	return nil
 }

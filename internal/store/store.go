@@ -305,6 +305,22 @@ func (s *Store) Compact() error {
 	return nil
 }
 
+// Sync flushes buffered writes and forces them to stable storage — the
+// durability barrier a caller needs before atomically renaming a freshly
+// written store over an existing one (rename-without-sync can replace a
+// good file with a truncated one on OS crash).
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.w.Flush(); err != nil {
+		return fmt.Errorf("store: sync flush: %w", err)
+	}
+	if err := s.f.Sync(); err != nil {
+		return fmt.Errorf("store: fsync: %w", err)
+	}
+	return nil
+}
+
 // Close flushes and closes the underlying file.
 func (s *Store) Close() error {
 	s.mu.Lock()
