@@ -3,8 +3,8 @@
 
 GO ?= go
 
-.PHONY: build check test race vet bench bench-json loadtest loadtest-fl \
-	conformance fuzz-smoke loadtest-ann loadtest-cluster clean
+.PHONY: build check test race vet bench bench-json benchdiff loadtest \
+	loadtest-fl conformance fuzz-smoke loadtest-ann loadtest-cluster clean
 
 build:
 	$(GO) build ./...
@@ -47,6 +47,12 @@ bench:
 # the benchmark trajectory tracked across PRs.
 bench-json:
 	$(GO) run ./cmd/benchrunner -bench-json BENCH_serving.json
+
+# benchdiff is the perf-regression gate: re-run the pinned hot-path
+# subset and fail on >25% ns/op or any allocs/op regression against the
+# committed BENCH_serving.json.
+benchdiff:
+	$(GO) run ./cmd/benchrunner -bench-diff BENCH_serving.json
 
 # loadtest reproduces the serving acceptance run: cacheserve (race-built,
 # in-process virtual-time upstream) driven by loadgen with 100 users and

@@ -32,11 +32,18 @@ func main() {
 		outPath   = flag.String("o", "", "also write results to this file")
 		quiet     = flag.Bool("q", false, "suppress progress logging")
 		benchJSON = flag.String("bench-json", "", "skip the experiments; run the serving micro-benchmarks and write JSON here")
+		benchDiff = flag.String("bench-diff", "", "skip the experiments; re-run the pinned hot-path benchmarks and fail on regression against this committed JSON baseline")
 	)
 	flag.Parse()
 
 	if *benchJSON != "" {
 		if err := runBenchJSON(*benchJSON); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *benchDiff != "" {
+		if err := runBenchDiff(*benchDiff); err != nil {
 			log.Fatal(err)
 		}
 		return

@@ -49,6 +49,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux (side listener only)
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -81,7 +83,7 @@ func main() {
 		capacity = flag.Int("tenant-capacity", 4096, "cache entries per tenant (0 = unbounded)")
 		step     = flag.Float64("feedback-step", 0.01, "τ increase per false-hit report (0 disables)")
 
-		indexKind  = flag.String("index", "scan", "per-tenant vector index: scan (built-in parallel scan), flat, ivf, hnsw or adaptive")
+		indexKind  = flag.String("index", "scan", "per-tenant vector index: scan (the default slab-backed exact scan), flat (same, explicit), ivf, hnsw or adaptive")
 		hnswM      = flag.Int("hnsw-m", 16, "HNSW links per node (level 0 allows 2×)")
 		hnswEfCons = flag.Int("hnsw-ef-construction", 200, "HNSW insertion beam width")
 		hnswEf     = flag.Int("hnsw-ef-search", 96, "HNSW query beam width")
@@ -116,8 +118,21 @@ func main() {
 		flDir      = flag.String("fl-dir", "", "directory persisting model versions + collected shards (empty = in-memory)")
 		flPCA      = flag.Int("fl-pca", 0, "attach a PCA basis of this dimension to committed versions (0 = off)")
 		flBeta     = flag.Float64("fl-beta", 0.5, "F-beta of the clients' threshold search")
+
+		pprofAddr = flag.String("pprof", "", "expose net/http/pprof on this side listener (e.g. 127.0.0.1:6060; empty = off)")
 	)
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		// The profiler gets its own listener so profiling traffic (and the
+		// default mux it registers on) never mixes with the serving API.
+		go func() {
+			log.Printf("pprof listening on http://%s/debug/pprof/", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("pprof listener failed: %v", err)
+			}
+		}()
+	}
 
 	var enc embed.Encoder
 	if *model != "" {
@@ -345,7 +360,7 @@ type indexParams struct {
 }
 
 // indexFactory maps the -index flag to a per-tenant index constructor
-// (nil = the cache's built-in parallel scan).
+// (nil = the cache's default slab-backed exact scan, index.Flat).
 func indexFactory(kind string, p indexParams) (func(dim int) index.Index, error) {
 	switch kind {
 	case "scan", "":

@@ -54,9 +54,15 @@ type Cache struct {
 	byID    map[int]int // entry ID -> index in entries
 	nextID  int
 	clock   int64
-	// idx, when non-nil, owns similarity search (see NewWithIndex);
-	// otherwise FindSimilar runs the built-in parallel flat scan.
-	idx index.Index
+	// idx owns similarity search. New installs the slab-backed exact
+	// index.Flat; NewWithIndex substitutes an approximate index for very
+	// large caches (external = true).
+	idx      index.Index
+	external bool
+
+	// hitBufs recycles the []index.Hit scratch FindSimilarAppend hands
+	// to the index, so a warmed search allocates nothing but its result.
+	hitBufs sync.Pool
 
 	// Lifetime counters; searches/hits are atomic because FindSimilar
 	// runs under the read lock.
@@ -74,7 +80,15 @@ type Stats struct {
 
 // New creates a cache for embeddings of the given dimension. capacity
 // bounds the entry count (0 = unbounded); policy picks the eviction victim
-// when full.
+// when full. Similarity search runs on the slab-backed exact index
+// (index.Flat) — one search implementation serves every cache size.
+//
+// Each embedding is stored twice: Entry.Embedding is an immutable
+// per-entry copy (stale *Entry holders — context-chain checks, in-flight
+// match results — must keep seeing a consistent snapshot, and persistence
+// and re-embedding read it), while the index keeps its own copy in the
+// scan arena, where swap-deletes move rows freely. EmbeddingBytes reports
+// the entry-side copy only — the quantity Figure 10a tracks.
 func New(dim, capacity int, policy Policy) *Cache {
 	if dim <= 0 {
 		panic("cache: dim must be positive")
@@ -84,6 +98,7 @@ func New(dim, capacity int, policy Policy) *Cache {
 		capacity: capacity,
 		policy:   policy,
 		byID:     make(map[int]int),
+		idx:      index.NewFlat(dim),
 	}
 }
 
@@ -294,80 +309,53 @@ func (c *Cache) Chain(id int) []*Entry {
 }
 
 // FindSimilar returns up to k entries whose cosine similarity with emb is
-// at least tau, best first. The scan parallelises across the worker pool
-// for large caches. This is the FindSimilarQueriesinCache step of
+// at least tau, best first. This is the FindSimilarQueriesinCache step of
 // Algorithm 1.
 func (c *Cache) FindSimilar(emb []float32, k int, tau float32) []Match {
+	return c.FindSimilarAppend(emb, k, tau, nil)
+}
+
+// searchAppender is the allocation-free search surface index.Flat
+// exposes: hits are appended into a caller-owned buffer.
+type searchAppender interface {
+	SearchAppend(vec []float32, k int, tau float32, dst []index.Hit) []index.Hit
+}
+
+// FindSimilarAppend is FindSimilar appending into dst — the pooled-buffer
+// form the serving hot path uses. With a dst of sufficient capacity and
+// the exact index attached, a warmed call performs no heap allocation.
+func (c *Cache) FindSimilarAppend(emb []float32, k int, tau float32, dst []Match) []Match {
 	if len(emb) != c.dim {
 		panic(fmt.Sprintf("cache: FindSimilar dim %d, want %d", len(emb), c.dim))
 	}
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	c.searches.Add(1)
-	n := len(c.entries)
-	if n == 0 || k <= 0 {
-		return nil
+	if len(c.entries) == 0 || k <= 0 {
+		return dst
 	}
-	if c.idx != nil {
-		hits := c.idx.Search(emb, k, tau)
-		matches := make([]Match, 0, len(hits))
-		for _, h := range hits {
-			if pos, ok := c.byID[h.ID]; ok {
-				matches = append(matches, Match{Entry: c.entries[pos], Score: h.Score})
-			}
+	buf, _ := c.hitBufs.Get().(*[]index.Hit)
+	if buf == nil {
+		buf = new([]index.Hit)
+	}
+	var hits []index.Hit
+	if sa, ok := c.idx.(searchAppender); ok {
+		hits = sa.SearchAppend(emb, k, tau, (*buf)[:0])
+	} else {
+		hits = append((*buf)[:0], c.idx.Search(emb, k, tau)...)
+	}
+	before := len(dst)
+	for _, h := range hits {
+		if pos, ok := c.byID[h.ID]; ok {
+			dst = append(dst, Match{Entry: c.entries[pos], Score: h.Score})
 		}
-		if len(matches) > 0 {
-			c.hits.Add(1)
-		}
-		return matches
 	}
-	workers := vecmath.Workers()
-	locals := make([][]Match, workers)
-	chunk := (n + workers - 1) / workers
-	vecmath.ParallelFor(workers, func(wlo, whi int) {
-		for w := wlo; w < whi; w++ {
-			lo, hi := w*chunk, (w+1)*chunk
-			if hi > n {
-				hi = n
-			}
-			var found []Match
-			for _, e := range c.entries[lo:hi] {
-				// Entries are unit-norm: dot is cosine.
-				if s := vecmath.Dot(emb, e.Embedding); s >= tau {
-					found = append(found, Match{Entry: e, Score: s})
-				}
-			}
-			locals[w] = found
-		}
-	})
-	var all []Match
-	for _, l := range locals {
-		all = append(all, l...)
-	}
-	sortMatches(all)
-	if len(all) > k {
-		all = all[:k]
-	}
-	if len(all) > 0 {
+	*buf = hits[:0]
+	c.hitBufs.Put(buf)
+	if len(dst) > before {
 		c.hits.Add(1)
 	}
-	return all
-}
-
-// sortMatches orders by descending score, breaking ties by ascending ID
-// for determinism.
-func sortMatches(ms []Match) {
-	// Insertion sort: k and candidate counts are small in practice.
-	for i := 1; i < len(ms); i++ {
-		for j := i; j > 0; j-- {
-			if ms[j].Score > ms[j-1].Score ||
-				(ms[j].Score == ms[j-1].Score && ms[j].Entry.ID < ms[j-1].Entry.ID) {
-				ms[j], ms[j-1] = ms[j-1], ms[j]
-			} else {
-				break
-			}
-		}
-	}
+	return dst
 }
 
 // EmbeddingBytes reports the memory consumed by stored embeddings (4 bytes

@@ -8,10 +8,10 @@ import (
 )
 
 // NewWithIndex creates a cache whose similarity search is delegated to the
-// given vector index instead of the built-in parallel flat scan: an
+// given vector index instead of the default slab-backed exact scan: an
 // index.IVF or index.HNSW for very large caches (§III-B cites
 // million-entry semantic search), or an index.Adaptive to let each tenant
-// start on the exact scan and promote as it grows. The built-in scan
+// start on the exact scan and promote as it grows. The exact index
 // remains the default for user-side cache sizes. The index must be empty
 // and match dim.
 func NewWithIndex(dim, capacity int, policy Policy, idx index.Index) *Cache {
@@ -23,13 +23,15 @@ func NewWithIndex(dim, capacity int, policy Policy, idx index.Index) *Cache {
 	}
 	c := New(dim, capacity, policy)
 	c.idx = idx
+	c.external = true
 	return c
 }
 
 // LoadFromWithIndex rebuilds a cache from records written by SaveTo, like
 // LoadFrom, and attaches the given (empty) vector index, inserting every
 // revived embedding into it — the revival path for tenants served through
-// an external index.
+// an external index. The index is installed before the entries load, so
+// each revived embedding is indexed exactly once.
 func LoadFromWithIndex(st *store.Store, dim, capacity int, policy Policy, idx index.Index) (*Cache, error) {
 	if idx.Dim() != dim {
 		return nil, fmt.Errorf("cache: index dim %d != cache dim %d", idx.Dim(), dim)
@@ -37,18 +39,15 @@ func LoadFromWithIndex(st *store.Store, dim, capacity int, policy Policy, idx in
 	if idx.Len() != 0 {
 		return nil, fmt.Errorf("cache: index must start empty")
 	}
-	c, err := LoadFrom(st, dim, capacity, policy)
-	if err != nil {
+	c := New(dim, capacity, policy)
+	c.idx = idx
+	c.external = true
+	if err := loadEntries(c, st, dim); err != nil {
 		return nil, err
 	}
-	for _, e := range c.entries {
-		if err := idx.Add(e.ID, e.Embedding); err != nil {
-			return nil, fmt.Errorf("cache: indexing revived entry %d: %w", e.ID, err)
-		}
-	}
-	c.idx = idx
 	return c, nil
 }
 
-// Indexed reports whether an external vector index is attached.
-func (c *Cache) Indexed() bool { return c.idx != nil }
+// Indexed reports whether an external (typically approximate) vector
+// index is attached in place of the default exact index.
+func (c *Cache) Indexed() bool { return c.external }

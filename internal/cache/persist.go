@@ -66,6 +66,16 @@ func (c *Cache) SaveTo(st *store.Store) error {
 // past the maximum loaded ID. Parents are inserted before children.
 func LoadFrom(st *store.Store, dim, capacity int, policy Policy) (*Cache, error) {
 	c := New(dim, capacity, policy)
+	if err := loadEntries(c, st, dim); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// loadEntries reads SaveTo records into c, indexing each entry into
+// c.idx exactly once — callers install the index (default or external)
+// before loading, so revival never builds a throwaway index.
+func loadEntries(c *Cache, st *store.Store, dim int) error {
 	var wires []entryWire
 	for _, key := range st.Keys() {
 		if !strings.HasPrefix(key, entryPrefix) {
@@ -73,14 +83,14 @@ func LoadFrom(st *store.Store, dim, capacity int, policy Policy) (*Cache, error)
 		}
 		raw, err := st.Get(key)
 		if err != nil {
-			return nil, fmt.Errorf("cache: reading %s: %w", key, err)
+			return fmt.Errorf("cache: reading %s: %w", key, err)
 		}
 		var w entryWire
 		if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&w); err != nil {
-			return nil, fmt.Errorf("cache: decoding %s: %w", key, err)
+			return fmt.Errorf("cache: decoding %s: %w", key, err)
 		}
 		if len(w.Embedding) != dim {
-			return nil, fmt.Errorf("cache: entry %d has dim %d, cache wants %d", w.ID, len(w.Embedding), dim)
+			return fmt.Errorf("cache: entry %d has dim %d, cache wants %d", w.ID, len(w.Embedding), dim)
 		}
 		wires = append(wires, w)
 	}
@@ -105,6 +115,10 @@ func LoadFrom(st *store.Store, dim, capacity int, policy Policy) (*Cache, error)
 			c.clock++
 			e.lastUsed = c.clock
 			e.seq = c.clock
+			if err := c.idx.Add(w.ID, e.Embedding); err != nil {
+				c.mu.Unlock()
+				return fmt.Errorf("cache: indexing loaded entry %d: %w", w.ID, err)
+			}
 			c.byID[w.ID] = len(c.entries)
 			c.entries = append(c.entries, e)
 			if w.ID >= c.nextID {
@@ -115,11 +129,11 @@ func LoadFrom(st *store.Store, dim, capacity int, policy Policy) (*Cache, error)
 			progress = true
 		}
 		if !progress {
-			return nil, fmt.Errorf("cache: %d entries with missing or cyclic parents", len(next))
+			return fmt.Errorf("cache: %d entries with missing or cyclic parents", len(next))
 		}
 		pending = next
 	}
-	return c, nil
+	return nil
 }
 
 func entryKey(id int) string { return entryPrefix + strconv.Itoa(id) }

@@ -89,6 +89,15 @@ type Client struct {
 	// concurrent feedback adjustments from losing updates.
 	tau atomic.Uint32
 
+	// probeBufs and matchBufs are bounded free lists (channel-backed, so
+	// recycling a slice never boxes it into an interface) for the two
+	// per-request buffers of the query hot path: the probe embedding and
+	// the candidate match list. Lookup draws from them; the serving layer
+	// returns probe buffers via Recycle once the response is written.
+	// Callers that never Recycle simply allocate per call, as before.
+	probeBufs chan []float32
+	matchBufs chan []cache.Match
+
 	// activity counters for the experiments and the serving stats API
 	llmQueries  atomic.Int64
 	cacheHits   atomic.Int64
@@ -126,7 +135,12 @@ func NewWithCache(opts Options, cc *cache.Cache) *Client {
 	if opts.CtxTau == 0 {
 		opts.CtxTau = opts.Tau
 	}
-	c := &Client{opts: opts, cache: cc}
+	c := &Client{
+		opts:      opts,
+		cache:     cc,
+		probeBufs: make(chan []float32, 64),
+		matchBufs: make(chan []cache.Match, 64),
+	}
 	c.tau.Store(math.Float32bits(opts.Tau))
 	return c
 }
@@ -164,14 +178,51 @@ type Result struct {
 	ProbeEmbedding []float32
 }
 
+// encodeProbe embeds q, reusing a recycled probe buffer when the encoder
+// supports the pooled path (embed.IntoEncoder).
+func (c *Client) encodeProbe(q string) []float32 {
+	ie, ok := c.opts.Encoder.(embed.IntoEncoder)
+	if !ok {
+		return c.opts.Encoder.Encode(q)
+	}
+	var buf []float32
+	select {
+	case buf = <-c.probeBufs:
+	default:
+		buf = make([]float32, 0, c.opts.Encoder.Dim())
+	}
+	return ie.EncodeInto(q, buf[:0])
+}
+
+// Recycle returns res's probe-embedding buffer to the client's pool and
+// clears the field. Call it once the Result is fully consumed (the
+// serving layer does, after writing the response); never touch
+// res.ProbeEmbedding afterwards. Recycling is optional — skipping it
+// just costs the allocation Lookup always used to pay.
+func (c *Client) Recycle(res *Result) {
+	if res.ProbeEmbedding == nil {
+		return
+	}
+	select {
+	case c.probeBufs <- res.ProbeEmbedding[:0]:
+	default:
+	}
+	res.ProbeEmbedding = nil
+}
+
 // Lookup runs the cache-decision half of Algorithm 1: embed q, find similar
 // cached queries, and verify the context chain of each candidate against
 // ctxTexts (the conversation history, oldest first; empty for standalone
 // queries). It performs no insertion and no LLM call.
 func (c *Client) Lookup(q string, ctxTexts []string) Result {
 	start := time.Now()
-	eq := c.opts.Encoder.Encode(q)
-	matches := c.cache.FindSimilar(eq, c.opts.TopK, c.Tau())
+	eq := c.encodeProbe(q)
+	var mbuf []cache.Match
+	select {
+	case mbuf = <-c.matchBufs:
+	default:
+	}
+	matches := c.cache.FindSimilarAppend(eq, c.opts.TopK, c.Tau(), mbuf[:0])
 	var res Result
 	for _, m := range matches {
 		if c.contextMatches(m.Entry, ctxTexts) {
@@ -184,6 +235,15 @@ func (c *Client) Lookup(q string, ctxTexts []string) Result {
 			}
 			break
 		}
+	}
+	// The match buffer is dead past this point (the Result keeps only the
+	// matched *Entry); scrub the entry pointers and recycle it.
+	for i := range matches {
+		matches[i] = cache.Match{}
+	}
+	select {
+	case c.matchBufs <- matches[:0]:
+	default:
 	}
 	res.ProbeEmbedding = eq
 	res.SearchTime = time.Since(start)
@@ -211,8 +271,13 @@ func (c *Client) contextMatches(e *cache.Entry, ctxTexts []string) bool {
 	}
 	tail := ctxTexts[len(ctxTexts)-len(chain):]
 	for i, ancestor := range chain {
-		ce := c.opts.Encoder.Encode(tail[i])
-		if vecmath.Dot(ce, ancestor.Embedding) < c.opts.CtxTau {
+		ce := c.encodeProbe(tail[i])
+		match := vecmath.Dot(ce, ancestor.Embedding) >= c.opts.CtxTau
+		select { // the turn embedding is consumed; recycle its buffer
+		case c.probeBufs <- ce[:0]:
+		default:
+		}
+		if !match {
 			return false
 		}
 	}

@@ -39,6 +39,24 @@ type Encoder interface {
 	Name() string
 }
 
+// IntoEncoder is the optional pooled-buffer encode surface: the
+// embedding is appended into dst[:0] (grown if needed) and returned, so
+// buffer-recycling callers encode without per-call allocation. Model,
+// Swappable and the serving micro-batcher implement it.
+type IntoEncoder interface {
+	EncodeInto(text string, dst []float32) []float32
+}
+
+// EncodeInto encodes through enc's pooled-buffer path when it has one,
+// copying through dst otherwise — the one fallback shared by every
+// buffer-recycling caller.
+func EncodeInto(enc Encoder, text string, dst []float32) []float32 {
+	if ie, ok := enc.(IntoEncoder); ok {
+		return ie.EncodeInto(text, dst)
+	}
+	return append(dst[:0], enc.Encode(text)...)
+}
+
 // Arch describes a registered encoder architecture.
 type Arch struct {
 	// Name is the registry key, e.g. "mpnet-sim".

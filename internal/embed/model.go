@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
 	"repro/internal/tokenizer"
 	"repro/internal/vecmath"
@@ -29,6 +30,11 @@ type Model struct {
 	// W is the projection (OutDim × EmbDim); B the bias (OutDim).
 	W *vecmath.Matrix
 	B []float32
+
+	// actsPool recycles Activations across Encode calls, so the serving
+	// hot path reuses its forward-pass buffers instead of allocating
+	// ~10 KB per encode.
+	actsPool sync.Pool
 }
 
 // NewModel builds a model with weights initialised from seed. Two models
@@ -89,7 +95,7 @@ func (m *Model) NewActivations() *Activations {
 // Forward runs the encoder on text, filling acts. The returned slice is
 // acts.Out (not a copy).
 func (m *Model) Forward(text string, acts *Activations) []float32 {
-	acts.IDs = m.Tok.Tokenize(text)
+	acts.IDs = m.Tok.TokenizeAppend(text, acts.IDs[:0])
 	vecmath.Zero(acts.Pooled)
 	aw := m.Cfg.AnchorWeight
 	if len(acts.IDs) > 0 {
@@ -122,12 +128,36 @@ func (m *Model) Forward(text string, acts *Activations) []float32 {
 	return acts.Out
 }
 
-// Encode implements Encoder. It allocates fresh activations per call so it
-// can be used concurrently.
+// getActs draws pooled activations (allocating on first use). Safe for
+// concurrent use; the pool is per model, so buffer shapes always match.
+func (m *Model) getActs() *Activations {
+	acts, _ := m.actsPool.Get().(*Activations)
+	if acts == nil {
+		acts = m.NewActivations()
+	}
+	return acts
+}
+
+// Encode implements Encoder. Forward-pass buffers come from the model's
+// activation pool, so a warmed Encode allocates only the returned vector
+// (and whatever tokenisation needs).
 func (m *Model) Encode(text string) []float32 {
-	acts := m.NewActivations()
+	acts := m.getActs()
 	m.Forward(text, acts)
-	return vecmath.Clone(acts.Out)
+	out := vecmath.Clone(acts.Out)
+	m.actsPool.Put(acts)
+	return out
+}
+
+// EncodeInto is the pooled-buffer form of Encode: the embedding is
+// appended into dst[:0] (grown if needed) and returned, so callers that
+// recycle probe buffers encode without any per-call allocation.
+func (m *Model) EncodeInto(text string, dst []float32) []float32 {
+	acts := m.getActs()
+	m.Forward(text, acts)
+	dst = append(dst[:0], acts.Out...)
+	m.actsPool.Put(acts)
+	return dst
 }
 
 // EncodeBatch encodes texts in parallel and returns a len(texts)×Dim matrix
@@ -135,11 +165,12 @@ func (m *Model) Encode(text string) []float32 {
 func (m *Model) EncodeBatch(texts []string) *vecmath.Matrix {
 	out := vecmath.NewMatrix(len(texts), m.Cfg.OutDim)
 	vecmath.ParallelFor(len(texts), func(lo, hi int) {
-		acts := m.NewActivations()
+		acts := m.getActs()
 		for i := lo; i < hi; i++ {
 			m.Forward(texts[i], acts)
 			copy(out.Row(i), acts.Out)
 		}
+		m.actsPool.Put(acts)
 	})
 	return out
 }

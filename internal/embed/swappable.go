@@ -45,6 +45,13 @@ func (s *Swappable) Swap(enc Encoder) {
 // Encode implements Encoder.
 func (s *Swappable) Encode(text string) []float32 { return s.Current().Encode(text) }
 
+// EncodeInto forwards the pooled-buffer encode when the current encoder
+// supports it, copying through dst otherwise, so buffer-recycling
+// callers keep their zero-alloc path across a hot model swap.
+func (s *Swappable) EncodeInto(text string, dst []float32) []float32 {
+	return EncodeInto(s.Current(), text, dst)
+}
+
 // EncodeBatch forwards the batch fast path when the current encoder has
 // one (embed.Model does), so the serving micro-batcher keeps its single
 // parallel sweep through a Swappable.

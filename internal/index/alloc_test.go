@@ -1,0 +1,126 @@
+package index
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/vecmath"
+)
+
+// Allocation-regression gates for the query hot path: the slab-backed
+// search surfaces must not allocate once warmed. AllocsPerRun tolerates
+// sub-1 averages so a GC clearing a sync.Pool mid-run cannot flake the
+// suite, while any real per-call allocation (≥1) still fails.
+
+func buildAllocFlat(t testing.TB, n int) (*Flat, [][]float32) {
+	rng := rand.New(rand.NewSource(9))
+	vecs := dataset.ClusteredVectors(rng, n, 16, 32, 0.4)
+	f := NewFlat(32)
+	for i, v := range vecs {
+		if err := f.Add(i, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return f, vecs
+}
+
+func TestFlatSearchAppendZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("pooled buffers are intentionally dropped under -race")
+	}
+	f, vecs := buildAllocFlat(t, 2000)
+	probe := vecs[3]
+	dst := make([]Hit, 0, 16)
+	// Warm the scratch pool.
+	dst = f.SearchAppend(probe, 5, 0.8, dst[:0])
+	if len(dst) == 0 {
+		t.Fatal("warmup search found nothing")
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		dst = f.SearchAppend(probe, 5, 0.8, dst[:0])
+	}); n >= 1 {
+		t.Fatalf("Flat.SearchAppend allocates %v per warmed call, want 0", n)
+	}
+	// The permissive-tau full-scan fallback must stay allocation-free
+	// too (pooled score and hit buffers absorb the whole candidate set).
+	big := make([]Hit, 0, 2048)
+	big = f.SearchAppend(probe, 10, -1, big[:0])
+	if n := testing.AllocsPerRun(20, func() {
+		big = f.SearchAppend(probe, 10, -1, big[:0])
+	}); n >= 1 {
+		t.Fatalf("Flat.SearchAppend (tau=-1) allocates %v per warmed call, want 0", n)
+	}
+}
+
+func TestIVFSearchAppendZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("pooled buffers are intentionally dropped under -race")
+	}
+	rng := rand.New(rand.NewSource(10))
+	vecs := dataset.ClusteredVectors(rng, 3000, 16, 32, 0.4)
+	x := NewIVF(32, IVFConfig{NList: 16, NProbe: 4, TrainSize: 500, Seed: 3})
+	for i, v := range vecs {
+		if err := x.Add(i, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !x.Trained() {
+		t.Fatal("IVF did not self-train")
+	}
+	probe := vecs[7]
+	dst := make([]Hit, 0, 16)
+	dst = x.SearchAppend(probe, 5, 0.8, dst[:0])
+	if len(dst) == 0 {
+		t.Fatal("warmup search found nothing")
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		dst = x.SearchAppend(probe, 5, 0.8, dst[:0])
+	}); n >= 1 {
+		t.Fatalf("IVF.SearchAppend allocates %v per warmed call, want 0", n)
+	}
+}
+
+func TestTopKSelectionZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	hits := make([]Hit, 4096)
+	scratch := make([]Hit, len(hits))
+	for i := range hits {
+		hits[i] = Hit{ID: i, Score: float32(rng.Float64())}
+	}
+	if n := testing.AllocsPerRun(50, func() {
+		copy(scratch, hits)
+		topKHits(scratch, 64)
+	}); n >= 1 {
+		t.Fatalf("topKHits allocates %v per run, want 0 (in-place heap selection)", n)
+	}
+}
+
+func buildProbeMatrix(rng *rand.Rand, vecs [][]float32, m int) *vecmath.Matrix {
+	pm := vecmath.NewMatrix(m, len(vecs[0]))
+	for p := 0; p < m; p++ {
+		copy(pm.Row(p), dataset.PerturbUnit(rng, vecs[rng.Intn(len(vecs))], 0.3))
+	}
+	return pm
+}
+
+func TestFlatMultiSearchMatchesSearch(t *testing.T) {
+	f, vecs := buildAllocFlat(t, 1500)
+	rng := rand.New(rand.NewSource(12))
+	probes := buildProbeMatrix(rng, vecs, 8)
+	for _, tau := range []float32{-1, 0.5, 0.8} {
+		batch := f.MultiSearch(probes, 5, tau)
+		for p := 0; p < probes.Rows; p++ {
+			want := f.Search(probes.Row(p), 5, tau)
+			got := batch[p]
+			if len(got) != len(want) {
+				t.Fatalf("tau=%v probe %d: %d hits, Search %d", tau, p, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("tau=%v probe %d hit %d: %+v != %+v", tau, p, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}

@@ -34,6 +34,7 @@ type HNSW struct {
 	rng  *rand.Rand
 
 	nodes    []*hnswNode   // slot-addressed; tombstoned slots recycled
+	codes    *quantize.Slab // per-slot int8 codes, Quantized mode only
 	slots    map[int]int32 // external id → slot
 	freeList []int32       // tombstoned slots awaiting reuse
 	entry    int32         // slot of the top-level entry point, -1 when empty
@@ -84,8 +85,7 @@ func (v *visitedSet) visit(s int32) bool {
 
 type hnswNode struct {
 	id    int
-	vec   []float32       // full-precision vector (rescoring + repair)
-	code  quantize.Vector // int8 codes, Quantized mode only
+	vec   []float32 // full-precision vector (rescoring + repair)
 	level int
 	links [][]int32 // per level 0..level; slot indices
 	dead  bool      // tombstoned: unlinked, invisible, slot reusable
@@ -130,7 +130,7 @@ func NewHNSW(dim int, cfg HNSWConfig) *HNSW {
 	if cfg.EfSearch <= 0 {
 		cfg.EfSearch = 96
 	}
-	return &HNSW{
+	h := &HNSW{
 		dim:   dim,
 		cfg:   cfg,
 		mult:  1 / math.Log(float64(cfg.M)),
@@ -138,6 +138,12 @@ func NewHNSW(dim int, cfg HNSWConfig) *HNSW {
 		slots: make(map[int]int32),
 		entry: -1,
 	}
+	if cfg.Quantized {
+		// Codes live in a chunked slot-addressed int8 arena next to the
+		// node table; tombstoned slots recycle their code row in place.
+		h.codes = quantize.NewSlab(dim)
+	}
+	return h
 }
 
 // Dim implements Index.
@@ -162,22 +168,23 @@ func (h *HNSW) maxLinks(level int) int {
 	return h.cfg.M
 }
 
-// score is the traversal similarity of the stored node to a float32 query:
-// asymmetric int8·f32 in quantized mode, exact otherwise.
-func (h *HNSW) score(q []float32, n *hnswNode) float32 {
+// score is the traversal similarity of the stored slot to a float32
+// query: asymmetric int8·f32 against the code slab in quantized mode,
+// exact otherwise.
+func (h *HNSW) score(q []float32, s int32) float32 {
 	if h.cfg.Quantized {
-		return quantize.DotF32(n.code, q)
+		return quantize.DotF32(h.codes.At(s), q)
 	}
-	return vecmath.Dot(q, n.vec)
+	return vecmath.Dot(q, h.nodes[s].vec)
 }
 
-// simNodes is the node-to-node similarity used by neighbor selection and
+// simNodes is the slot-to-slot similarity used by neighbor selection and
 // repair.
-func (h *HNSW) simNodes(a, b *hnswNode) float32 {
+func (h *HNSW) simNodes(a, b int32) float32 {
 	if h.cfg.Quantized {
-		return quantize.Dot(a.code, b.code)
+		return quantize.Dot(h.codes.At(a), h.codes.At(b))
 	}
-	return vecmath.Dot(a.vec, b.vec)
+	return vecmath.Dot(h.nodes[a].vec, h.nodes[b].vec)
 }
 
 // Add implements Index. The node's level is assigned lazily here — drawn
@@ -206,10 +213,10 @@ func (h *HNSW) Add(id int, vec []float32) error {
 		level: level,
 		links: make([][]int32, level+1),
 	}
-	if h.cfg.Quantized {
-		n.code = quantize.Quantize(vec)
-	}
 	slot := h.claimSlot(n)
+	if h.cfg.Quantized {
+		h.codes.SetAt(slot, vec) // overwrites any recycled slot's codes
+	}
 	h.slots[id] = slot
 	h.live++
 
@@ -239,13 +246,13 @@ func (h *HNSW) Add(id int, vec []float32) error {
 				i++
 			}
 		}
-		sel := h.selectNeighbors(n, cands, h.cfg.M)
+		sel := h.selectNeighbors(cands, h.cfg.M)
 		n.links[l] = sel
 		for _, s := range sel {
 			nb := h.nodes[s]
 			nb.links[l] = append(nb.links[l], slot)
 			if max := h.maxLinks(l); len(nb.links[l]) > max {
-				h.shrinkLinks(nb, l, max)
+				h.shrinkLinks(s, l, max)
 			}
 		}
 		if len(cands) > 0 {
@@ -277,14 +284,14 @@ func (h *HNSW) claimSlot(n *hnswNode) int32 {
 // neighbor reached through a stale edge may be a recycled node with a
 // lower level.
 func (h *HNSW) greedyStep(q []float32, ep int32, l int) int32 {
-	cur, curScore := ep, h.score(q, h.nodes[ep])
+	cur, curScore := ep, h.score(q, ep)
 	for improved := true; improved; {
 		improved = false
 		for _, s := range h.nodes[cur].links[l] {
 			if len(h.nodes[s].links) <= l {
 				continue
 			}
-			if sc := h.score(q, h.nodes[s]); sc > curScore {
+			if sc := h.score(q, s); sc > curScore {
 				cur, curScore, improved = s, sc, true
 			}
 		}
@@ -308,7 +315,7 @@ func (h *HNSW) searchLayer(q []float32, ep int32, ef, l int) []scoredSlot {
 	visited := h.getVisited()
 	defer h.visitedPool.Put(visited)
 	visited.visit(ep)
-	epScore := h.score(q, h.nodes[ep])
+	epScore := h.score(q, ep)
 	// cand: max-heap (best first) of frontier; result: min-heap (worst
 	// first) bounded at ef.
 	cand := []scoredSlot{{ep, epScore}}
@@ -333,7 +340,7 @@ func (h *HNSW) searchLayer(q []float32, ep int32, ef, l int) []scoredSlot {
 			if len(n.links) <= l {
 				continue // recycled into a lower level: not on this layer
 			}
-			sc := h.score(q, n)
+			sc := h.score(q, s)
 			if len(result) < ef || sc > result[0].score {
 				cand = append(cand, scoredSlot{s, sc})
 				siftUpSlots(cand, len(cand)-1, false)
@@ -404,16 +411,15 @@ func slotBefore(a, b scoredSlot, min bool) bool {
 // already-kept neighbor. This spreads links across clusters instead of
 // piling them onto near-duplicates, which is what keeps recall high on
 // clustered data.
-func (h *HNSW) selectNeighbors(n *hnswNode, cands []scoredSlot, m int) []int32 {
+func (h *HNSW) selectNeighbors(cands []scoredSlot, m int) []int32 {
 	sel := make([]int32, 0, m)
 	for _, c := range cands {
 		if len(sel) >= m {
 			break
 		}
-		cn := h.nodes[c.slot]
 		keep := true
 		for _, s := range sel {
-			if h.simNodes(cn, h.nodes[s]) > c.score {
+			if h.simNodes(c.slot, s) > c.score {
 				keep = false
 				break
 			}
@@ -443,15 +449,16 @@ func (h *HNSW) selectNeighbors(n *hnswNode, cands []scoredSlot, m int) []int32 {
 	return sel
 }
 
-// shrinkLinks re-selects nb's layer-l links down to max using the same
-// diversity heuristic.
-func (h *HNSW) shrinkLinks(nb *hnswNode, l, max int) {
+// shrinkLinks re-selects the slot's layer-l links down to max using the
+// same diversity heuristic.
+func (h *HNSW) shrinkLinks(nbSlot int32, l, max int) {
+	nb := h.nodes[nbSlot]
 	cands := make([]scoredSlot, 0, len(nb.links[l]))
 	for _, s := range nb.links[l] {
-		cands = append(cands, scoredSlot{s, h.simNodes(nb, h.nodes[s])})
+		cands = append(cands, scoredSlot{s, h.simNodes(nbSlot, s)})
 	}
 	sortScoredSlots(cands)
-	nb.links[l] = h.selectNeighbors(nb, cands, max)
+	nb.links[l] = h.selectNeighbors(cands, max)
 }
 
 func sortScoredSlots(ss []scoredSlot) {
@@ -513,17 +520,17 @@ func (h *HNSW) repairNode(un *hnswNode, l int, gone int32, through []int32) {
 	for _, s := range un.links[l] {
 		if !seen[s] && !h.nodes[s].dead && len(h.nodes[s].links) > l {
 			seen[s] = true
-			cands = append(cands, scoredSlot{s, h.simNodes(un, h.nodes[s])})
+			cands = append(cands, scoredSlot{s, h.simNodes(unSlot, s)})
 		}
 	}
 	for _, s := range through {
 		if !seen[s] && !h.nodes[s].dead && len(h.nodes[s].links) > l {
 			seen[s] = true
-			cands = append(cands, scoredSlot{s, h.simNodes(un, h.nodes[s])})
+			cands = append(cands, scoredSlot{s, h.simNodes(unSlot, s)})
 		}
 	}
 	sortScoredSlots(cands)
-	un.links[l] = h.selectNeighbors(un, cands, h.maxLinks(l))
+	un.links[l] = h.selectNeighbors(cands, h.maxLinks(l))
 }
 
 // forEach implements iterable.

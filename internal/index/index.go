@@ -21,12 +21,6 @@
 // contract internal/embed guarantees.
 package index
 
-import (
-	"fmt"
-	"sync"
-
-	"repro/internal/vecmath"
-)
 
 // Hit is one search result: the stored ID and its cosine similarity.
 type Hit struct {
@@ -155,127 +149,5 @@ func siftDownHits(heap []Hit, i int) {
 	}
 }
 
-// Flat is the exact index: a dense scan over all stored vectors.
-type Flat struct {
-	mu   sync.RWMutex
-	dim  int
-	ids  []int
-	vecs []float32 // row-major, len(ids) × dim
-	pos  map[int]int
-}
-
-// NewFlat creates an exact index for dim-dimensional vectors.
-func NewFlat(dim int) *Flat {
-	if dim <= 0 {
-		panic("index: dim must be positive")
-	}
-	return &Flat{dim: dim, pos: make(map[int]int)}
-}
-
-// Dim implements Index.
-func (f *Flat) Dim() int { return f.dim }
-
-// Len implements Index.
-func (f *Flat) Len() int {
-	f.mu.RLock()
-	defer f.mu.RUnlock()
-	return len(f.ids)
-}
-
-// Add implements Index.
-func (f *Flat) Add(id int, vec []float32) error {
-	if len(vec) != f.dim {
-		return fmt.Errorf("index: vector dim %d, want %d", len(vec), f.dim)
-	}
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	if _, dup := f.pos[id]; dup {
-		return fmt.Errorf("index: duplicate id %d", id)
-	}
-	f.pos[id] = len(f.ids)
-	f.ids = append(f.ids, id)
-	f.vecs = append(f.vecs, vec...)
-	return nil
-}
-
-// Remove implements Index (swap-delete).
-func (f *Flat) Remove(id int) {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	i, ok := f.pos[id]
-	if !ok {
-		return
-	}
-	last := len(f.ids) - 1
-	f.ids[i] = f.ids[last]
-	copy(f.vecs[i*f.dim:(i+1)*f.dim], f.vecs[last*f.dim:(last+1)*f.dim])
-	f.pos[f.ids[i]] = i
-	f.ids = f.ids[:last]
-	f.vecs = f.vecs[:last*f.dim]
-	delete(f.pos, id)
-}
-
-// forEach implements iterable.
-func (f *Flat) forEach(fn func(id int, vec []float32)) {
-	f.mu.RLock()
-	defer f.mu.RUnlock()
-	for i, id := range f.ids {
-		fn(id, f.vecs[i*f.dim:(i+1)*f.dim])
-	}
-}
-
-// idList implements snapshotter.
-func (f *Flat) idList() []int {
-	f.mu.RLock()
-	defer f.mu.RUnlock()
-	out := make([]int, len(f.ids))
-	copy(out, f.ids)
-	return out
-}
-
-// vecClone implements snapshotter.
-func (f *Flat) vecClone(id int) []float32 {
-	f.mu.RLock()
-	defer f.mu.RUnlock()
-	i, ok := f.pos[id]
-	if !ok {
-		return nil
-	}
-	return vecmath.Clone(f.vecs[i*f.dim : (i+1)*f.dim])
-}
-
-// Search implements Index with a parallel exact scan.
-func (f *Flat) Search(vec []float32, k int, tau float32) []Hit {
-	if len(vec) != f.dim {
-		panic(fmt.Sprintf("index: Search dim %d, want %d", len(vec), f.dim))
-	}
-	f.mu.RLock()
-	defer f.mu.RUnlock()
-	n := len(f.ids)
-	if n == 0 || k <= 0 {
-		return nil
-	}
-	workers := vecmath.Workers()
-	locals := make([][]Hit, workers)
-	chunk := (n + workers - 1) / workers
-	vecmath.ParallelFor(workers, func(wlo, whi int) {
-		for w := wlo; w < whi; w++ {
-			lo, hi := w*chunk, (w+1)*chunk
-			if hi > n {
-				hi = n
-			}
-			var found []Hit
-			for i := lo; i < hi; i++ {
-				if s := vecmath.Dot(vec, f.vecs[i*f.dim:(i+1)*f.dim]); s >= tau {
-					found = append(found, Hit{ID: f.ids[i], Score: s})
-				}
-			}
-			locals[w] = found
-		}
-	})
-	var all []Hit
-	for _, l := range locals {
-		all = append(all, l...)
-	}
-	return topKHits(all, k)
-}
+// Flat — the slab-backed exact index with bound-based pruning — lives
+// in flat.go.

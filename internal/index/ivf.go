@@ -13,6 +13,15 @@ import (
 // sample), and a query scans only the nprobe nearest lists. Recall is
 // tunable via nprobe; nprobe = nlist degrades gracefully to an exact scan.
 //
+// Each inverted list keeps its rows in one contiguous row-major arena
+// (swap-deleted on Remove, so scans stay dense) with per-row distances to
+// the list centroid. Probed lists are scanned with the blocked vecmath
+// kernels under the same rigorous Cauchy–Schwarz tau bound Flat uses:
+// rows that provably cannot reach tau are skipped without touching their
+// data, and the rows that are scored produce exactly the scores the
+// previous per-entry scan produced — pruning never changes results, only
+// work.
+//
 // Until Train is called (or until the lazily-collected bootstrap sample
 // reaches its target size), vectors accumulate in a flat buffer and
 // searches are exact, so a cold cache behaves exactly like Flat.
@@ -25,19 +34,29 @@ type IVF struct {
 
 	trainSize int
 	centroids *vecmath.Matrix // nlist × dim, unit norm
-	lists     [][]entry       // per-centroid postings
+	lists     []*postings     // per-centroid contiguous rows
 	where     map[int]listRef
 	bootstrap *Flat // pre-training accumulation
 	trained   bool
+
+	scratch sync.Pool // *ivfScratch
 }
 
-type entry struct {
-	id  int
-	vec []float32
-}
+// postings is one inverted list: the shared rowArena with the list
+// centroid as its pivot.
+type postings = rowArena
 
 type listRef struct {
 	list, pos int
+}
+
+// ivfScratch is the pooled per-search working set: centroid scores, the
+// ranked probe selection, and score/hit buffers.
+type ivfScratch struct {
+	scores []float32
+	probes []int
+	list   []float32
+	hits   []Hit
 }
 
 // IVFConfig tunes the index.
@@ -124,20 +143,22 @@ func (x *IVF) Add(id int, vec []float32) error {
 	if _, dup := x.where[id]; dup {
 		return fmt.Errorf("index: duplicate id %d", id)
 	}
-	x.insert(id, vecmath.Clone(vec))
+	x.insert(id, vec)
 	return nil
 }
 
 func (x *IVF) insert(id int, vec []float32) {
 	li := x.nearestCentroid(vec)
-	x.where[id] = listRef{list: li, pos: len(x.lists[li])}
-	x.lists[li] = append(x.lists[li], entry{id: id, vec: vec})
+	l := x.lists[li]
+	norm := vecmath.Norm(vec)
+	delta := pivotDistance(norm, vecmath.Dot(vec, x.centroids.Row(li)), vecmath.Norm(x.centroids.Row(li)))
+	x.where[id] = listRef{list: li, pos: len(l.ids)}
+	l.add(id, vec, norm, delta)
 }
 
-// Remove implements Index. The vacated tail slot is zeroed so the removed
-// entry's vector does not stay reachable through the list's backing array
-// (a removed-ID leak: the entry was invisible to Search but pinned in
-// memory, and a later Train that walked backing arrays could resurrect it).
+// Remove implements Index (swap-delete within the row's list). The
+// vacated tail row is zeroed so the removed vector does not stay
+// reachable through the list's backing array.
 func (x *IVF) Remove(id int) {
 	x.mu.Lock()
 	defer x.mu.Unlock()
@@ -149,14 +170,10 @@ func (x *IVF) Remove(id int) {
 	if !ok {
 		return
 	}
-	list := x.lists[ref.list]
-	last := len(list) - 1
-	if ref.pos != last {
-		list[ref.pos] = list[last]
-		x.where[list[ref.pos].id] = listRef{list: ref.list, pos: ref.pos}
+	l := x.lists[ref.list]
+	if movedID, moved := l.swapDelete(ref.pos, x.dim); moved {
+		x.where[movedID] = listRef{list: ref.list, pos: ref.pos}
 	}
-	list[last] = entry{}
-	x.lists[ref.list] = list[:last]
 	delete(x.where, id)
 }
 
@@ -168,9 +185,9 @@ func (x *IVF) forEach(fn func(id int, vec []float32)) {
 		x.bootstrap.forEach(fn)
 		return
 	}
-	for _, list := range x.lists {
-		for _, e := range list {
-			fn(e.id, e.vec)
+	for _, l := range x.lists {
+		for i, id := range l.ids {
+			fn(id, l.vecs[i*x.dim:(i+1)*x.dim])
 		}
 	}
 }
@@ -200,7 +217,14 @@ func (x *IVF) vecClone(id int) []float32 {
 	if !ok {
 		return nil
 	}
-	return vecmath.Clone(x.lists[ref.list][ref.pos].vec)
+	l := x.lists[ref.list]
+	return vecmath.Clone(l.vecs[ref.pos*x.dim : (ref.pos+1)*x.dim])
+}
+
+// trainEntry pairs an id with its vector during (re)clustering.
+type trainEntry struct {
+	id  int
+	vec []float32
 }
 
 // Train fits centroids on whatever vectors are currently stored and
@@ -214,18 +238,17 @@ func (x *IVF) Train() {
 
 func (x *IVF) trainLocked() {
 	// Gather all current vectors.
-	var all []entry
+	var all []trainEntry
 	if x.trained {
-		for _, list := range x.lists {
-			all = append(all, list...)
+		for _, l := range x.lists {
+			for i, id := range l.ids {
+				all = append(all, trainEntry{id: id, vec: vecmath.Clone(l.vecs[i*x.dim : (i+1)*x.dim])})
+			}
 		}
 	} else {
-		for i, id := range x.bootstrap.ids {
-			all = append(all, entry{
-				id:  id,
-				vec: vecmath.Clone(x.bootstrap.vecs[i*x.dim : (i+1)*x.dim]),
-			})
-		}
+		x.bootstrap.forEach(func(id int, vec []float32) {
+			all = append(all, trainEntry{id: id, vec: vecmath.Clone(vec)})
+		})
 	}
 	if len(all) == 0 {
 		return
@@ -235,7 +258,10 @@ func (x *IVF) trainLocked() {
 		nlist = len(all)
 	}
 	x.centroids = sphericalKMeans(all, nlist, x.dim, x.seed)
-	x.lists = make([][]entry, x.centroids.Rows)
+	x.lists = make([]*postings, x.centroids.Rows)
+	for i := range x.lists {
+		x.lists[i] = &postings{}
+	}
 	x.where = make(map[int]listRef, len(all))
 	x.trained = true
 	x.bootstrap = nil
@@ -254,52 +280,88 @@ func (x *IVF) nearestCentroid(vec []float32) int {
 	return best
 }
 
+func (x *IVF) getScratch() *ivfScratch {
+	sc, _ := x.scratch.Get().(*ivfScratch)
+	if sc == nil {
+		sc = &ivfScratch{}
+	}
+	if need := x.centroids.Rows; cap(sc.scores) < need {
+		sc.scores = make([]float32, need)
+		sc.probes = make([]int, need)
+	}
+	return sc
+}
+
 // Search implements Index: exact scan before training, nprobe-list scan
-// after.
+// after. Probed lists are pruned with the same rigorous tau bound Flat
+// applies, so results match the unpruned scan exactly.
 func (x *IVF) Search(vec []float32, k int, tau float32) []Hit {
+	hits := x.SearchAppend(vec, k, tau, nil)
+	if len(hits) == 0 {
+		return nil
+	}
+	return hits
+}
+
+// SearchAppend is Search appending into dst — the allocation-free form:
+// with a dst of sufficient capacity a warmed call performs zero heap
+// allocations.
+func (x *IVF) SearchAppend(vec []float32, k int, tau float32, dst []Hit) []Hit {
 	if len(vec) != x.dim {
 		panic(fmt.Sprintf("index: Search dim %d, want %d", len(vec), x.dim))
 	}
 	x.mu.RLock()
 	defer x.mu.RUnlock()
 	if !x.trained {
-		return x.bootstrap.Search(vec, k, tau)
+		return x.bootstrap.SearchAppend(vec, k, tau, dst)
 	}
 	if k <= 0 || len(x.where) == 0 {
-		return nil
+		return dst
 	}
-	// Rank centroids by similarity; probe the top lists.
-	type ranked struct {
-		list  int
-		score float32
-	}
-	order := make([]ranked, x.centroids.Rows)
-	for i := range order {
-		order[i] = ranked{i, vecmath.Dot(vec, x.centroids.Row(i))}
-	}
-	for i := 1; i < len(order); i++ { // insertion sort by descending score
-		for j := i; j > 0 && order[j].score > order[j-1].score; j-- {
-			order[j], order[j-1] = order[j-1], order[j]
-		}
-	}
+	sc := x.getScratch()
+	defer x.scratch.Put(sc)
+
+	// Score every centroid with one blocked pass, then select the nprobe
+	// best (ties to the lower list index, matching the historical full
+	// insertion sort, so probe sets — and therefore recall — are stable).
+	scores := sc.scores[:x.centroids.Rows]
+	vecmath.ScanDot(vec, x.centroids.Data, scores)
 	probes := x.nprobe
-	if probes > len(order) {
-		probes = len(order)
+	if probes > len(scores) {
+		probes = len(scores)
 	}
-	var hits []Hit
-	for _, r := range order[:probes] {
-		for _, e := range x.lists[r.list] {
-			if s := vecmath.Dot(vec, e.vec); s >= tau {
-				hits = append(hits, Hit{ID: e.id, Score: s})
-			}
+	sel := sc.probes[:0]
+	for li := range scores {
+		i := len(sel)
+		if i < probes {
+			sel = append(sel, li)
+		} else if scores[li] > scores[sel[probes-1]] {
+			i = probes - 1
+			sel[i] = li
+		} else {
+			continue
+		}
+		for ; i > 0 && scores[sel[i]] > scores[sel[i-1]]; i-- {
+			sel[i], sel[i-1] = sel[i-1], sel[i]
 		}
 	}
-	return topKHits(hits, k)
+
+	pnorm := vecmath.Norm(vec)
+	thr := tau - boundMargin
+	hits := sc.hits[:0]
+	for _, li := range sel {
+		hits = x.lists[li].scanBounded(vec, x.dim, scores[li], pnorm, tau, thr, &sc.list, hits)
+	}
+	top := topKHits(hits, k)
+	dst = append(dst, top...)
+	sc.hits = hits[:0]
+	return dst
 }
+
 
 // sphericalKMeans clusters unit vectors by cosine with k-means++ style
 // seeding, re-normalising centroids each iteration.
-func sphericalKMeans(data []entry, k, dim int, seed int64) *vecmath.Matrix {
+func sphericalKMeans(data []trainEntry, k, dim int, seed int64) *vecmath.Matrix {
 	rng := rand.New(rand.NewSource(seed + 31))
 	cents := vecmath.NewMatrix(k, dim)
 	// Seeding: first centroid random, then greedily far points.

@@ -26,18 +26,31 @@ type Vector struct {
 // Quantize compresses x into an int8 vector. A zero vector quantises to
 // scale 0 and all-zero codes.
 func Quantize(x []float32) Vector {
+	data := make([]int8, len(x))
+	return Vector{Scale: QuantizeInto(x, data), Data: data}
+}
+
+// QuantizeInto quantises x into the caller-provided code row (which must
+// have len(x) elements) and returns the reconstruction scale — the
+// allocation-free form the code slab uses.
+func QuantizeInto(x []float32, dst []int8) float32 {
+	if len(dst) != len(x) {
+		panic(fmt.Sprintf("quantize: QuantizeInto dst len %d, want %d", len(dst), len(x)))
+	}
 	var maxAbs float32
 	for _, v := range x {
 		if a := abs32(v); a > maxAbs {
 			maxAbs = a
 		}
 	}
-	q := Vector{Data: make([]int8, len(x))}
 	if maxAbs == 0 {
-		return q
+		for i := range dst {
+			dst[i] = 0
+		}
+		return 0
 	}
-	q.Scale = maxAbs / 127
-	inv := 1 / q.Scale
+	scale := maxAbs / 127
+	inv := 1 / scale
 	for i, v := range x {
 		r := math.Round(float64(v * inv))
 		switch {
@@ -46,9 +59,9 @@ func Quantize(x []float32) Vector {
 		case r < -127:
 			r = -127
 		}
-		q.Data[i] = int8(r)
+		dst[i] = int8(r)
 	}
-	return q
+	return scale
 }
 
 // Dequantize reconstructs the float32 vector.

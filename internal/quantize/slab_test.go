@@ -1,0 +1,107 @@
+package quantize
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randUnit(rng *rand.Rand, dim int) []float32 {
+	v := make([]float32, dim)
+	var n float64
+	for i := range v {
+		v[i] = float32(rng.NormFloat64())
+		n += float64(v[i]) * float64(v[i])
+	}
+	inv := float32(1 / math.Sqrt(n))
+	for i := range v {
+		v[i] *= inv
+	}
+	return v
+}
+
+func TestQuantizeIntoMatchesQuantize(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, dim := range []int{1, 8, 64, 768} {
+		v := randUnit(rng, dim)
+		want := Quantize(v)
+		dst := make([]int8, dim)
+		scale := QuantizeInto(v, dst)
+		if scale != want.Scale {
+			t.Fatalf("dim %d: scale %v != %v", dim, scale, want.Scale)
+		}
+		for i := range dst {
+			if dst[i] != want.Data[i] {
+				t.Fatalf("dim %d: code %d differs", dim, i)
+			}
+		}
+	}
+}
+
+func TestSlabSetAtRecyclesRowInPlace(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	s := NewSlab(16)
+	v1 := randUnit(rng, 16)
+	v2 := randUnit(rng, 16)
+	s.SetAt(3, v1)
+	if s.Slots() != 4 {
+		t.Fatalf("Slots = %d, want 4", s.Slots())
+	}
+	got := s.At(3)
+	want := Quantize(v1)
+	if got.Scale != want.Scale {
+		t.Fatalf("scale %v != %v", got.Scale, want.Scale)
+	}
+	// Overwrite the slot (the recycling path): codes and scale must be
+	// fully replaced, with no residue of the old vector.
+	s.SetAt(3, v2)
+	got = s.At(3)
+	want = Quantize(v2)
+	if got.Scale != want.Scale {
+		t.Fatalf("recycled scale %v != %v", got.Scale, want.Scale)
+	}
+	for i := range got.Data {
+		if got.Data[i] != want.Data[i] {
+			t.Fatalf("recycled code %d differs", i)
+		}
+	}
+}
+
+func TestSlabScanDotF32(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	s := NewSlab(32)
+	var vecs [][]float32
+	for i := 0; i < slabChunkRows+20; i++ { // span two chunks
+		v := randUnit(rng, 32)
+		s.SetAt(int32(i), v)
+		vecs = append(vecs, v)
+	}
+	probe := randUnit(rng, 32)
+	out := make([]float32, s.Slots())
+	s.ScanDotF32(probe, out)
+	for i, v := range vecs {
+		want := DotF32(Quantize(v), probe)
+		if diff := math.Abs(float64(out[i] - want)); diff > 1e-5 {
+			t.Fatalf("slot %d: kernel %v vs DotF32 %v (diff %g)", i, out[i], want, diff)
+		}
+	}
+}
+
+func TestSlabScanZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	s := NewSlab(64)
+	for i := 0; i < 200; i++ {
+		s.SetAt(int32(i), randUnit(rng, 64))
+	}
+	probe := randUnit(rng, 64)
+	out := make([]float32, s.Slots())
+	if n := testing.AllocsPerRun(50, func() { s.ScanDotF32(probe, out) }); n != 0 {
+		t.Fatalf("ScanDotF32 allocates %v per run, want 0", n)
+	}
+	// SetAt over existing slots must also be allocation-free (in-place
+	// recycling).
+	v := randUnit(rng, 64)
+	if n := testing.AllocsPerRun(50, func() { s.SetAt(17, v) }); n != 0 {
+		t.Fatalf("SetAt on an existing slot allocates %v per run, want 0", n)
+	}
+}

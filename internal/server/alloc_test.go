@@ -1,0 +1,73 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/embed"
+)
+
+type instantAllocLLM struct{}
+
+func (instantAllocLLM) Query(q string) (string, time.Duration) { return "r", 0 }
+
+type nopBody struct{ *bytes.Reader }
+
+func (nopBody) Close() error { return nil }
+
+type discardWriter struct {
+	h    http.Header
+	code int
+}
+
+func (d *discardWriter) Header() http.Header         { return d.h }
+func (d *discardWriter) Write(p []byte) (int, error) { return len(p), nil }
+func (d *discardWriter) WriteHeader(code int)        { d.code = code }
+
+// TestQueryHitAllocationBudget is the allocation-regression gate for the
+// serving hit path: decode → tenant → encode → pruned search → respond,
+// measured through the real handler with the HTTP connection machinery
+// factored out. The pooled lifecycle lands this in single digits
+// (measured 10 on the reference machine; the pre-pooling path was 21);
+// the bound leaves slack for pool-emptying GCs without letting a
+// per-request allocation regression hide.
+func TestQueryHitAllocationBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("pooled buffers are intentionally dropped under -race")
+	}
+	m := embed.NewModel(embed.MPNetSim, 1)
+	reg, err := NewRegistry(RegistryConfig{
+		Factory: func(string) *core.Client {
+			return core.New(core.Options{Encoder: m, LLM: instantAllocLLM{}, Tau: 0.8, TopK: 5})
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(Config{Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := srv.Handler()
+	body, _ := json.Marshal(QueryRequest{User: "u", Query: "warm question"})
+	rdr := bytes.NewReader(body)
+	req := httptest.NewRequest("POST", "/v1/query", rdr)
+	req.Header.Set("Content-Type", "application/json")
+	rc := nopBody{rdr}
+	w := &discardWriter{h: make(http.Header)}
+	serve := func() {
+		rdr.Seek(0, 0)
+		req.Body = rc
+		h.ServeHTTP(w, req)
+	}
+	serve() // warm: populates the cache (miss) …
+	serve() // … and the buffer pools (hit)
+	if n := testing.AllocsPerRun(200, serve); n > 14 {
+		t.Fatalf("server hit path allocates %v per request, budget 14", n)
+	}
+}

@@ -41,8 +41,9 @@ type Batcher struct {
 	enc embed.Encoder
 	cfg BatcherConfig
 
-	reqs chan encodeReq
-	done chan struct{}
+	reqs    chan encodeReq
+	done    chan struct{}
+	replies chan chan []float32 // recycled one-shot reply channels
 
 	// mu/senders fence Close against in-flight Encode sends, so reqs is
 	// only closed once no sender can touch it again.
@@ -57,7 +58,11 @@ type Batcher struct {
 }
 
 type encodeReq struct {
-	text  string
+	text string
+	// dst, when non-nil, receives the embedding via append(dst[:0], …) —
+	// the pooled-buffer path. The dispatcher writes into it and sends it
+	// back on reply, so ownership transfers cleanly.
+	dst   []float32
 	reply chan []float32
 }
 
@@ -70,10 +75,11 @@ func NewBatcher(enc embed.Encoder, cfg BatcherConfig) *Batcher {
 		cfg.MaxWait = 200 * time.Microsecond
 	}
 	b := &Batcher{
-		enc:  enc,
-		cfg:  cfg,
-		reqs: make(chan encodeReq, cfg.MaxBatch*4),
-		done: make(chan struct{}),
+		enc:     enc,
+		cfg:     cfg,
+		reqs:    make(chan encodeReq, cfg.MaxBatch*4),
+		done:    make(chan struct{}),
+		replies: make(chan chan []float32, cfg.MaxBatch*4),
 	}
 	go b.dispatch()
 	return b
@@ -82,18 +88,57 @@ func NewBatcher(enc embed.Encoder, cfg BatcherConfig) *Batcher {
 // Encode implements embed.Encoder: the call blocks until its text has been
 // embedded as part of some batch.
 func (b *Batcher) Encode(text string) []float32 {
+	return b.encode(text, nil)
+}
+
+// EncodeInto is the pooled-buffer encode: the embedding lands in
+// dst[:0] (grown if needed), preserving the caller's recycled buffer
+// through the batching hand-off.
+func (b *Batcher) EncodeInto(text string, dst []float32) []float32 {
+	if dst == nil {
+		// A nil dst would be indistinguishable from the plain path in
+		// the dispatcher; give it capacity so ownership stays with us.
+		dst = make([]float32, 0, b.enc.Dim())
+	}
+	return b.encode(text, dst)
+}
+
+func (b *Batcher) encode(text string, dst []float32) []float32 {
 	b.requests.Add(1)
 	b.mu.RLock()
 	if b.closing {
 		b.mu.RUnlock()
+		if dst != nil {
+			return append(dst[:0], b.enc.Encode(text)...)
+		}
 		return b.enc.Encode(text)
 	}
 	b.senders.Add(1)
 	b.mu.RUnlock()
-	req := encodeReq{text: text, reply: make(chan []float32, 1)}
+	req := encodeReq{text: text, dst: dst, reply: b.getReply()}
 	b.reqs <- req
 	b.senders.Done()
-	return <-req.reply
+	out := <-req.reply
+	b.putReply(req.reply)
+	return out
+}
+
+// getReply/putReply recycle the one-shot reply channels so a warmed
+// Encode allocates nothing for its rendezvous.
+func (b *Batcher) getReply() chan []float32 {
+	select {
+	case ch := <-b.replies:
+		return ch
+	default:
+		return make(chan []float32, 1)
+	}
+}
+
+func (b *Batcher) putReply(ch chan []float32) {
+	select {
+	case b.replies <- ch:
+	default:
+	}
 }
 
 // Dim implements embed.Encoder.
@@ -169,11 +214,12 @@ func (b *Batcher) dispatch() {
 	}
 }
 
-// run encodes one gathered batch and delivers the rows.
+// run encodes one gathered batch and delivers the rows, each into its
+// request's recycled buffer when one was supplied.
 func (b *Batcher) run(batch []encodeReq) {
 	b.batches.Add(1)
 	if len(batch) == 1 {
-		batch[0].reply <- b.enc.Encode(batch[0].text)
+		batch[0].reply <- b.encodeOne(batch[0])
 		return
 	}
 	b.batched.Add(int64(len(batch)))
@@ -184,11 +230,22 @@ func (b *Batcher) run(batch []encodeReq) {
 		}
 		out := bc.EncodeBatch(texts)
 		for i, req := range batch {
-			req.reply <- vecmath.Clone(out.Row(i))
+			if req.dst != nil {
+				req.reply <- append(req.dst[:0], out.Row(i)...)
+			} else {
+				req.reply <- vecmath.Clone(out.Row(i))
+			}
 		}
 		return
 	}
 	for _, req := range batch {
-		req.reply <- b.enc.Encode(req.text)
+		req.reply <- b.encodeOne(req)
 	}
+}
+
+func (b *Batcher) encodeOne(req encodeReq) []float32 {
+	if req.dst != nil {
+		return embed.EncodeInto(b.enc, req.text, req.dst)
+	}
+	return b.enc.Encode(req.text)
 }

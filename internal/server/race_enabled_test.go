@@ -1,0 +1,8 @@
+//go:build race
+
+package server
+
+// raceEnabled disables allocation-budget assertions under the race
+// detector: -race makes sync.Pool drop puts deliberately, so pooled
+// paths allocate by design there.
+const raceEnabled = true

@@ -22,11 +22,14 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
+	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -226,7 +229,7 @@ type StatsResponse struct {
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var req QueryRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	if err := readJSON(r, &req); err != nil {
 		s.fail(w, "", http.StatusBadRequest, "decoding request: %v", err)
 		return
 	}
@@ -270,6 +273,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		SearchMicros:  res.SearchTime.Microseconds(),
 		Tau:           tenant.Client.Tau(),
 	})
+	// The response is on the wire; return the probe-embedding buffer to
+	// the tenant's pool.
+	tenant.Client.Recycle(&res.Result)
 }
 
 // queryResult pairs a core.Result with the error from producing it, so
@@ -281,7 +287,7 @@ type queryResult struct {
 
 func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 	var req FeedbackRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	if err := readJSON(r, &req); err != nil {
 		s.fail(w, "", http.StatusBadRequest, "decoding request: %v", err)
 		return
 	}
@@ -337,7 +343,65 @@ func (s *Server) fail(w http.ResponseWriter, userID string, code int, format str
 	http.Error(w, fmt.Sprintf(format, args...), code)
 }
 
+// jsonCodec is a pooled buffer + encoder pair: the request lifecycle
+// reads bodies into and encodes responses out of recycled buffers, so a
+// warmed request performs no per-call allocation for JSON plumbing.
+type jsonCodec struct {
+	buf *bytes.Buffer
+	enc *json.Encoder
+	lim io.LimitedReader // reused per request so the cap costs no alloc
+}
+
+var jsonCodecs = sync.Pool{New: func() any {
+	buf := &bytes.Buffer{}
+	return &jsonCodec{buf: buf, enc: json.NewEncoder(buf)}
+}}
+
+const (
+	// maxBodyBytes bounds a request body: queries and feedback are small
+	// JSON documents, so anything past 1 MB is rejected rather than
+	// buffered.
+	maxBodyBytes = 1 << 20
+	// maxPooledCodecBytes caps the buffers the codec pool retains — an
+	// oversized response (a huge /v1/stats dump) must not pin its buffer
+	// in the pool forever.
+	maxPooledCodecBytes = 64 << 10
+)
+
+// putCodec returns c to the pool unless its buffer grew past the
+// retention cap.
+func putCodec(c *jsonCodec) {
+	if c.buf.Cap() <= maxPooledCodecBytes {
+		jsonCodecs.Put(c)
+	}
+}
+
+// readJSON decodes the request body into v through a pooled buffer,
+// rejecting bodies over maxBodyBytes.
+func readJSON(r *http.Request, v any) error {
+	c := jsonCodecs.Get().(*jsonCodec)
+	defer putCodec(c)
+	c.buf.Reset()
+	c.lim.R, c.lim.N = r.Body, maxBodyBytes+1
+	_, err := c.buf.ReadFrom(&c.lim)
+	c.lim.R = nil // don't retain the body through the pool
+	if err != nil {
+		return err
+	}
+	if c.buf.Len() > maxBodyBytes {
+		return fmt.Errorf("request body exceeds %d bytes", maxBodyBytes)
+	}
+	return json.Unmarshal(c.buf.Bytes(), v)
+}
+
 func writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(v)
+	c := jsonCodecs.Get().(*jsonCodec)
+	defer putCodec(c)
+	c.buf.Reset()
+	if err := c.enc.Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Write(c.buf.Bytes())
 }

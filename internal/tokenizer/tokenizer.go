@@ -73,24 +73,29 @@ func (t *Tokenizer) Mode() Mode { return t.mode }
 // result is deterministic: equal text always yields equal IDs. Empty or
 // all-punctuation text yields an empty slice.
 func (t *Tokenizer) Tokenize(text string) []int {
+	return t.TokenizeAppend(text, nil)
+}
+
+// TokenizeAppend is Tokenize appending into ids — the buffer-reuse form
+// the pooled encode path uses: with an ids[:0] of sufficient capacity no
+// ID slice is allocated. Emission order and hashes are identical to
+// Tokenize.
+func (t *Tokenizer) TokenizeAppend(text string, ids []int) []int {
 	words := Normalize(text)
 	if len(words) == 0 {
-		return nil
+		return ids
 	}
-	var ids []int
 	switch t.mode {
 	case Words:
-		ids = make([]int, 0, len(words))
 		for _, w := range words {
 			ids = append(ids, t.bucket(w))
 		}
 	case WordsAndBigrams:
-		ids = make([]int, 0, 2*len(words))
 		for _, w := range words {
 			ids = append(ids, t.bucket(w))
 		}
 		for i := 0; i+1 < len(words); i++ {
-			ids = append(ids, t.bucket(words[i]+"\x00"+words[i+1]))
+			ids = append(ids, t.bucket2(words[i], words[i+1]))
 		}
 	case CharTrigrams:
 		for _, w := range words {
@@ -107,18 +112,31 @@ func (t *Tokenizer) Tokenize(text string) []int {
 	return ids
 }
 
-// bucket hashes s with FNV-1a into [0, vocab).
-func (t *Tokenizer) bucket(s string) int {
-	const (
-		offset64 = 14695981039346656037
-		prime64  = 1099511628211
-	)
-	var h uint64 = offset64
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func fnvString(h uint64, s string) uint64 {
 	for i := 0; i < len(s); i++ {
 		h ^= uint64(s[i])
-		h *= prime64
+		h *= fnvPrime64
 	}
-	return int(h % uint64(t.vocab))
+	return h
+}
+
+// bucket hashes s with FNV-1a into [0, vocab).
+func (t *Tokenizer) bucket(s string) int {
+	return int(fnvString(fnvOffset64, s) % uint64(t.vocab))
+}
+
+// bucket2 hashes the bigram a+"\x00"+b without materialising the joined
+// string — byte-identical to bucket(a+"\x00"+b).
+func (t *Tokenizer) bucket2(a, b string) int {
+	h := fnvString(fnvOffset64, a)
+	h ^= 0 // the \x00 separator byte
+	h *= fnvPrime64
+	return int(fnvString(h, b) % uint64(t.vocab))
 }
 
 // Normalize lower-cases text, strips punctuation, and splits it into words.
