@@ -21,7 +21,7 @@ test:
 race:
 	$(GO) test -race ./internal/core/ ./internal/server/ ./internal/cache/ \
 		./internal/store/ ./internal/fl/ ./internal/flserve/ ./internal/llmsim/ \
-		./internal/index/ ./internal/cluster/
+		./internal/index/ ./internal/cluster/ ./internal/obs/
 
 check: vet build test race
 

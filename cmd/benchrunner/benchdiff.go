@@ -21,15 +21,17 @@ const maxNsRegression = 1.25
 // diffSubset pins the hot-path rows the gate watches. Deliberately a
 // subset of servingBenches: rows dominated by wall-clock-noisy work
 // (HTTP round trips at microsecond scale, background-trained fixtures)
-// would flake at a 25% bar; these four are stable to a few percent on an
+// would flake at a 25% bar; these are stable to a few percent on an
 // idle machine and cover the serving pipeline end to end — encode,
-// user-size search, large-tenant pruned scan, and the full HTTP hit
-// path's allocation budget.
+// user-size search, large-tenant pruned scan, the full HTTP hit path's
+// allocation budget, and the fully-traced direct hit path (so
+// instrumentation overhead is gated like any other regression).
 var diffSubset = []string{
 	"EncodeMPNetSim",
 	"CacheFindSimilar768x1000",
 	"IndexScan64x20k",
 	"ServerQueryHit",
+	"ServerQueryHitTraced",
 }
 
 func runBenchDiff(baselinePath string) error {

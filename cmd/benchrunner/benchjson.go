@@ -18,6 +18,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/embed"
+	"repro/internal/obs"
 	"repro/internal/server"
 	"repro/internal/vecmath"
 )
@@ -128,6 +129,7 @@ func servingBenches() []servingBench {
 		{"CacheReembed768x500", benchReembed},
 		{"ServerQueryHit", benchServerQueryHit},
 		{"ServerQueryHitDirect", benchServerQueryHitDirect},
+		{"ServerQueryHitTraced", benchServerQueryHitTraced},
 		{"IndexScan64x20k", benchIndexTier("scan")},
 		{"IndexIVF64x20k", benchIndexTier("ivf")},
 		{"IndexHNSW64x20k", benchIndexTier("hnsw")},
@@ -217,8 +219,10 @@ type instantLLM struct{}
 func (instantLLM) Query(q string) (string, time.Duration) { return "r", 0 }
 
 // newHitServer assembles the single-tenant hit-path fixture: untrained
-// encoder, instant upstream, one warmed cached query.
-func newHitServer(b *testing.B) (*server.Server, *httptest.Server, []byte) {
+// encoder, instant upstream, one warmed cached query. mod, when non-nil,
+// adjusts the server config before construction (the traced row turns
+// observability on with it).
+func newHitServer(b *testing.B, mod func(*server.Config)) (*server.Server, *httptest.Server, []byte) {
 	m := embed.NewModel(embed.MPNetSim, 1)
 	reg, err := server.NewRegistry(server.RegistryConfig{
 		Factory: func(string) *core.Client {
@@ -228,7 +232,11 @@ func newHitServer(b *testing.B) (*server.Server, *httptest.Server, []byte) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	srv, err := server.New(server.Config{Registry: reg})
+	cfg := server.Config{Registry: reg}
+	if mod != nil {
+		mod(&cfg)
+	}
+	srv, err := server.New(cfg)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -252,7 +260,7 @@ func newHitServer(b *testing.B) (*server.Server, *httptest.Server, []byte) {
 // is the server; the remaining per-op allocations are the server's
 // accept-to-respond path.
 func benchServerQueryHit(b *testing.B) {
-	_, ts, body := newHitServer(b)
+	_, ts, body := newHitServer(b, nil)
 	conn, err := net.Dial("tcp", ts.Listener.Addr().String())
 	if err != nil {
 		b.Fatal(err)
@@ -296,12 +304,30 @@ func benchServerQueryHit(b *testing.B) {
 	}
 }
 
-// benchServerQueryHitDirect measures the handler in isolation — no
-// sockets, no net/http connection machinery: decode, tenant lookup,
-// encode, pruned search, respond. This is the pooled request lifecycle
-// itself; after warmup it runs in single-digit allocations.
+// benchServerQueryHitDirect measures the uninstrumented handler (see
+// benchHandlerHit).
 func benchServerQueryHitDirect(b *testing.B) {
-	srv, _, body := newHitServer(b)
+	srv, _, body := newHitServer(b, nil)
+	benchHandlerHit(b, srv, body)
+}
+
+// benchServerQueryHitTraced is the direct hit path with observability
+// fully on — metrics registered and every request traced (sample rate
+// 1, the worst case: each query records spans and publishes into the
+// ring). Pinned in benchdiff so instrumentation overhead stays bounded.
+func benchServerQueryHitTraced(b *testing.B) {
+	srv, _, body := newHitServer(b, func(cfg *server.Config) {
+		cfg.Metrics = obs.NewRegistry()
+		cfg.Tracer = obs.NewTracer(obs.TracerConfig{Node: "bench", SampleRate: 1})
+	})
+	benchHandlerHit(b, srv, body)
+}
+
+// benchHandlerHit drives the handler in isolation — no sockets, no
+// net/http connection machinery: decode, tenant lookup, encode, pruned
+// search, respond. This is the pooled request lifecycle itself; after
+// warmup it runs in single-digit allocations.
+func benchHandlerHit(b *testing.B, srv *server.Server, body []byte) {
 	h := srv.Handler()
 	rdr := bytes.NewReader(body)
 	req := httptest.NewRequest("POST", "/v1/query", rdr)

@@ -32,6 +32,14 @@
 // cache grows (-tier-flat-max / -tier-ivf-max), migrating in the
 // background. Indexed tenants stay indexed across evict/revive cycles.
 //
+// Observability: -metrics exposes a Prometheus text exposition at
+// GET /metrics covering serving outcomes, per-stage and per-tier
+// latency, registry/arena occupancy, the batcher, and — when enabled —
+// the cluster and FL layers. -trace-sample head-samples per-request
+// traces (decode → encode → search → upstream → respond spans, stitched
+// across a cluster forward) into a recent ring at GET /v1/debug/traces;
+// -trace-slow additionally keeps any trace at least that slow.
+//
 // Usage:
 //
 //	cacheserve -addr 127.0.0.1:8090 -upstream 127.0.0.1:8080
@@ -63,6 +71,7 @@ import (
 	"repro/internal/flserve"
 	"repro/internal/index"
 	"repro/internal/llmsim"
+	"repro/internal/obs"
 	"repro/internal/server"
 	"repro/internal/store"
 	"repro/internal/train"
@@ -108,6 +117,10 @@ func main() {
 		noBatch   = flag.Bool("no-batch", false, "disable the embedding micro-batcher")
 
 		statsTenants = flag.Int("stats-tenants", 20, "per-tenant rows in /v1/stats (-1 = all)")
+
+		metricsOn   = flag.Bool("metrics", false, "serve Prometheus text metrics at GET /metrics")
+		traceSample = flag.Float64("trace-sample", 0, "request-trace head-sampling rate in (0, 1]; 0 disables tracing")
+		traceSlow   = flag.Duration("trace-slow", 0, "with tracing on, also keep any trace at least this slow (GET /v1/debug/traces)")
 
 		flOn       = flag.Bool("fl", false, "enable the online federated-learning coordinator")
 		flInterval = flag.Duration("fl-interval", 0, "run FL rounds on this period (0 = only on POST /v1/fl/round)")
@@ -263,11 +276,30 @@ func main() {
 		flHooks.Bind(flsvc)
 	}
 
+	// Observability: one shared metrics registry for every layer of this
+	// process, and a tracer named after the cluster identity so stitched
+	// spans attribute to the right node.
+	var obsReg *obs.Registry
+	if *metricsOn {
+		obsReg = obs.NewRegistry()
+	}
+	traceNode := "local"
+	if *clusterOn {
+		traceNode = *addr
+	}
+	tracer := obs.NewTracer(obs.TracerConfig{
+		Node:          traceNode,
+		SampleRate:    *traceSample,
+		SlowThreshold: *traceSlow,
+	})
+
 	srv, err := server.New(server.Config{
 		Registry:     reg,
 		Batcher:      batcher,
 		StatsTenants: *statsTenants,
 		Observer:     observer(collector),
+		Metrics:      obsReg,
+		Tracer:       tracer,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -292,14 +324,21 @@ func main() {
 			Heartbeat: *clusterHeartbeat,
 			DeadAfter: *clusterDeadAfter,
 			Logf:      log.Printf,
+			Tracer:    tracer,
 		})
 		if err != nil {
 			log.Fatal(err)
 		}
 		node.Register(srv)
 		srv.Wrap(node.Wrap)
+		if obsReg != nil {
+			node.RegisterMetrics(obsReg)
+		}
 	}
 	if flsvc != nil {
+		if obsReg != nil {
+			flsvc.RegisterMetrics(obsReg)
+		}
 		flsvc.Register(srv)
 		flsvc.Start()
 		log.Printf("online FL coordinator enabled (cohort=%d, min-pairs=%d, interval=%v, secure=%v)",
@@ -312,6 +351,10 @@ func main() {
 		node.Start()
 		log.Printf("cluster mode: self=%s, peers=%v, vnodes=%d, heartbeat=%v",
 			*addr, *peers, *vnodes, *clusterHeartbeat)
+	}
+	if obsReg != nil || tracer != nil {
+		log.Printf("observability: metrics=%v, trace-sample=%g, trace-slow=%v",
+			*metricsOn, *traceSample, *traceSlow)
 	}
 	log.Printf("cacheserve listening on %s (encoder=%s, shards=%d, upstream=%s)",
 		srv.Addr(), enc.Name(), *shards, orInProcess(*upstream))

@@ -8,7 +8,10 @@
 //
 // The report covers throughput, hit ratio, cache-decision quality against
 // ground truth (precision/recall/F1 via internal/metrics), and latency
-// percentiles, plus the server's own /v1/stats aggregate.
+// percentiles, plus the server's own /v1/stats aggregate. Against a
+// cacheserve started with -metrics, /metrics is scraped at each phase
+// boundary and the report adds a per-stage server-side latency
+// breakdown (decode/encode/search/upstream/cachefill/respond).
 //
 // With -fl N the generator instead drives the online federated-learning
 // scenario against a cacheserve started with -fl: users share one lexicon
@@ -151,17 +154,31 @@ func main() {
 		*users, *cached, *probes, 100**dup)
 	warmup, probeJobs := buildJobs(*users, *cached, *probes, *dup, *seed)
 
+	// /metrics is scraped at every phase boundary: diffing the server's
+	// stage histograms across a phase gives the per-stage latency
+	// breakdown the wire-level RTT cannot see. A server without -metrics
+	// simply yields no breakdown.
+	preWarm := scrapeStages(r.client, r.base)
+
 	log.Printf("warmup: %d queries", len(warmup))
 	r.drive(warmup, *concurrency)
 	warmQueries, warmErrors := r.queries, r.errors
 	r.resetMeasurement()
+	postWarm := scrapeStages(r.client, r.base)
 
 	log.Printf("measuring: %d probes at concurrency %d", len(probeJobs), *concurrency)
 	start := time.Now()
 	r.drive(probeJobs, *concurrency)
 	elapsed := time.Since(start)
+	postProbe := scrapeStages(r.client, r.base)
 
 	r.report(*users, warmQueries, warmErrors, elapsed)
+	if bd := stageBreakdown(postWarm, postProbe); bd != "" {
+		fmt.Printf("server stages    %s (mean per request, probe phase)\n", bd)
+	}
+	if bd := stageBreakdown(preWarm, postWarm); bd != "" {
+		fmt.Printf("                 %s (warmup phase)\n", bd)
+	}
 	if r.errors > 0 {
 		os.Exit(1)
 	}

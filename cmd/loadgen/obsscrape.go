@@ -1,0 +1,84 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// stageOrder is the serving pipeline order used for the breakdown rows.
+var stageOrder = []string{"decode", "encode", "search", "upstream", "cachefill", "respond"}
+
+// stageScrape is one /metrics snapshot of the server's per-stage latency
+// histograms (meancache_stage_duration_seconds _sum/_count per stage).
+// ok is false when the server does not expose /metrics (started without
+// -metrics) — the breakdown is then silently skipped.
+type stageScrape struct {
+	ok     bool
+	sums   map[string]float64 // stage -> cumulative seconds
+	counts map[string]float64 // stage -> cumulative observations
+}
+
+// scrapeStages snapshots the server's stage histograms at a phase
+// boundary. Errors degrade to an empty snapshot: load generation must
+// never fail because observability is off.
+func scrapeStages(client *http.Client, base string) stageScrape {
+	s := stageScrape{sums: map[string]float64{}, counts: map[string]float64{}}
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return s
+	}
+	payload, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || err != nil {
+		return s
+	}
+	exp, err := obs.ParseExposition(payload)
+	if err != nil {
+		return s
+	}
+	fam := exp.Families["meancache_stage_duration_seconds"]
+	if fam == nil {
+		return s
+	}
+	for _, sample := range fam.Samples {
+		stage := sample.Labels["stage"]
+		if stage == "" {
+			continue
+		}
+		switch {
+		case strings.HasSuffix(sample.Name, "_sum"):
+			s.sums[stage] = sample.Value
+		case strings.HasSuffix(sample.Name, "_count"):
+			s.counts[stage] = sample.Value
+		}
+	}
+	s.ok = true
+	return s
+}
+
+// stageBreakdown renders the mean per-stage latency over the phase
+// between two snapshots, in pipeline order. Stages that saw no traffic
+// in the window (e.g. upstream during an all-hit phase) are omitted.
+func stageBreakdown(before, after stageScrape) string {
+	if !before.ok || !after.ok {
+		return ""
+	}
+	var parts []string
+	for _, stage := range stageOrder {
+		n := after.counts[stage] - before.counts[stage]
+		if n <= 0 {
+			continue
+		}
+		mean := time.Duration((after.sums[stage] - before.sums[stage]) / n * float64(time.Second))
+		parts = append(parts, fmt.Sprintf("%s %v", stage, mean.Round(time.Microsecond)))
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	return strings.Join(parts, "  ")
+}

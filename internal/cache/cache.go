@@ -115,6 +115,28 @@ func (c *Cache) Len() int {
 	return len(c.entries)
 }
 
+// ServingTier reports which index tier currently answers FindSimilar
+// searches ("flat" for the built-in exact scan; index.Adaptive reports
+// whichever tier it has promoted to), or "" when the installed index
+// does not name one. The index never changes after construction and
+// TierNamer implementations synchronise internally, so no cache lock is
+// taken — this is safe on the query hot path.
+func (c *Cache) ServingTier() string {
+	if tn, ok := c.idx.(index.TierNamer); ok {
+		return tn.Tier()
+	}
+	return ""
+}
+
+// ArenaStats reports the backing index's storage occupancy (zero value
+// when the index does not expose it).
+func (c *Cache) ArenaStats() index.ArenaStats {
+	if rep, ok := c.idx.(index.ArenaReporter); ok {
+		return rep.ArenaStats()
+	}
+	return index.ArenaStats{}
+}
+
 // Stats returns a snapshot of the operation counters.
 func (c *Cache) Stats() Stats {
 	c.mu.RLock()

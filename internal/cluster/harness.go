@@ -43,6 +43,11 @@ type HarnessConfig struct {
 	DrainWait  time.Duration
 	SweepEvery time.Duration
 	Logf       func(format string, args ...any)
+
+	// Tune, when non-nil, runs over each node's cluster Config after the
+	// harness fills it and before the Node is built — the hook tests use
+	// to install per-node tracers or tweak timeouts.
+	Tune func(cfg *Config)
 }
 
 // HarnessNode is one member of the in-process cluster. Addr is fixed for
@@ -117,7 +122,7 @@ func (h *Harness) wire(hn *HarnessNode, hts *httptest.Server, peers []string) er
 	if err != nil {
 		return fmt.Errorf("cluster: building node %s: %w", hn.Addr, err)
 	}
-	node, err := New(Config{
+	ncfg := Config{
 		Self:       hn.Addr,
 		Peers:      peers,
 		VNodes:     h.cfg.VNodes,
@@ -127,7 +132,11 @@ func (h *Harness) wire(hn *HarnessNode, hts *httptest.Server, peers []string) er
 		DrainWait:  h.cfg.DrainWait,
 		SweepEvery: h.cfg.SweepEvery,
 		Logf:       h.cfg.Logf,
-	})
+	}
+	if h.cfg.Tune != nil {
+		h.cfg.Tune(&ncfg)
+	}
+	node, err := New(ncfg)
 	if err != nil {
 		return err
 	}

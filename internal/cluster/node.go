@@ -14,6 +14,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/server"
 )
 
@@ -62,6 +63,13 @@ type Config struct {
 	// that drains tenants the node no longer owns (ring changes also
 	// trigger a sweep immediately). Defaults to 4× the heartbeat.
 	SweepEvery time.Duration
+
+	// Tracer, when non-nil, traces routed requests: the forwarding node
+	// records decode/forward spans and stitches in the owner's serving
+	// spans (propagated through the wire envelope), and this node
+	// records serving spans for envelopes that arrive carrying a trace
+	// ID. Nil disables cluster-layer tracing.
+	Tracer *obs.Tracer
 
 	// Client, when non-nil, is used for probes and forwards (tests
 	// inject one; production gets a pooled default).
@@ -254,6 +262,10 @@ func (n *Node) Wrap(inner http.Handler) http.Handler {
 			inner.ServeHTTP(w, r)
 			return
 		}
+		var wrapStart time.Time
+		if n.cfg.Tracer.Enabled() {
+			wrapStart = time.Now()
+		}
 		body, err := io.ReadAll(io.LimitReader(r.Body, maxWireBody+1))
 		if err != nil {
 			http.Error(w, fmt.Sprintf("cluster: reading request: %v", err), http.StatusBadRequest)
@@ -279,8 +291,26 @@ func (n *Node) Wrap(inner http.Handler) http.Handler {
 			serveLocal() // ours (or malformed — let the mux reject it)
 			return
 		}
-		resp, err := n.forward(r.Context(), owner, r.URL.Path, user, body, route.hedge)
+		// The forward path gets its own origin-side trace: the serving
+		// spans happen on the owner, so without one the request would be
+		// invisible here. Owned tenants skip this — the serving handler
+		// starts their trace.
+		var trace *obs.Trace
+		var decodeDur time.Duration
+		if n.cfg.Tracer.Enabled() {
+			decodeDur = time.Since(wrapStart)
+			trace = n.cfg.Tracer.Start(r.URL.Path)
+			trace.User = user
+			trace.Add(obs.SpanDecode, 0, decodeDur)
+		}
+		var traceID uint64
+		if trace != nil {
+			traceID = trace.ID
+		}
+		fwdStart := time.Now()
+		resp, err := n.forward(r.Context(), owner, r.URL.Path, user, body, route.hedge, traceID)
 		if err != nil {
+			n.cfg.Tracer.Abandon(trace)
 			var answered *peerAnsweredError
 			if errors.As(err, &answered) {
 				// The owner is alive and declined — surface its error;
@@ -301,6 +331,17 @@ func (n *Node) Wrap(inner http.Handler) http.Handler {
 			serveLocal()
 			return
 		}
+		if trace != nil {
+			trace.Status = int(resp.Status)
+			trace.Hit = peekHit(resp.Body)
+			trace.Add(obs.SpanForward, decodeDur, time.Since(fwdStart))
+			if len(resp.Spans) > 0 {
+				// Corrupt span blobs degrade the trace, never the request.
+				if spans, derr := obs.DecodeSpans(resp.Spans); derr == nil {
+					trace.AddRemote(resp.Node, spans)
+				}
+			}
+		}
 		w.Header().Set(servedByHeader, resp.Node)
 		if resp.Status == http.StatusOK {
 			w.Header().Set("Content-Type", "application/json")
@@ -309,7 +350,19 @@ func (n *Node) Wrap(inner http.Handler) http.Handler {
 		}
 		w.WriteHeader(int(resp.Status))
 		w.Write(resp.Body)
+		if trace != nil {
+			n.cfg.Tracer.Finish(trace, time.Since(wrapStart))
+		}
 	})
+}
+
+// peekHit extracts the cache-hit flag from a forwarded query response,
+// so the origin's stitched trace reports the outcome the owner produced.
+func peekHit(body []byte) bool {
+	var p struct {
+		Hit bool `json:"hit"`
+	}
+	return json.Unmarshal(body, &p) == nil && p.Hit
 }
 
 // peekUser extracts the tenant ID from a serving-route body.
@@ -329,7 +382,7 @@ func peekUser(body []byte) string {
 // retry should chase the tenant's new home, not hammer the old one.
 // When hedge is set (idempotent routes only), a single duplicate fires
 // if the first attempt is slow.
-func (n *Node) forward(ctx context.Context, owner, path, user string, body []byte, hedge bool) (*ForwardResponse, error) {
+func (n *Node) forward(ctx context.Context, owner, path, user string, body []byte, hedge bool, traceID uint64) (*ForwardResponse, error) {
 	var lastErr error
 	for attempt := 0; attempt <= n.cfg.ForwardRetries; attempt++ {
 		if attempt > 0 {
@@ -343,6 +396,7 @@ func (n *Node) forward(ctx context.Context, owner, path, user string, body []byt
 			Origin:      n.cfg.Self,
 			RingVersion: n.ring.Load().Version(),
 			Hops:        uint8(attempt) + 1,
+			TraceID:     traceID,
 			User:        user,
 			Path:        path,
 			Body:        body,
@@ -508,8 +562,19 @@ func (n *Node) handleForward(w http.ResponseWriter, r *http.Request) {
 		// counter means a peer's ring is not converging.
 		n.staleForwards.Add(1)
 	}
-	req, err := http.NewRequestWithContext(r.Context(), http.MethodPost, env.Path, bytes.NewReader(env.Body))
+	// When the envelope carries the origin's trace ID, serve the request
+	// under a remote trace: the serving handlers record their spans into
+	// it (via the request context) and the blob rides back to the origin
+	// for stitching. The remote trace is never published here.
+	ctx := r.Context()
+	var rt *obs.Trace
+	if env.TraceID != 0 && n.cfg.Tracer.Enabled() {
+		rt = n.cfg.Tracer.StartRemote(env.TraceID, env.Path)
+		ctx = obs.ContextWithTrace(ctx, rt)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, env.Path, bytes.NewReader(env.Body))
 	if err != nil {
+		n.cfg.Tracer.Release(rt)
 		http.Error(w, fmt.Sprintf("cluster: rebuilding request: %v", err), http.StatusInternalServerError)
 		return
 	}
@@ -517,10 +582,16 @@ func (n *Node) handleForward(w http.ResponseWriter, r *http.Request) {
 	req.Header.Set(forwardedHeader, env.Origin)
 	rec := &responseCapture{status: http.StatusOK}
 	(*innerp).ServeHTTP(rec, req)
+	var spanBlob []byte
+	if rt != nil {
+		spanBlob = obs.AppendSpans(nil, rt.Spans())
+		n.cfg.Tracer.Release(rt)
+	}
 	out, err := EncodeForwardResponse(&ForwardResponse{
 		Node:   n.cfg.Self,
 		Status: uint16(rec.status),
 		Body:   rec.body.Bytes(),
+		Spans:  spanBlob,
 	})
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
@@ -628,6 +699,46 @@ func (n *Node) StatusSnapshot() Status {
 func (n *Node) handleStatus(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(n.StatusSnapshot())
+}
+
+// RegisterMetrics exposes the node's routing, handoff, and membership
+// state on reg under meancache_cluster_*. Everything reads the node's
+// existing atomics (or peer locks, for liveness) at scrape time — no
+// new accounting on the forward path.
+func (n *Node) RegisterMetrics(reg *obs.Registry) {
+	counters := []struct {
+		name, help string
+		v          *atomic.Int64
+	}{
+		{"meancache_cluster_forwards_total", "Forward attempts sent to tenant owners.", &n.forwards},
+		{"meancache_cluster_forward_errors_total", "Forward attempts that failed.", &n.forwardErrors},
+		{"meancache_cluster_hedges_total", "Duplicate hedged forward attempts launched.", &n.hedges},
+		{"meancache_cluster_local_fallbacks_total", "Requests served locally after their owner was unreachable.", &n.localFallbacks},
+		{"meancache_cluster_forwarded_served_total", "Peer-forwarded requests served on this node.", &n.forwardedServed},
+		{"meancache_cluster_stale_forwards_total", "Forwarded requests routed on a different ring generation.", &n.staleForwards},
+		{"meancache_cluster_handoffs_total", "Tenants drained to their new owner after ring changes.", &n.handoffs},
+		{"meancache_cluster_handoff_busy_total", "Handoff attempts deferred because the tenant stayed busy.", &n.handoffBusy},
+		{"meancache_cluster_handoff_errors_total", "Handoff attempts that failed.", &n.handoffErrors},
+	}
+	for _, c := range counters {
+		v := c.v
+		reg.CounterFunc(c.name, c.help, func() float64 { return float64(v.Load()) })
+	}
+	reg.GaugeFunc("meancache_cluster_ring_version", "Current consistent-hash ring version.", func() float64 {
+		return float64(n.ring.Load().Version())
+	})
+	reg.GaugeFunc("meancache_cluster_ring_members", "Members on the current ring.", func() float64 {
+		return float64(len(n.ring.Load().Members()))
+	})
+	reg.GaugeFunc("meancache_cluster_peers_alive", "Configured peers currently believed alive.", func() float64 {
+		alive := 0
+		for _, p := range n.peers {
+			if p.isAlive() {
+				alive++
+			}
+		}
+		return float64(alive)
+	})
 }
 
 // heartbeatLoop probes every peer each Heartbeat and rebuilds the ring

@@ -1,0 +1,161 @@
+package cluster
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/llmsim"
+	"repro/internal/obs"
+	"repro/internal/server"
+)
+
+// TestClusterTraceStitching is the cross-node tracing acceptance test: a
+// query entering through a non-owner must yield ONE stitched trace on
+// the entry node whose spans cover the local forward hop and the owner's
+// serving stages (encode, tier-labelled search, upstream on a miss),
+// each remote span attributed to the owner — and the owner must publish
+// nothing for the forwarded request.
+func TestClusterTraceStitching(t *testing.T) {
+	dir := t.TempDir()
+	llm := llmsim.New(llmsim.DefaultConfig())
+	var mu sync.Mutex
+	tracers := map[string]*obs.Tracer{}
+	h, err := StartHarness(HarnessConfig{
+		Nodes:     2,
+		VNodes:    64,
+		Heartbeat: 25 * time.Millisecond,
+		DeadAfter: 2,
+		Logf:      t.Logf,
+		MakeNode: func(self string) (*server.Registry, *server.Server, error) {
+			reg, err := server.NewRegistry(server.RegistryConfig{
+				Shards:     4,
+				PersistDir: dir,
+				Factory: func(string) *core.Client {
+					return core.New(core.Options{Encoder: &testEncoder{dim: 32}, LLM: llm, Tau: 0.9, TopK: 4})
+				},
+			})
+			if err != nil {
+				return nil, nil, err
+			}
+			tracer := obs.NewTracer(obs.TracerConfig{Node: self, SampleRate: 1, RingSize: 16})
+			mu.Lock()
+			tracers[self] = tracer
+			mu.Unlock()
+			srv, err := server.New(server.Config{Registry: reg, Tracer: tracer})
+			if err != nil {
+				return nil, nil, err
+			}
+			return reg, srv, nil
+		},
+		Tune: func(cfg *Config) {
+			mu.Lock()
+			defer mu.Unlock()
+			cfg.Tracer = tracers[cfg.Self]
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(h.Close)
+	client := &http.Client{Timeout: 10 * time.Second}
+	if err := h.WaitConverged(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	user := "stitch-probe-user"
+	owner := h.Owner(user)
+	var entry *HarnessNode
+	for _, hn := range h.Nodes() {
+		if hn.Addr != owner {
+			entry = hn
+			break
+		}
+	}
+	if entry == nil {
+		t.Fatalf("no entry node distinct from owner %s", owner)
+	}
+	if _, err := queryUser(client, entry.URL(), user, "what is a stitched trace"); err != nil {
+		t.Fatal(err)
+	}
+	qr, err := queryUser(client, entry.URL(), user, "what is a stitched trace")
+	if err != nil || !qr.Hit {
+		t.Fatalf("second forwarded query: hit=%v err=%v", qr.Hit, err)
+	}
+
+	mu.Lock()
+	entryTracer, ownerTracer := tracers[entry.Addr], tracers[owner]
+	mu.Unlock()
+	recent := entryTracer.Recent()
+	if len(recent) != 2 {
+		t.Fatalf("entry node published %d traces, want 2 (one per forwarded query)", len(recent))
+	}
+	if n := len(ownerTracer.Recent()); n != 0 {
+		t.Errorf("owner published %d traces for forwarded requests, want 0 (origin owns the stitched trace)", n)
+	}
+
+	// Both ends record a decode span (origin for the routed body, owner
+	// for the rebuilt request), so spans are matched on (kind, node).
+	findSpan := func(tr obs.TraceSnapshot, kind, node string) (obs.SpanSnapshot, bool) {
+		for _, s := range tr.Spans {
+			if s.Kind == kind && s.Node == node {
+				return s, true
+			}
+		}
+		return obs.SpanSnapshot{}, false
+	}
+	hit, miss := recent[0], recent[1] // newest first
+	if !hit.Hit || miss.Hit {
+		t.Fatalf("trace outcomes wrong: newest hit=%v, oldest hit=%v", hit.Hit, miss.Hit)
+	}
+	for _, tr := range []obs.TraceSnapshot{hit, miss} {
+		if tr.ID == "" || tr.ID == "0000000000000000" {
+			t.Errorf("trace has no ID: %+v", tr)
+		}
+		if tr.Node != entry.Addr || tr.User != user {
+			t.Errorf("trace identity wrong: node=%q user=%q", tr.Node, tr.User)
+		}
+		for _, local := range []string{"decode", "forward"} {
+			if _, ok := findSpan(tr, local, ""); !ok {
+				t.Fatalf("trace missing local %s span: %+v", local, tr.Spans)
+			}
+		}
+		for _, remote := range []string{"encode", "search", "respond"} {
+			if _, ok := findSpan(tr, remote, owner); !ok {
+				t.Fatalf("trace missing stitched %s span on owner %s: %+v", remote, owner, tr.Spans)
+			}
+		}
+		if s, _ := findSpan(tr, "search", owner); s.Tier != "flat" {
+			t.Errorf("stitched search span tier = %q, want flat", s.Tier)
+		}
+	}
+	if _, ok := findSpan(miss, "upstream", owner); !ok {
+		t.Errorf("miss trace upstream span missing or misattributed: %+v", miss.Spans)
+	}
+	if _, ok := findSpan(hit, "upstream", owner); ok {
+		t.Errorf("hit trace has an upstream span: %+v", hit.Spans)
+	}
+	if s, _ := findSpan(hit, "search", owner); s.Candidates < 1 {
+		t.Errorf("hit search span candidates = %d, want >= 1", s.Candidates)
+	}
+
+	// The node's scrape-time metrics expose the forward counters that
+	// backed the stitched traces.
+	reg := obs.NewRegistry()
+	entry.ClusterNode().RegisterMetrics(reg)
+	rec := httptest.NewRecorder()
+	reg.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	exp, err := obs.ParseExposition(rec.Body.Bytes())
+	if err != nil {
+		t.Fatalf("cluster metrics exposition invalid: %v", err)
+	}
+	if v, ok := exp.Value("meancache_cluster_forwards_total", nil); !ok || v < 2 {
+		t.Errorf("meancache_cluster_forwards_total = %v (present %v), want >= 2", v, ok)
+	}
+	if v, ok := exp.Value("meancache_cluster_ring_members", nil); !ok || v != 2 {
+		t.Errorf("meancache_cluster_ring_members = %v (present %v), want 2", v, ok)
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+
+	"repro/internal/obs"
 )
 
 // The cluster wire codec: a compact, length-prefixed binary encoding for
@@ -20,8 +22,13 @@ import (
 // never a panic or an unbounded allocation (see FuzzWireCodec).
 
 const (
-	wireMagic   = 0xC5
-	wireVersion = 1
+	wireMagic = 0xC5
+	// wireVersion 2 added trace propagation: TraceID on ForwardRequest,
+	// the span blob on ForwardResponse. Nodes on different versions
+	// reject each other's envelopes, which the forwarder surfaces as a
+	// peerAnsweredError — a rolling upgrade briefly errors rather than
+	// silently dropping traces.
+	wireVersion = 2
 
 	kindPeerStatus      = 1
 	kindForwardRequest  = 2
@@ -32,15 +39,20 @@ const (
 	maxWireString = 4 << 10 // node IDs, paths, user IDs
 	maxWireBody   = 4 << 20 // forwarded request/response bodies
 	maxWirePeers  = 1 << 10 // alive-member lists
+
+	// maxWireSpans caps the trace-span blob a forward response carries;
+	// the obs codec enforces its own (identical) bound on decode.
+	maxWireSpans = obs.MaxSpanBlob
 )
 
 // maxWireMessage bounds a whole encoded message of any kind: the HTTP
 // read limit peers apply before decoding. It must dominate the largest
 // legal encoding — a forward envelope is a near-cap body plus up to
-// three near-cap strings, a peer status up to maxWirePeers near-cap
-// strings — or a valid message would be truncated at the reader and
-// deterministically rejected, falsely feeding the peer-death counter.
-const maxWireMessage = maxWireBody + (maxWirePeers+3)*(maxWireString+4) + 64
+// three near-cap strings and a span blob, a peer status up to
+// maxWirePeers near-cap strings — or a valid message would be truncated
+// at the reader and deterministically rejected, falsely feeding the
+// peer-death counter.
+const maxWireMessage = maxWireBody + (maxWirePeers+3)*(maxWireString+4) + maxWireSpans + 64
 
 // ErrWireCorrupt reports bytes that are not a valid cluster wire message.
 var ErrWireCorrupt = errors.New("cluster: corrupt wire message")
@@ -72,6 +84,11 @@ type ForwardRequest struct {
 	// where it lands (the rebuilt request carries the forwarded marker,
 	// which the routing middleware passes straight through).
 	Hops uint8
+	// TraceID, when non-zero, is the forwarder's trace ID for this
+	// request: the owner records its serving spans under the same ID and
+	// returns them in ForwardResponse.Spans so the origin can stitch one
+	// cross-node trace. Zero means the origin is not tracing the request.
+	TraceID uint64
 	// User is the tenant the request belongs to.
 	User string
 	// Path is the serving route the body targets (e.g. "/v1/query").
@@ -88,6 +105,11 @@ type ForwardResponse struct {
 	Status uint16
 	// Body is the response body (JSON on success, error text otherwise).
 	Body []byte
+	// Spans is the owner's serving spans for this request as an
+	// obs.AppendSpans blob — empty unless the request carried a TraceID
+	// and the owner traces. The origin decodes and stitches them into
+	// its trace with the owner's node attribution.
+	Spans []byte
 }
 
 // EncodePeerStatus serialises s.
@@ -156,6 +178,7 @@ func EncodeForwardRequest(f *ForwardRequest) ([]byte, error) {
 	}
 	b = binary.LittleEndian.AppendUint64(b, f.RingVersion)
 	b = append(b, f.Hops)
+	b = binary.LittleEndian.AppendUint64(b, f.TraceID)
 	if b, err = appendString(b, f.User, maxWireString); err != nil {
 		return nil, err
 	}
@@ -181,6 +204,9 @@ func DecodeForwardRequest(b []byte) (*ForwardRequest, error) {
 	if f.Hops, err = d.u8(); err != nil {
 		return nil, err
 	}
+	if f.TraceID, err = d.u64(); err != nil {
+		return nil, err
+	}
 	if f.User, err = d.str(maxWireString); err != nil {
 		return nil, err
 	}
@@ -201,7 +227,10 @@ func EncodeForwardResponse(f *ForwardResponse) ([]byte, error) {
 		return nil, err
 	}
 	b = binary.LittleEndian.AppendUint16(b, f.Status)
-	return appendBytes(b, f.Body, maxWireBody)
+	if b, err = appendBytes(b, f.Body, maxWireBody); err != nil {
+		return nil, err
+	}
+	return appendBytes(b, f.Spans, maxWireSpans)
 }
 
 // DecodeForwardResponse parses bytes produced by EncodeForwardResponse.
@@ -218,6 +247,9 @@ func DecodeForwardResponse(b []byte) (*ForwardResponse, error) {
 		return nil, err
 	}
 	if f.Body, err = d.bytes(maxWireBody); err != nil {
+		return nil, err
+	}
+	if f.Spans, err = d.bytes(maxWireSpans); err != nil {
 		return nil, err
 	}
 	return &f, d.done()

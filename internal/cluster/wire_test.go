@@ -30,6 +30,7 @@ func TestWireRoundTrip(t *testing.T) {
 		Origin:      "10.0.0.2:8090",
 		RingVersion: 7,
 		Hops:        1,
+		TraceID:     0xfeedc0de,
 		User:        "user-0042",
 		Path:        "/v1/query",
 		Body:        []byte(`{"user":"user-0042","query":"what is FL?"}`),
@@ -46,7 +47,12 @@ func TestWireRoundTrip(t *testing.T) {
 		t.Errorf("forward request round trip: got %+v, want %+v", gotReq, freq)
 	}
 
-	fresp := &ForwardResponse{Node: "10.0.0.3:8090", Status: 200, Body: []byte(`{"hit":true}`)}
+	fresp := &ForwardResponse{
+		Node:   "10.0.0.3:8090",
+		Status: 200,
+		Body:   []byte(`{"hit":true}`),
+		Spans:  []byte{0x01, 0x00, 0x02, 0x01, 0x03, 0x00, 0x00, 0x00, 0x10, 0, 0, 0, 0, 0, 0, 0, 0x20, 0, 0, 0, 0, 0, 0, 0},
+	}
 	rb, err := EncodeForwardResponse(fresp)
 	if err != nil {
 		t.Fatal(err)
@@ -115,5 +121,8 @@ func TestWireRejects(t *testing.T) {
 	}
 	if _, err := EncodePeerStatus(&PeerStatus{Alive: make([]string, maxWirePeers+1)}); err == nil {
 		t.Error("encode accepted an oversized member list")
+	}
+	if _, err := EncodeForwardResponse(&ForwardResponse{Spans: bytes.Repeat([]byte("s"), maxWireSpans+1)}); err == nil {
+		t.Error("encode accepted an oversized span blob")
 	}
 }

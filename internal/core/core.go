@@ -170,8 +170,23 @@ type Result struct {
 	// Latency is the end-to-end time: semantic search for hits, search
 	// plus LLM time for misses.
 	Latency time.Duration
-	// SearchTime isolates the semantic-search component of Latency.
+	// SearchTime isolates the semantic-search component of Latency
+	// (probe encoding included — the historical meaning).
 	SearchTime time.Duration
+	// EncodeTime isolates the probe-encoding portion of SearchTime,
+	// batch-wait included when the encoder micro-batches. The index
+	// search proper is SearchTime - EncodeTime.
+	EncodeTime time.Duration
+	// UpstreamTime is the LLM call duration (misses only).
+	UpstreamTime time.Duration
+	// FillTime is the cache-insertion duration (misses only).
+	FillTime time.Duration
+	// Candidates counts the similar entries the index returned before
+	// context filtering.
+	Candidates int
+	// Tier names the index tier that served the search ("flat", "ivf",
+	// "hnsw"; "" when the index does not report one).
+	Tier string
 	// ProbeEmbedding is the submitted query's embedding, exposed so the
 	// miss path can enrol the response without encoding the query a
 	// second time (the serving hot path cares).
@@ -217,6 +232,7 @@ func (c *Client) Recycle(res *Result) {
 func (c *Client) Lookup(q string, ctxTexts []string) Result {
 	start := time.Now()
 	eq := c.encodeProbe(q)
+	encDone := time.Since(start)
 	var mbuf []cache.Match
 	select {
 	case mbuf = <-c.matchBufs:
@@ -246,6 +262,9 @@ func (c *Client) Lookup(q string, ctxTexts []string) Result {
 	default:
 	}
 	res.ProbeEmbedding = eq
+	res.Candidates = len(matches)
+	res.Tier = c.cache.ServingTier()
+	res.EncodeTime = encDone
 	res.SearchTime = time.Since(start)
 	res.Latency = res.SearchTime
 	c.searchNanos.Add(int64(res.SearchTime))
@@ -308,8 +327,10 @@ func (c *Client) queryWithContext(q string, ctxTexts []string, parent int) (Resu
 	}
 	resp, took := c.opts.LLM.Query(q)
 	c.llmQueries.Add(1)
+	res.UpstreamTime = took
 	// Reuse the embedding Lookup already computed rather than paying a
 	// second encode on every miss.
+	fillStart := time.Now()
 	id, err := c.cache.Put(q, resp, res.ProbeEmbedding, parent)
 	if err != nil && parent != cache.NoParent {
 		// The conversational parent was evicted since the session last
@@ -322,6 +343,7 @@ func (c *Client) queryWithContext(q string, ctxTexts []string, parent int) (Resu
 		return res, fmt.Errorf("core: enrolling response: %w", err)
 	}
 	entry, _ := c.cache.Get(id)
+	res.FillTime = time.Since(fillStart)
 	res.Response = resp
 	res.Entry = entry
 	res.Latency = res.SearchTime + took

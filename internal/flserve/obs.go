@@ -1,0 +1,50 @@
+package flserve
+
+import (
+	"sync/atomic"
+
+	"repro/internal/obs"
+)
+
+// RegisterMetrics exposes the coordinator's round, rollout, and
+// collection state on reg under meancache_fl_*. Everything reads the
+// service's existing atomics (or the collector's snapshot) at scrape
+// time — no accounting is added to the round or collection paths.
+func (s *Service) RegisterMetrics(reg *obs.Registry) {
+	reg.GaugeFunc("meancache_fl_round", "Federated-learning rounds completed.", func() float64 {
+		return float64(s.Round())
+	})
+	reg.GaugeFunc("meancache_fl_tau", "Current global similarity threshold.", func() float64 {
+		return s.Tau()
+	})
+	counters := []struct {
+		name, help string
+		v          *atomic.Int64
+	}{
+		{"meancache_fl_rollout_swaps_total", "Serving-encoder swaps performed by rollouts.", &s.rollouts.swaps},
+		{"meancache_fl_tenants_reembedded_total", "Resident tenants re-embedded by rollouts.", &s.rollouts.tenantsReembedded},
+		{"meancache_fl_entries_reembedded_total", "Cache entries migrated to a new embedding space.", &s.rollouts.entriesReembedded},
+		{"meancache_fl_activations_migrated_total", "Tenant activations migrated to the current model on revival.", &s.rollouts.activationsMigrated},
+		{"meancache_fl_reembed_errors_total", "Tenant re-embeds that failed during a rollout.", &s.rollouts.reembedErrors},
+	}
+	for _, c := range counters {
+		v := c.v
+		reg.CounterFunc(c.name, c.help, func() float64 { return float64(v.Load()) })
+	}
+	col := s.cfg.Collector
+	reg.GaugeFunc("meancache_fl_collector_tenants", "Tenants with a collected training shard.", func() float64 {
+		return float64(col.Stats().Tenants)
+	})
+	reg.GaugeFunc("meancache_fl_collector_pairs", "Training pairs currently held across shards.", func() float64 {
+		return float64(col.Stats().Pairs)
+	})
+	reg.CounterFunc("meancache_fl_collector_positives_total", "Positive training pairs collected.", func() float64 {
+		return float64(col.Stats().Positives)
+	})
+	reg.CounterFunc("meancache_fl_collector_negatives_total", "Negative training pairs collected.", func() float64 {
+		return float64(col.Stats().Negatives)
+	})
+	reg.CounterFunc("meancache_fl_collector_retracted_total", "Positives retracted by false-hit feedback.", func() float64 {
+		return float64(col.Stats().Retracted)
+	})
+}

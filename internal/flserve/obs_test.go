@@ -1,0 +1,43 @@
+package flserve
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestRegisterMetrics drives one online round and checks the FL gauges
+// and counters land in a parseable /metrics exposition.
+func TestRegisterMetrics(t *testing.T) {
+	h := newHarness(t, "", 0, nil)
+	reg := obs.NewRegistry()
+	h.svc.RegisterMetrics(reg)
+
+	h.seedTraffic(3)
+	if _, err := h.svc.RunRound(); err != nil {
+		t.Fatalf("round: %v", err)
+	}
+
+	rec := httptest.NewRecorder()
+	reg.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	exp, err := obs.ParseExposition(rec.Body.Bytes())
+	if err != nil {
+		t.Fatalf("fl metrics exposition invalid: %v", err)
+	}
+	if v, ok := exp.Value("meancache_fl_round", nil); !ok || v != 1 {
+		t.Errorf("meancache_fl_round = %v (present %v), want 1", v, ok)
+	}
+	if v, ok := exp.Value("meancache_fl_tau", nil); !ok || v <= 0 || v > 1 {
+		t.Errorf("meancache_fl_tau = %v (present %v), want in (0, 1]", v, ok)
+	}
+	if v, ok := exp.Value("meancache_fl_rollout_swaps_total", nil); !ok || v != 1 {
+		t.Errorf("meancache_fl_rollout_swaps_total = %v (present %v), want 1", v, ok)
+	}
+	if v, ok := exp.Value("meancache_fl_collector_positives_total", nil); !ok || v < 1 {
+		t.Errorf("meancache_fl_collector_positives_total = %v (present %v), want >= 1", v, ok)
+	}
+	if v, ok := exp.Value("meancache_fl_collector_tenants", nil); !ok || v != 3 {
+		t.Errorf("meancache_fl_collector_tenants = %v (present %v), want 3", v, ok)
+	}
+}

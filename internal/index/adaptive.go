@@ -121,6 +121,15 @@ func (a *Adaptive) Tier() string {
 	}
 }
 
+// ArenaStats implements ArenaReporter by delegating to whichever tier
+// currently serves (every tier implements it).
+func (a *Adaptive) ArenaStats() ArenaStats {
+	if rep, ok := a.cur.Load().idx.(ArenaReporter); ok {
+		return rep.ArenaStats()
+	}
+	return ArenaStats{}
+}
+
 // Migrating reports whether a background promotion is in flight.
 func (a *Adaptive) Migrating() bool {
 	a.mu.Lock()

@@ -107,6 +107,22 @@ func (f *Flat) Len() int {
 	return f.n
 }
 
+// Tier implements TierNamer.
+func (f *Flat) Tier() string { return "flat" }
+
+// ArenaStats implements ArenaReporter against the leaders slab — the
+// free-list-recycled storage whose occupancy bounds the group count (the
+// per-group row arenas are dense by construction).
+func (f *Flat) ArenaStats() ArenaStats {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return ArenaStats{
+		Rows:      f.n,
+		Slots:     f.leaders.Slots(),
+		FreeSlots: f.leaders.Slots() - f.leaders.Len(),
+	}
+}
+
 func (f *Flat) getScratch() *flatScratch {
 	sc, _ := f.scratch.Get().(*flatScratch)
 	if sc == nil {

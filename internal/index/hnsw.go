@@ -159,6 +159,21 @@ func (h *HNSW) Len() int {
 // Quantized reports whether the int8 distance path is active.
 func (h *HNSW) Quantized() bool { return h.cfg.Quantized }
 
+// Tier implements TierNamer.
+func (h *HNSW) Tier() string { return "hnsw" }
+
+// ArenaStats implements ArenaReporter over the slot-addressed node
+// store: tombstoned slots sit on the free list until reused.
+func (h *HNSW) ArenaStats() ArenaStats {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return ArenaStats{
+		Rows:      h.live,
+		Slots:     len(h.nodes),
+		FreeSlots: len(h.freeList),
+	}
+}
+
 // maxLinks is the link budget at a level: 2·M on the dense bottom layer,
 // M above.
 func (h *HNSW) maxLinks(level int) int {

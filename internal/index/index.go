@@ -49,6 +49,30 @@ type Index interface {
 	Dim() int
 }
 
+// TierNamer is the optional serving-tier identity: implementations
+// report which tier answers their searches ("flat", "ivf", "hnsw").
+// Adaptive reports whichever tier currently serves. The observability
+// layer uses this to label per-tier search latency.
+type TierNamer interface {
+	Tier() string
+}
+
+// ArenaStats reports an index's backing-storage occupancy: live rows,
+// the slot high-water mark, and recycled slots awaiting reuse. For
+// dense append/swap-delete storage (IVF lists) Slots == Rows and
+// FreeSlots is 0.
+type ArenaStats struct {
+	Rows      int
+	Slots     int
+	FreeSlots int
+}
+
+// ArenaReporter is the optional arena-occupancy contract implemented by
+// the slab- or slot-backed indexes.
+type ArenaReporter interface {
+	ArenaStats() ArenaStats
+}
+
 // iterable is the internal enumeration contract over an index's contents.
 // fn must not retain vec across calls; implementations may pass views
 // into internal storage. forEach holds the index's read lock for the full

@@ -11,6 +11,7 @@ package metrics
 
 import (
 	"fmt"
+	"math/rand"
 	"sort"
 	"time"
 )
@@ -114,28 +115,65 @@ func ScoresFrom(c Confusion, beta float64) Scores {
 	}
 }
 
+// DefaultLatencyReservoir is the sample window a zero-value
+// LatencyRecorder keeps for percentiles.
+const DefaultLatencyReservoir = 4096
+
 // LatencyRecorder collects per-query durations for the response-time
-// figures.
+// figures — in constant memory. The mean is exact (running sum/count);
+// percentiles come from a uniform reservoir sample, so a long experiment
+// run no longer grows memory per request. The zero value is ready to use
+// with a DefaultLatencyReservoir-sized window; NewLatencyRecorder picks a
+// different one.
 type LatencyRecorder struct {
+	limit   int
+	count   int64
+	sum     time.Duration
 	samples []time.Duration
 }
 
-// Record appends one sample.
-func (l *LatencyRecorder) Record(d time.Duration) { l.samples = append(l.samples, d) }
+// NewLatencyRecorder builds a recorder keeping at most limit samples for
+// percentiles (DefaultLatencyReservoir when limit <= 0).
+func NewLatencyRecorder(limit int) *LatencyRecorder {
+	if limit <= 0 {
+		limit = DefaultLatencyReservoir
+	}
+	return &LatencyRecorder{limit: limit}
+}
 
-// Samples returns the recorded durations in arrival order.
+// Record adds one sample.
+func (l *LatencyRecorder) Record(d time.Duration) {
+	if l.limit <= 0 {
+		l.limit = DefaultLatencyReservoir
+	}
+	l.count++
+	l.sum += d
+	if len(l.samples) < l.limit {
+		l.samples = append(l.samples, d)
+		return
+	}
+	// Uniform reservoir sampling off the shared top-level source: every
+	// sample ever recorded is equally likely to be in the window.
+	if i := rand.Int63n(l.count); i < int64(l.limit) {
+		l.samples[i] = d
+	}
+}
+
+// Count reports how many samples were ever recorded.
+func (l *LatencyRecorder) Count() int64 { return l.count }
+
+// Samples returns the retained sample window — all recorded durations in
+// arrival order while under the reservoir limit, a uniform subsample of
+// the full run beyond it.
 func (l *LatencyRecorder) Samples() []time.Duration { return l.samples }
 
-// Mean returns the average duration, 0 if empty.
+// Mean returns the average duration over every recorded sample (exact —
+// the reservoir only affects percentiles), 0 if empty.
 func (l *LatencyRecorder) Mean() time.Duration {
-	if len(l.samples) == 0 {
+	if l.count == 0 {
 		return 0
 	}
-	var sum time.Duration
-	for _, d := range l.samples {
-		sum += d
-	}
-	return sum / time.Duration(len(l.samples))
+	return l.sum / time.Duration(l.count)
 }
 
 // Percentile returns the p-th percentile (0 ≤ p ≤ 100) by nearest-rank.

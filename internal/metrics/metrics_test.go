@@ -148,3 +148,25 @@ func TestLatencyRecorder(t *testing.T) {
 		t.Fatalf("Samples len = %d, want 5", len(l.Samples()))
 	}
 }
+
+func TestLatencyRecorderBounded(t *testing.T) {
+	l := NewLatencyRecorder(64)
+	for i := 0; i < 10000; i++ {
+		l.Record(time.Duration(i) * time.Microsecond)
+	}
+	if n := len(l.Samples()); n != 64 {
+		t.Fatalf("reservoir holds %d samples, want 64", n)
+	}
+	if l.Count() != 10000 {
+		t.Fatalf("Count = %d, want 10000", l.Count())
+	}
+	// The mean stays exact past the reservoir limit: only percentiles
+	// sample.
+	if want := 4999500 * time.Nanosecond; l.Mean() != want {
+		t.Fatalf("Mean = %v, want %v", l.Mean(), want)
+	}
+	p50 := l.Percentile(50)
+	if p50 <= 0 || p50 >= 10000*time.Microsecond {
+		t.Fatalf("P50 = %v, want within the recorded range", p50)
+	}
+}

@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every registered family in Prometheus text
+// exposition format (version 0.0.4), families and series in stable
+// sorted order so successive scrapes diff cleanly.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	var fams []*family
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.Lock()
+		for _, f := range sh.families {
+			fams = append(fams, f)
+		}
+		sh.mu.Unlock()
+	}
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	bw := bufio.NewWriter(w)
+	for _, f := range fams {
+		f.write(bw)
+	}
+	return bw.Flush()
+}
+
+// Handler serves WritePrometheus over HTTP — the /metrics endpoint.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}
+
+func (f *family) write(w *bufio.Writer) {
+	f.mu.Lock()
+	series := append([]*series(nil), f.series...)
+	f.mu.Unlock()
+	sort.Slice(series, func(i, j int) bool { return series[i].key < series[j].key })
+
+	w.WriteString("# HELP ")
+	w.WriteString(f.name)
+	w.WriteByte(' ')
+	w.WriteString(escapeHelp(f.help))
+	w.WriteString("\n# TYPE ")
+	w.WriteString(f.name)
+	w.WriteByte(' ')
+	w.WriteString(f.kind.String())
+	w.WriteByte('\n')
+	for _, s := range series {
+		switch {
+		case s.counter != nil:
+			writeSample(w, f.name, "", s.key, "", float64(s.counter.Value()))
+		case s.counterFn != nil:
+			writeSample(w, f.name, "", s.key, "", s.counterFn())
+		case s.gauge != nil:
+			writeSample(w, f.name, "", s.key, "", s.gauge.Value())
+		case s.gaugeFn != nil:
+			writeSample(w, f.name, "", s.key, "", s.gaugeFn())
+		case s.hist != nil:
+			s.hist.write(w, f.name, s.key)
+		}
+	}
+}
+
+// write renders one histogram series: cumulative le buckets, then _sum
+// and _count. Bucket counts are read low-to-high after the totals, so a
+// concurrent Observe can only make the rendered +Inf bucket equal to the
+// rendered _count (both loads ordered the same way) — the exposition
+// stays self-consistent enough for the in-repo linter.
+func (h *Histogram) write(w *bufio.Writer, name, key string) {
+	count := h.count.Load()
+	sum := h.Sum()
+	var cum uint64
+	total := uint64(0)
+	counts := make([]uint64, len(h.buckets))
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	// A racing Observe may have bumped a bucket after count was read;
+	// clamp so the linter invariant (+Inf bucket == _count) holds.
+	if total > count {
+		count = total
+	}
+	for i, b := range h.bounds {
+		cum += counts[i]
+		writeSample(w, name, "_bucket", key, `le="`+formatFloat(b)+`"`, float64(cum))
+	}
+	writeSample(w, name, "_bucket", key, `le="+Inf"`, float64(count))
+	writeSample(w, name, "_sum", key, "", sum)
+	writeSample(w, name, "_count", key, "", float64(count))
+}
+
+// writeSample emits one `name{labels,extra} value` line.
+func writeSample(w *bufio.Writer, name, suffix, key, extra string, v float64) {
+	w.WriteString(name)
+	w.WriteString(suffix)
+	if key != "" || extra != "" {
+		w.WriteByte('{')
+		w.WriteString(key)
+		if key != "" && extra != "" {
+			w.WriteByte(',')
+		}
+		w.WriteString(extra)
+		w.WriteByte('}')
+	}
+	w.WriteByte(' ')
+	w.WriteString(formatFloat(v))
+	w.WriteByte('\n')
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeHelp escapes backslash and newline per the exposition format.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabelValue escapes backslash, double quote and newline.
+func escapeLabelValue(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

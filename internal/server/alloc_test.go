@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/embed"
+	"repro/internal/obs"
 )
 
 type instantAllocLLM struct{}
@@ -69,5 +70,96 @@ func TestQueryHitAllocationBudget(t *testing.T) {
 	serve() // … and the buffer pools (hit)
 	if n := testing.AllocsPerRun(200, serve); n > 14 {
 		t.Fatalf("server hit path allocates %v per request, budget 14", n)
+	}
+}
+
+// newAllocServer assembles the hit-path fixture used by the alloc gates:
+// a one-tenant registry behind a Server built with cfg's observability
+// fields, warmed with two requests (one miss to fill, one hit to warm
+// the pools), returning the serve closure to measure.
+func newAllocServer(t *testing.T, metrics *obs.Registry, tracer *obs.Tracer) func() {
+	t.Helper()
+	m := embed.NewModel(embed.MPNetSim, 1)
+	reg, err := NewRegistry(RegistryConfig{
+		Factory: func(string) *core.Client {
+			return core.New(core.Options{Encoder: m, LLM: instantAllocLLM{}, Tau: 0.8, TopK: 5})
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(Config{Registry: reg, Metrics: metrics, Tracer: tracer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := srv.Handler()
+	body, _ := json.Marshal(QueryRequest{User: "u", Query: "warm question"})
+	rdr := bytes.NewReader(body)
+	req := httptest.NewRequest("POST", "/v1/query", rdr)
+	req.Header.Set("Content-Type", "application/json")
+	rc := nopBody{rdr}
+	w := &discardWriter{h: make(http.Header)}
+	serve := func() {
+		rdr.Seek(0, 0)
+		req.Body = rc
+		h.ServeHTTP(w, req)
+	}
+	serve()
+	serve()
+	return serve
+}
+
+// TestQueryHitAllocationBudgetTracedUnsampled proves the PR 5 budget
+// holds with the full observability stack on but the request losing the
+// head-sampling draw: metrics histograms record and a pooled trace is
+// taken and recycled, none of which may allocate.
+func TestQueryHitAllocationBudgetTracedUnsampled(t *testing.T) {
+	if raceEnabled {
+		t.Skip("pooled buffers are intentionally dropped under -race")
+	}
+	tracer := obs.NewTracer(obs.TracerConfig{
+		Node:       "alloc-test",
+		SampleRate: 1e-9, // effectively never head-sampled
+	})
+	serve := newAllocServer(t, obs.NewRegistry(), tracer)
+	if n := testing.AllocsPerRun(200, serve); n > 14 {
+		t.Fatalf("traced-unsampled hit path allocates %v per request, budget 14", n)
+	}
+}
+
+// TestQueryHitAllocationBudgetSampled is the same gate with every
+// request sampled and published — the worst-case tracing path the
+// ServerQueryHitTraced benchmark row pins.
+func TestQueryHitAllocationBudgetSampled(t *testing.T) {
+	if raceEnabled {
+		t.Skip("pooled buffers are intentionally dropped under -race")
+	}
+	tracer := obs.NewTracer(obs.TracerConfig{
+		Node:       "alloc-test",
+		SampleRate: 1,
+		RingSize:   8,
+	})
+	serve := newAllocServer(t, obs.NewRegistry(), tracer)
+	for i := 0; i < 32; i++ {
+		serve() // fill the trace pool past the ring size
+	}
+	if n := testing.AllocsPerRun(200, serve); n > 14 {
+		t.Fatalf("traced-sampled hit path allocates %v per request, budget 14", n)
+	}
+}
+
+// TestQueryHitTracingDisabledZeroExtra proves -trace-sample 0 costs
+// exactly nothing: a disabled tracer is a nil pointer, so the hit path's
+// allocation count must equal the no-observability baseline.
+func TestQueryHitTracingDisabledZeroExtra(t *testing.T) {
+	if raceEnabled {
+		t.Skip("pooled buffers are intentionally dropped under -race")
+	}
+	baseline := newAllocServer(t, nil, nil)
+	disabled := newAllocServer(t, nil, obs.NewTracer(obs.TracerConfig{SampleRate: 0}))
+	nBase := testing.AllocsPerRun(500, baseline)
+	nOff := testing.AllocsPerRun(500, disabled)
+	if nOff != nBase {
+		t.Fatalf("hit path with -trace-sample 0 allocates %v per request, baseline %v — want identical", nOff, nBase)
 	}
 }

@@ -55,6 +55,11 @@ type Batcher struct {
 	requests atomic.Int64
 	batches  atomic.Int64
 	batched  atomic.Int64 // requests that shared a batch of size ≥ 2
+
+	// onBatch, when set, observes each dispatched batch's size (the
+	// metrics hook). Atomic so it can be installed after the dispatcher
+	// is already running.
+	onBatch atomic.Pointer[func(size int)]
 }
 
 type encodeReq struct {
@@ -177,6 +182,16 @@ type BatcherStats struct {
 	MeanBatch float64
 }
 
+// QueueDepth reports encode requests currently waiting for the
+// dispatcher — the live backlog behind the batching window.
+func (b *Batcher) QueueDepth() int { return len(b.reqs) }
+
+// OnBatch installs fn to run on the dispatcher goroutine after each
+// batch is gathered, with the batch's size. At most one hook; later
+// calls replace earlier ones. fn must be fast and safe for concurrent
+// use with the caller.
+func (b *Batcher) OnBatch(fn func(size int)) { b.onBatch.Store(&fn) }
+
 // Stats reports coalescing counters.
 func (b *Batcher) Stats() BatcherStats {
 	s := BatcherStats{
@@ -218,6 +233,9 @@ func (b *Batcher) dispatch() {
 // request's recycled buffer when one was supplied.
 func (b *Batcher) run(batch []encodeReq) {
 	b.batches.Add(1)
+	if fn := b.onBatch.Load(); fn != nil {
+		(*fn)(len(batch))
+	}
 	if len(batch) == 1 {
 		batch[0].reply <- b.encodeOne(batch[0])
 		return

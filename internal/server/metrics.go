@@ -51,7 +51,6 @@ type boundedRecorder struct {
 	count   int64
 	sum     time.Duration
 	samples []time.Duration
-	rng     *rand.Rand
 }
 
 func (r *boundedRecorder) record(d time.Duration) {
@@ -63,11 +62,11 @@ func (r *boundedRecorder) record(d time.Duration) {
 	}
 	// Uniform reservoir sampling: replace a random slot with probability
 	// limit/count, so every sample ever recorded is equally likely to be
-	// in the window.
-	if r.rng == nil {
-		r.rng = rand.New(rand.NewSource(int64(r.limit)))
-	}
-	if i := r.rng.Int63n(r.count); i < int64(r.limit) {
+	// in the window. The shared top-level source keeps the replacement
+	// sequences independent across recorders — a per-recorder rand seeded
+	// with the constant limit made every tenant's reservoir replay the
+	// identical sequence.
+	if i := rand.Int63n(r.count); i < int64(r.limit) {
 		r.samples[i] = d
 	}
 }
@@ -198,6 +197,25 @@ func (tc *tenantCounters) snapshot() TenantMetrics {
 		m.HitRatio = float64(tc.hits) / float64(tc.queries)
 	}
 	return m
+}
+
+// CollectorStatus reports the tracked-tenant map's saturation state:
+// once Saturated, new user IDs only count in the aggregate.
+type CollectorStatus struct {
+	TrackedTenants    int  `json:"tracked_tenants"`
+	MaxTrackedTenants int  `json:"max_tracked_tenants"`
+	Saturated         bool `json:"saturated"`
+}
+
+// Status snapshots the tracked-tenant map's saturation state.
+func (c *Collector) Status() CollectorStatus {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CollectorStatus{
+		TrackedTenants:    len(c.tenants),
+		MaxTrackedTenants: maxTrackedTenants,
+		Saturated:         len(c.tenants) >= maxTrackedTenants,
+	}
 }
 
 // Aggregate snapshots the cross-tenant totals.

@@ -29,10 +29,12 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"sort"
 	"sync"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // Observer receives serving-path signals. The online FL example collector
@@ -84,12 +86,20 @@ type Config struct {
 	StatsTenants int
 	// Observer, when non-nil, sees every query and feedback signal.
 	Observer Observer
+	// Metrics, when non-nil, receives the serving metrics and gains a
+	// GET /metrics route serving Prometheus text exposition.
+	Metrics *obs.Registry
+	// Tracer, when non-nil, traces requests (head-sampled plus
+	// slow-capture) and gains a GET /v1/debug/traces route serving the
+	// recent-trace ring.
+	Tracer *obs.Tracer
 }
 
 // Server is the HTTP serving process.
 type Server struct {
 	cfg       Config
 	collector *Collector
+	obs       *serverObs // nil unless Config.Metrics or Config.Tracer is set
 	mux       *http.ServeMux
 	wrapper   func(http.Handler) http.Handler
 	http      *http.Server
@@ -112,6 +122,13 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Write([]byte("ok\n"))
 	})
+	s.obs = newServerObs(cfg, s.collector)
+	if cfg.Metrics != nil {
+		s.mux.Handle("GET /metrics", cfg.Metrics.Handler())
+	}
+	if cfg.Tracer != nil {
+		s.mux.Handle("GET /v1/debug/traces", cfg.Tracer.Handler())
+	}
 	return s, nil
 }
 
@@ -225,21 +242,65 @@ type StatsResponse struct {
 	Tenants   map[string]TenantMetrics `json:"tenants"`
 	Registry  RegistryStats            `json:"registry"`
 	Batcher   *BatcherStats            `json:"batcher,omitempty"`
+	// Collector reports the per-tenant counter map's saturation state.
+	Collector CollectorStatus `json:"collector"`
+	// Residents lists per-resident-tenant serving state (index tier,
+	// arena occupancy), capped by Config.StatsTenants like Tenants.
+	Residents []ResidentStats `json:"residents,omitempty"`
 }
 
+// ResidentStats is one resident tenant's serving-state row.
+type ResidentStats struct {
+	User string `json:"user"`
+	// Tier is the index tier currently serving this tenant's searches.
+	Tier    string `json:"tier,omitempty"`
+	Entries int    `json:"entries"`
+	// Arena occupancy of the tenant's index storage: live rows, the slot
+	// high-water mark, and recycled slots awaiting reuse.
+	ArenaRows      int `json:"arena_rows"`
+	ArenaSlots     int `json:"arena_slots"`
+	ArenaFreeSlots int `json:"arena_free_slots"`
+}
+
+// Route names for error counters.
+const (
+	routeQuery    = "query"
+	routeFeedback = "feedback"
+)
+
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	// Observability prologue: in cluster mode a forwarded request carries
+	// the origin's trace in its context; otherwise this node opens one.
+	// Everything is nil-tolerant so the untraced path pays one branch.
+	o := s.obs
+	var t0 time.Time
+	var trace *obs.Trace
+	if o != nil {
+		t0 = time.Now()
+		trace = obs.TraceFrom(r.Context())
+		if trace == nil {
+			trace = o.tracer.Start("/v1/query")
+		}
+	}
 	var req QueryRequest
 	if err := readJSON(r, &req); err != nil {
-		s.fail(w, "", http.StatusBadRequest, "decoding request: %v", err)
+		o.dropTrace(trace)
+		s.fail(w, "", routeQuery, http.StatusBadRequest, "decoding request: %v", err)
 		return
 	}
+	var decodeDur time.Duration
+	if o != nil {
+		decodeDur = time.Since(t0)
+	}
 	if req.User == "" || req.Query == "" {
-		s.fail(w, req.User, http.StatusBadRequest, "user and query are required")
+		o.dropTrace(trace)
+		s.fail(w, req.User, routeQuery, http.StatusBadRequest, "user and query are required")
 		return
 	}
 	tenant, err := s.cfg.Registry.Get(req.User)
 	if err != nil {
-		s.fail(w, req.User, http.StatusInternalServerError, "activating tenant: %v", err)
+		o.dropTrace(trace)
+		s.fail(w, req.User, routeQuery, http.StatusInternalServerError, "activating tenant: %v", err)
 		return
 	}
 	defer tenant.Release()
@@ -253,7 +314,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		res.Result, res.err = tenant.Client.Query(req.Query)
 	}
 	if res.err != nil {
-		s.fail(w, req.User, http.StatusBadGateway, "querying: %v", res.err)
+		o.dropTrace(trace)
+		s.fail(w, req.User, routeQuery, http.StatusBadGateway, "querying: %v", res.err)
 		return
 	}
 	s.collector.RecordQuery(req.User, res.Hit, res.Latency, res.SearchTime)
@@ -264,6 +326,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if s.cfg.Observer != nil {
 		s.cfg.Observer.ObserveQuery(req.User, req.Query, res.Hit, matched, res.Score)
 	}
+	var respondStart time.Duration
+	if o != nil {
+		respondStart = time.Since(t0)
+	}
 	writeJSON(w, QueryResponse{
 		Response:      res.Response,
 		Hit:           res.Hit,
@@ -273,6 +339,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		SearchMicros:  res.SearchTime.Microseconds(),
 		Tau:           tenant.Client.Tau(),
 	})
+	if o != nil {
+		o.recordQuery(trace, req.User, &res.Result, decodeDur, respondStart, time.Since(t0))
+	}
 	// The response is on the wire; return the probe-embedding buffer to
 	// the tenant's pool.
 	tenant.Client.Recycle(&res.Result)
@@ -288,11 +357,11 @@ type queryResult struct {
 func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 	var req FeedbackRequest
 	if err := readJSON(r, &req); err != nil {
-		s.fail(w, "", http.StatusBadRequest, "decoding request: %v", err)
+		s.fail(w, "", routeFeedback, http.StatusBadRequest, "decoding request: %v", err)
 		return
 	}
 	if req.User == "" {
-		s.fail(w, "", http.StatusBadRequest, "user is required")
+		s.fail(w, "", routeFeedback, http.StatusBadRequest, "user is required")
 		return
 	}
 	kind := req.Kind
@@ -300,16 +369,16 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 		kind = FeedbackFalseHit
 	}
 	if kind != FeedbackFalseHit && kind != FeedbackMissedDup {
-		s.fail(w, req.User, http.StatusBadRequest, "unknown feedback kind %q", req.Kind)
+		s.fail(w, req.User, routeFeedback, http.StatusBadRequest, "unknown feedback kind %q", req.Kind)
 		return
 	}
 	if kind == FeedbackMissedDup && (req.Query == "" || req.DuplicateOf == "") {
-		s.fail(w, req.User, http.StatusBadRequest, "missed_dup feedback requires query and duplicate_of")
+		s.fail(w, req.User, routeFeedback, http.StatusBadRequest, "missed_dup feedback requires query and duplicate_of")
 		return
 	}
 	tenant, err := s.cfg.Registry.Get(req.User)
 	if err != nil {
-		s.fail(w, req.User, http.StatusInternalServerError, "activating tenant: %v", err)
+		s.fail(w, req.User, routeFeedback, http.StatusInternalServerError, "activating tenant: %v", err)
 		return
 	}
 	defer tenant.Release()
@@ -319,6 +388,9 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 		tenant.Client.ReportMissedHit()
 	}
 	s.collector.RecordFeedback(req.User)
+	if o := s.obs; o != nil && o.metrics {
+		o.feedbacks.Inc()
+	}
 	if s.cfg.Observer != nil {
 		s.cfg.Observer.ObserveFeedback(req.User, Feedback{Kind: kind, Query: req.Query, Other: req.DuplicateOf})
 	}
@@ -330,6 +402,8 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		Aggregate: s.collector.Aggregate(),
 		Tenants:   s.collector.Tenants(s.cfg.StatsTenants),
 		Registry:  s.cfg.Registry.Stats(),
+		Collector: s.collector.Status(),
+		Residents: s.residentStats(s.cfg.StatsTenants),
 	}
 	if s.cfg.Batcher != nil {
 		bs := s.cfg.Batcher.Stats()
@@ -338,8 +412,34 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, resp)
 }
 
-func (s *Server) fail(w http.ResponseWriter, userID string, code int, format string, args ...any) {
+// residentStats snapshots per-resident serving state: the index tier
+// answering each tenant's searches and its arena occupancy. Rows are
+// sorted by user ID and capped at limit (≤ 0 means all) so the response
+// stays bounded and deterministic.
+func (s *Server) residentStats(limit int) []ResidentStats {
+	var out []ResidentStats
+	s.cfg.Registry.Range(func(t *Tenant) {
+		c := t.Client.Cache()
+		a := c.ArenaStats()
+		out = append(out, ResidentStats{
+			User:           t.ID,
+			Tier:           c.ServingTier(),
+			Entries:        c.Len(),
+			ArenaRows:      a.Rows,
+			ArenaSlots:     a.Slots,
+			ArenaFreeSlots: a.FreeSlots,
+		})
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].User < out[j].User })
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	return out
+}
+
+func (s *Server) fail(w http.ResponseWriter, userID, route string, code int, format string, args ...any) {
 	s.collector.RecordError(userID)
+	s.obs.recordError(route)
 	http.Error(w, fmt.Sprintf(format, args...), code)
 }
 
