@@ -4,7 +4,8 @@
 GO ?= go
 
 .PHONY: build check test race vet bench bench-json benchdiff loadtest \
-	loadtest-fl conformance fuzz-smoke loadtest-ann loadtest-cluster clean
+	loadtest-fl conformance fuzz-smoke loadtest-ann loadtest-cluster \
+	loadtest-overload clean
 
 build:
 	$(GO) build ./...
@@ -21,7 +22,7 @@ test:
 race:
 	$(GO) test -race ./internal/core/ ./internal/server/ ./internal/cache/ \
 		./internal/store/ ./internal/fl/ ./internal/flserve/ ./internal/llmsim/ \
-		./internal/index/ ./internal/cluster/ ./internal/obs/
+		./internal/index/ ./internal/cluster/ ./internal/obs/ ./internal/resilience/
 
 check: vet build test race
 
@@ -93,6 +94,18 @@ loadtest-cluster:
 	$(GO) test -run 'TestRingBalance|TestRingMinimalMovement' -count=1 ./internal/cluster/
 	$(GO) run ./cmd/loadgen -scenario cluster -users 80 -cached 6 -probes 12 \
 		-dup 0.4 -concurrency 24 -cluster-accept
+
+# loadtest-overload is the degraded-serving acceptance run: an in-process
+# cacheserve stack (resilience governor, guarded llmsim upstream in real
+# sleep mode) takes an upstream brown-out and then a full outage at ≥10×
+# offered load, and must keep serving from cache: served throughput ≥90%
+# of healthy capacity, hit-path p99 under 5× the unloaded p99, the AIMD
+# limiter sheds the brown-out overflow, and the circuit breaker trips to
+# cache-only serving and re-closes after the upstream heals (asserted
+# via /metrics). Zero panics or unexpected statuses anywhere.
+loadtest-overload:
+	$(GO) run ./cmd/loadgen -scenario overload -users 60 -cached 6 -probes 10 \
+		-concurrency 16 -overload-accept
 
 clean:
 	rm -rf bin

@@ -32,6 +32,19 @@
 // cache grows (-tier-flat-max / -tier-ivf-max), migrating in the
 // background. Indexed tenants stay indexed across evict/revive cycles.
 //
+// Resilience: -quota-rate enforces per-tenant token-bucket admission
+// (429 + Retry-After past the burst), -limit-max puts an AIMD adaptive
+// concurrency limiter with a bounded wait queue on the upstream miss
+// path, and -breaker-window arms a circuit breaker over upstream
+// outcomes. While the breaker is open the node serves cache-only: hits
+// still answer (at τ relaxed by -tau-degraded), misses shed with 503 +
+// Retry-After until half-open probes confirm the upstream healed. The
+// same breaker tuning guards cluster peer forwards, hedged duplicates
+// are suppressed while the limiter is saturated, and -maintenance-weight
+// bounds background work (re-embeds, FL rounds) under a weighted
+// semaphore. All error responses are structured JSON
+// {"error","code","retry_after_ms"}.
+//
 // Observability: -metrics exposes a Prometheus text exposition at
 // GET /metrics covering serving outcomes, per-stage and per-tier
 // latency, registry/arena occupancy, the batcher, and — when enabled —
@@ -65,6 +78,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/cache"
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/embed"
@@ -72,6 +86,7 @@ import (
 	"repro/internal/index"
 	"repro/internal/llmsim"
 	"repro/internal/obs"
+	"repro/internal/resilience"
 	"repro/internal/server"
 	"repro/internal/store"
 	"repro/internal/train"
@@ -117,6 +132,19 @@ func main() {
 		noBatch   = flag.Bool("no-batch", false, "disable the embedding micro-batcher")
 
 		statsTenants = flag.Int("stats-tenants", 20, "per-tenant rows in /v1/stats (-1 = all)")
+
+		quotaRate        = flag.Float64("quota-rate", 0, "per-tenant admission quota in requests/second (0 disables quotas)")
+		quotaBurst       = flag.Float64("quota-burst", 0, "per-tenant quota burst capacity (0 = same as -quota-rate)")
+		limitMax         = flag.Int("limit-max", 0, "upstream AIMD concurrency limiter ceiling (0 disables the limiter)")
+		limitMin         = flag.Int("limit-min", 4, "limiter: concurrency floor the multiplicative decrease never goes below")
+		limitQueue       = flag.Int("limit-queue", 128, "limiter: bounded wait-queue depth; arrivals beyond it are shed with 503")
+		upstreamTimeout  = flag.Duration("upstream-timeout", 0, "per-call upstream deadline on the miss path (0 = none)")
+		breakerWindow    = flag.Int("breaker-window", 0, "upstream circuit-breaker outcome window (0 disables the breaker)")
+		breakerThreshold = flag.Float64("breaker-threshold", 0.5, "breaker: windowed failure ratio that trips it open")
+		breakerCooloff   = flag.Duration("breaker-cooloff", 5*time.Second, "breaker: open-state cool-off before half-open probes")
+		breakerProbes    = flag.Int("breaker-probes", 3, "breaker: half-open trial calls that must all succeed to close")
+		tauDegraded      = flag.Float64("tau-degraded", 0.05, "cache-only degraded serving: relax τ by this delta while the breaker is open (0 disables)")
+		maintWeight      = flag.Int64("maintenance-weight", 2, "weighted-semaphore capacity for background work (re-embeds, FL rounds); 0 ungates")
 
 		metricsOn   = flag.Bool("metrics", false, "serve Prometheus text metrics at GET /metrics")
 		traceSample = flag.Float64("trace-sample", 0, "request-trace head-sampling rate in (0, 1]; 0 disables tracing")
@@ -191,13 +219,42 @@ func main() {
 	}
 
 	var llm core.LLM
+	var upstreamCaller resilience.Caller
 	if *upstream != "" {
-		llm = llmsim.NewClient(*upstream)
+		c := llmsim.NewClient(*upstream)
+		llm, upstreamCaller = c, c
 	} else {
 		cfg := llmsim.DefaultConfig()
 		cfg.Sleep = *sleep
-		llm = llmsim.New(cfg)
+		s := llmsim.New(cfg)
+		llm, upstreamCaller = s, s
 		log.Printf("using in-process simulated LLM upstream (sleep=%v)", *sleep)
+	}
+
+	// The resilience governor assembles whichever overload-protection
+	// mechanisms the flags enable: per-tenant quotas at the front door,
+	// AIMD limiter + circuit breaker on the upstream miss path (the
+	// Guard below), and the maintenance semaphore for background work.
+	gov := resilience.NewGovernor(resilience.GovernorConfig{
+		Quota: resilience.QuotaConfig{Rate: *quotaRate, Burst: *quotaBurst},
+		Limiter: resilience.LimiterConfig{
+			MinLimit: *limitMin, MaxLimit: *limitMax, MaxQueue: *limitQueue,
+		},
+		Breaker: resilience.BreakerConfig{
+			Window: *breakerWindow, FailureRatio: *breakerThreshold,
+			OpenFor: *breakerCooloff, HalfOpenProbes: *breakerProbes,
+		},
+		MaintenanceWeight: *maintWeight,
+	})
+	if gov.Limiter != nil || gov.Breaker != nil || *upstreamTimeout > 0 {
+		llm = resilience.NewGuard(upstreamCaller, gov, *upstreamTimeout)
+	}
+	// The gate interfaces are structural; hand the semaphore over only
+	// when it exists, so a disabled gate stays a true nil.
+	var maintGate cache.Gate
+	var flGate flserve.Gate
+	if gov.Maintenance != nil {
+		maintGate, flGate = gov.Maintenance, gov.Maintenance
 	}
 
 	var collector *flserve.Collector
@@ -226,14 +283,16 @@ func main() {
 		PersistDir: *persistDir,
 		Factory: func(userID string) *core.Client {
 			return core.New(core.Options{
-				Encoder:      enc,
-				LLM:          llm,
-				Tau:          float32(*tau),
-				CtxTau:       float32(*ctxTau),
-				TopK:         *topK,
-				Capacity:     *capacity,
-				FeedbackStep: float32(*step),
-				IndexFactory: idxFactory,
+				Encoder:          enc,
+				LLM:              llm,
+				Tau:              float32(*tau),
+				CtxTau:           float32(*ctxTau),
+				TopK:             *topK,
+				Capacity:         *capacity,
+				FeedbackStep:     float32(*step),
+				IndexFactory:     idxFactory,
+				DegradedTauDelta: float32(*tauDegraded),
+				MaintenanceGate:  maintGate,
 			})
 		},
 		Hooks: tenantHooks(flHooks),
@@ -269,6 +328,7 @@ func main() {
 			Seed:       *seed,
 			Interval:   *flInterval,
 			PCADim:     *flPCA,
+			Gate:       flGate,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -300,6 +360,7 @@ func main() {
 		Observer:     observer(collector),
 		Metrics:      obsReg,
 		Tracer:       tracer,
+		Governor:     gov,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -325,6 +386,14 @@ func main() {
 			DeadAfter: *clusterDeadAfter,
 			Logf:      log.Printf,
 			Tracer:    tracer,
+			// Peer forwards share the upstream breaker's tuning, and
+			// hedged duplicates are suppressed while the local limiter is
+			// saturated — an overloaded node must not multiply its load.
+			HedgeVeto: gov.Saturated,
+			PeerBreaker: resilience.BreakerConfig{
+				Window: *breakerWindow, FailureRatio: *breakerThreshold,
+				OpenFor: *breakerCooloff, HalfOpenProbes: *breakerProbes,
+			},
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -355,6 +424,10 @@ func main() {
 	if obsReg != nil || tracer != nil {
 		log.Printf("observability: metrics=%v, trace-sample=%g, trace-slow=%v",
 			*metricsOn, *traceSample, *traceSlow)
+	}
+	if gov.Quotas != nil || gov.Limiter != nil || gov.Breaker != nil || gov.Maintenance != nil {
+		log.Printf("resilience: quota-rate=%g limit-max=%d breaker-window=%d upstream-timeout=%v tau-degraded=%g maintenance-weight=%d",
+			*quotaRate, *limitMax, *breakerWindow, *upstreamTimeout, *tauDegraded, *maintWeight)
 	}
 	log.Printf("cacheserve listening on %s (encoder=%s, shards=%d, upstream=%s)",
 		srv.Addr(), enc.Name(), *shards, orInProcess(*upstream))

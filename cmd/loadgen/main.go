@@ -29,11 +29,21 @@
 // percentiles against the exact Flat ground truth, with an optional
 // acceptance gate (-ann-accept: HNSW ≥5× Flat at recall@10 ≥ 0.95).
 //
+// With -scenario overload the generator runs the degraded-serving
+// acceptance run in process: a full cacheserve stack (resilience
+// governor, guarded sleeping llmsim upstream) is driven through a
+// healthy baseline, an upstream brown-out, a full outage at ≥10×
+// capacity, and a recovery, asserting via /metrics and the structured
+// shed responses that the limiter adapts, the breaker trips to
+// cache-only serving and re-closes, and hit throughput/latency hold
+// (-overload-accept gates on it).
+//
 // Usage:
 //
 //	loadgen -addr 127.0.0.1:8090 -users 100 -probes 12 -concurrency 32
 //	loadgen -addr 127.0.0.1:8090 -users 50 -fl 3
 //	loadgen -scenario ann -ann-n 200000 -ann-accept
+//	loadgen -scenario overload -users 60 -overload-accept
 package main
 
 import (
@@ -89,7 +99,7 @@ func main() {
 		timeout     = flag.Duration("timeout", 30*time.Second, "per-request timeout")
 		flRounds    = flag.Int("fl", 0, "online FL rounds to drive (0 = classic load test)")
 
-		scenario   = flag.String("scenario", "serve", "serve (drive a cacheserve instance), ann (in-process large-cache index comparison) or cluster (in-process N-node failover run)")
+		scenario   = flag.String("scenario", "serve", "serve (drive a cacheserve instance), ann (in-process large-cache index comparison), cluster (in-process N-node failover run) or overload (in-process degraded-serving run)")
 		annN       = flag.Int("ann-n", 200000, "ann: corpus size")
 		annDim     = flag.Int("ann-dim", 64, "ann: vector dimensionality")
 		annQueries = flag.Int("ann-queries", 500, "ann: measured queries")
@@ -105,6 +115,12 @@ func main() {
 		clusterKill      = flag.Int("cluster-kill", 1, "cluster: node index killed mid-run (-1 = no kill)")
 		clusterAccept    = flag.Bool("cluster-accept", false, "cluster: exit non-zero if the failover gate fails")
 		clusterRetention = flag.Float64("cluster-retention", 0.9, "cluster: dup-hit-rate retention floor after failover")
+
+		overloadFactor    = flag.Int("overload-factor", 10, "overload: offered-load multiple of healthy capacity the outage phase must reach")
+		overloadDup       = flag.Float64("overload-dup", 0.6, "overload: duplicate fraction of probe traffic (cache-only serving needs hits to serve)")
+		overloadRetention = flag.Float64("overload-retention", 0.9, "overload: served-throughput floor during the outage, as a fraction of healthy capacity")
+		overloadLatX      = flag.Float64("overload-latency-x", 5, "overload: hit-path p99 inflation ceiling during the outage (× the unloaded p99)")
+		overloadAccept    = flag.Bool("overload-accept", false, "overload: exit non-zero if the degraded-serving gate fails")
 	)
 	flag.Parse()
 
@@ -125,8 +141,17 @@ func main() {
 		})
 		return
 	}
+	if *scenario == "overload" {
+		runOverload(overloadConfig{
+			users: *users, cached: *cached, probes: *probes, dup: *overloadDup,
+			concurrency: *concurrency, factor: *overloadFactor, seed: *seed,
+			timeout: *timeout, accept: *overloadAccept,
+			retention: *overloadRetention, latencyX: *overloadLatX,
+		})
+		return
+	}
 	if *scenario != "serve" {
-		log.Fatalf("unknown -scenario %q (want serve, ann or cluster)", *scenario)
+		log.Fatalf("unknown -scenario %q (want serve, ann, cluster or overload)", *scenario)
 	}
 
 	r := &runner{

@@ -1,0 +1,31 @@
+package cache
+
+import "context"
+
+// Gate bounds background maintenance work so it yields to foreground
+// traffic: re-embedding migrations acquire one unit for their whole
+// duration. The interface is structural — resilience.Weighted satisfies
+// it — so the cache stays free of resilience imports and tests can
+// substitute a recording fake. A nil gate means ungated (the default).
+type Gate interface {
+	// Acquire blocks until n units are available or ctx is done.
+	Acquire(ctx context.Context, n int64) error
+	// Release returns n units.
+	Release(n int64)
+}
+
+// SetGate installs the maintenance gate consulted by Reembed. Call it
+// during construction, before the cache is shared; a nil gate disables
+// gating.
+func (c *Cache) SetGate(g Gate) {
+	c.mu.Lock()
+	c.gate = g
+	c.mu.Unlock()
+}
+
+// maintenanceGate returns the installed gate (nil = ungated).
+func (c *Cache) maintenanceGate() Gate {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.gate
+}

@@ -1,0 +1,98 @@
+package cache
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/resilience"
+)
+
+// The production gate is a resilience.Weighted; the structural interface
+// must keep matching it.
+var _ Gate = (*resilience.Weighted)(nil)
+
+// recordingGate is a Gate fake that counts acquisitions and tracks peak
+// concurrent hold, optionally failing every Acquire.
+type recordingGate struct {
+	mu       sync.Mutex
+	held     int64
+	maxHeld  int64
+	acquires int
+	releases int
+	err      error
+}
+
+func (g *recordingGate) Acquire(ctx context.Context, n int64) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.err != nil {
+		return g.err
+	}
+	g.acquires++
+	g.held += n
+	if g.held > g.maxHeld {
+		g.maxHeld = g.held
+	}
+	return nil
+}
+
+func (g *recordingGate) Release(n int64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.releases++
+	g.held -= n
+}
+
+// TestReembedHoldsGate: one Reembed call — multi-pass internally — holds
+// exactly one gate unit for its whole duration and returns it.
+func TestReembedHoldsGate(t *testing.T) {
+	c := New(16, 0, LRU{})
+	for i := 0; i < 20; i++ {
+		q := fmt.Sprintf("gated query %d", i)
+		if _, err := c.Put(q, "r", hashEmb(16, 1, q), NoParent); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g := &recordingGate{}
+	c.SetGate(g)
+	n, err := c.Reembed(func(q string) []float32 { return hashEmb(16, 2, q) })
+	if err != nil {
+		t.Fatalf("Reembed: %v", err)
+	}
+	if n != 20 {
+		t.Fatalf("reembedded %d, want 20", n)
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.acquires != 1 || g.releases != 1 {
+		t.Fatalf("acquires=%d releases=%d, want 1/1", g.acquires, g.releases)
+	}
+	if g.held != 0 || g.maxHeld != 1 {
+		t.Fatalf("held=%d maxHeld=%d, want 0/1", g.held, g.maxHeld)
+	}
+}
+
+// TestReembedGateFailure: a gate that refuses admission aborts the
+// migration before any entry is touched.
+func TestReembedGateFailure(t *testing.T) {
+	c := New(16, 0, LRU{})
+	if _, err := c.Put("q", "r", hashEmb(16, 1, "q"), NoParent); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("gate refused")
+	c.SetGate(&recordingGate{err: boom})
+	n, err := c.Reembed(func(q string) []float32 { return hashEmb(16, 2, q) })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped %v", err, boom)
+	}
+	if n != 0 {
+		t.Fatalf("migrated %d entries through a refused gate", n)
+	}
+	// The cache is untouched: the original embedding still matches.
+	if ms := c.FindSimilar(hashEmb(16, 1, "q"), 1, 0.999); len(ms) != 1 {
+		t.Fatalf("entry lost its original embedding")
+	}
+}

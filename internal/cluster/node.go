@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/resilience"
 	"repro/internal/server"
 )
 
@@ -54,6 +55,20 @@ type Config struct {
 	// forward timeout (a hedge armed at the timeout could never win);
 	// negative disables hedging.
 	HedgeAfter time.Duration
+	// HedgeVeto, when non-nil, is consulted as the hedge timer fires; a
+	// true return suppresses the duplicate attempt. cacheserve wires it
+	// to the resilience governor's saturation signal so an overloaded
+	// node stops multiplying its own load.
+	HedgeVeto func() bool
+
+	// PeerBreaker, when Window > 0, gives every peer its own circuit
+	// breaker over forward outcomes: transport failures trip it, and
+	// while it is open forwards to that peer short-circuit to the local
+	// fallback instead of burning a timeout per request. The breaker
+	// complements the dead-peer counter — it reacts at traffic speed in
+	// the window before DeadAfter failures remove the peer from the
+	// ring, and its half-open probes re-admit real traffic afterwards.
+	PeerBreaker resilience.BreakerConfig
 
 	// DrainWait is the total in-flight-request wait budget of one
 	// handoff sweep; tenants still pinned when it runs out retry on a
@@ -97,7 +112,9 @@ type Node struct {
 
 	forwards        atomic.Int64
 	forwardErrors   atomic.Int64
+	breakerSkips    atomic.Int64
 	hedges          atomic.Int64
+	hedgesVetoed    atomic.Int64
 	localFallbacks  atomic.Int64
 	forwardedServed atomic.Int64
 	staleForwards   atomic.Int64
@@ -109,6 +126,12 @@ type Node struct {
 // peer tracks one configured peer's health.
 type peer struct {
 	addr string
+
+	// breaker guards forwards to this peer (nil when Config.PeerBreaker
+	// is disabled). Health probes bypass it: the probe loop is how a
+	// dead peer is discovered, and the breaker's own half-open probes
+	// ride real forwards.
+	breaker *resilience.Breaker
 
 	mu       sync.Mutex
 	alive    bool
@@ -191,7 +214,11 @@ func New(cfg Config) (*Node, error) {
 		if p == "" || p == cfg.Self {
 			continue
 		}
-		n.peers = append(n.peers, &peer{addr: p, alive: true})
+		np := &peer{addr: p, alive: true}
+		if cfg.PeerBreaker.Window > 0 {
+			np.breaker = resilience.NewBreaker(cfg.PeerBreaker)
+		}
+		n.peers = append(n.peers, np)
 		members = append(members, p)
 	}
 	sort.Slice(n.peers, func(i, j int) bool { return n.peers[i].addr < n.peers[j].addr })
@@ -392,6 +419,23 @@ func (n *Node) forward(ctx context.Context, owner, path, user string, body []byt
 			}
 			owner = cur
 		}
+		p := n.peerByAddr(owner)
+		var pb *resilience.Breaker
+		if p != nil {
+			pb = p.breaker
+		}
+		if pb != nil {
+			if rej := pb.Allow(); rej != nil {
+				// The peer's breaker is open: skip the attempt instead of
+				// burning a forward timeout against a peer that has been
+				// failing at traffic speed. The retry loop re-resolves the
+				// owner; when every attempt skips, the caller's local
+				// fallback keeps the tenant available.
+				n.breakerSkips.Add(1)
+				lastErr = fmt.Errorf("cluster: peer %s circuit open (retry in %v)", owner, rej.RetryAfter)
+				continue
+			}
+		}
 		env, err := EncodeForwardRequest(&ForwardRequest{
 			Origin:      n.cfg.Self,
 			RingVersion: n.ring.Load().Version(),
@@ -402,6 +446,9 @@ func (n *Node) forward(ctx context.Context, owner, path, user string, body []byt
 			Body:        body,
 		})
 		if err != nil {
+			if pb != nil {
+				pb.Cancel() // the exchange never happened
+			}
 			return nil, err
 		}
 		n.forwards.Add(1)
@@ -409,7 +456,10 @@ func (n *Node) forward(ctx context.Context, owner, path, user string, body []byt
 		if err == nil {
 			// The peer answered: it is demonstrably alive, so failures
 			// accumulated from unrelated hiccups reset.
-			if p := n.peerByAddr(owner); p != nil && p.noteExchange() {
+			if pb != nil {
+				pb.Record(true)
+			}
+			if p != nil && p.noteExchange() {
 				n.rebuildRing("forward success")
 			}
 			return resp, nil
@@ -421,7 +471,10 @@ func (n *Node) forward(ctx context.Context, owner, path, user string, body []byt
 			// The peer is alive, it just could not serve this request;
 			// retrying a deterministic application error elsewhere (or
 			// blaming the peer's health) would make things worse.
-			if p := n.peerByAddr(owner); p != nil && p.noteExchange() {
+			if pb != nil {
+				pb.Record(true)
+			}
+			if p != nil && p.noteExchange() {
 				n.rebuildRing("forward success")
 			}
 			return nil, err
@@ -431,12 +484,18 @@ func (n *Node) forward(ctx context.Context, owner, path, user string, body []byt
 			// says nothing about the peer's health, and further attempts
 			// on the dead context would fail instantly and unfairly trip
 			// the death counter.
+			if pb != nil {
+				pb.Cancel()
+			}
 			return nil, lastErr
 		}
 		// Genuine transport failures feed the same failure counter as
 		// missed heartbeats, so a dead owner is detected at traffic
 		// speed, not just probe speed.
-		if p := n.peerByAddr(owner); p != nil && p.recordFailure(n.cfg.DeadAfter) {
+		if pb != nil {
+			pb.Record(false)
+		}
+		if p != nil && p.recordFailure(n.cfg.DeadAfter) {
 			n.rebuildRing("forward failures")
 		}
 	}
@@ -474,6 +533,13 @@ func (n *Node) forwardHedged(ctx context.Context, owner string, env []byte, hedg
 			lastErr = res.err
 		case <-hedgeTimer:
 			hedgeTimer = nil
+			if n.cfg.HedgeVeto != nil && n.cfg.HedgeVeto() {
+				// The node is saturated: a speculative duplicate would
+				// multiply the very load that is making the owner slow.
+				// Ride out the in-flight attempt alone.
+				n.hedgesVetoed.Add(1)
+				continue
+			}
 			n.hedges.Add(1)
 			inFlight++
 			go post()
@@ -645,6 +711,9 @@ type PeerInfo struct {
 	Alive       bool   `json:"alive"`
 	Failures    int    `json:"failures,omitempty"`
 	RingVersion uint64 `json:"ring_version,omitempty"`
+	// Breaker is the peer's forward-circuit state ("closed", "half_open",
+	// "open"); empty when per-peer breakers are disabled.
+	Breaker string `json:"breaker,omitempty"`
 }
 
 // Status is the body of GET /v1/cluster/status.
@@ -657,7 +726,9 @@ type Status struct {
 	Resident        int        `json:"resident_tenants"`
 	Forwards        int64      `json:"forwards"`
 	ForwardErrors   int64      `json:"forward_errors,omitempty"`
+	BreakerSkips    int64      `json:"breaker_skips,omitempty"`
 	Hedges          int64      `json:"hedges,omitempty"`
+	HedgesVetoed    int64      `json:"hedges_vetoed,omitempty"`
 	LocalFallbacks  int64      `json:"local_fallbacks,omitempty"`
 	ForwardedServed int64      `json:"forwarded_served"`
 	StaleForwards   int64      `json:"stale_forwards,omitempty"`
@@ -678,7 +749,9 @@ func (n *Node) StatusSnapshot() Status {
 		Resident:        n.cfg.Registry.Resident(),
 		Forwards:        n.forwards.Load(),
 		ForwardErrors:   n.forwardErrors.Load(),
+		BreakerSkips:    n.breakerSkips.Load(),
 		Hedges:          n.hedges.Load(),
+		HedgesVetoed:    n.hedgesVetoed.Load(),
 		LocalFallbacks:  n.localFallbacks.Load(),
 		ForwardedServed: n.forwardedServed.Load(),
 		StaleForwards:   n.staleForwards.Load(),
@@ -688,10 +761,14 @@ func (n *Node) StatusSnapshot() Status {
 	}
 	for _, p := range n.peers {
 		p.mu.Lock()
-		st.Peers = append(st.Peers, PeerInfo{
+		pi := PeerInfo{
 			Addr: p.addr, Alive: p.alive, Failures: p.failures, RingVersion: p.ringV,
-		})
+		}
 		p.mu.Unlock()
+		if p.breaker != nil {
+			pi.Breaker = resilience.StateName(p.breaker.State())
+		}
+		st.Peers = append(st.Peers, pi)
 	}
 	return st
 }
@@ -712,7 +789,9 @@ func (n *Node) RegisterMetrics(reg *obs.Registry) {
 	}{
 		{"meancache_cluster_forwards_total", "Forward attempts sent to tenant owners.", &n.forwards},
 		{"meancache_cluster_forward_errors_total", "Forward attempts that failed.", &n.forwardErrors},
+		{"meancache_cluster_breaker_skips_total", "Forward attempts short-circuited by an open peer breaker.", &n.breakerSkips},
 		{"meancache_cluster_hedges_total", "Duplicate hedged forward attempts launched.", &n.hedges},
+		{"meancache_cluster_hedges_vetoed_total", "Hedged duplicates suppressed by the saturation veto.", &n.hedgesVetoed},
 		{"meancache_cluster_local_fallbacks_total", "Requests served locally after their owner was unreachable.", &n.localFallbacks},
 		{"meancache_cluster_forwarded_served_total", "Peer-forwarded requests served on this node.", &n.forwardedServed},
 		{"meancache_cluster_stale_forwards_total", "Forwarded requests routed on a different ring generation.", &n.staleForwards},
@@ -738,6 +817,15 @@ func (n *Node) RegisterMetrics(reg *obs.Registry) {
 			}
 		}
 		return float64(alive)
+	})
+	reg.GaugeFunc("meancache_cluster_peer_breakers_open", "Peers whose forward circuit breaker is currently open.", func() float64 {
+		open := 0
+		for _, p := range n.peers {
+			if p.breaker != nil && p.breaker.State() == resilience.StateOpen {
+				open++
+			}
+		}
+		return float64(open)
 	})
 }
 

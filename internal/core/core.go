@@ -17,6 +17,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync/atomic"
@@ -25,6 +26,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/embed"
 	"repro/internal/index"
+	"repro/internal/resilience"
 	"repro/internal/vecmath"
 )
 
@@ -32,6 +34,16 @@ import (
 // response text and how long the service took (simulated or wall-clock).
 type LLM interface {
 	Query(q string) (response string, took time.Duration)
+}
+
+// ContextLLM is the context-aware upstream interface. Implementations
+// honour ctx's deadline/cancellation and report failures as real errors
+// instead of error-text responses. When Options.LLM also implements
+// ContextLLM (llmsim.Service, llmsim.Client and resilience.Guard all do),
+// the miss path uses it — the request's context reaches the upstream call
+// and shed decisions (resilience.Rejection) surface to the serving layer.
+type ContextLLM interface {
+	QueryContext(ctx context.Context, q string) (response string, took time.Duration, err error)
 }
 
 // Options configures a Client.
@@ -63,6 +75,18 @@ type Options struct {
 	// FeedbackStep is how much a false-hit report raises Tau (§III-A.2:
 	// the threshold adapts from user feedback). Zero disables adjustment.
 	FeedbackStep float32
+	// DegradedTauDelta enables cache-only degraded serving: when the
+	// upstream is unavailable (the miss path returns a cache-only
+	// rejection, i.e. the circuit breaker is open), the lookup is retried
+	// at τ − DegradedTauDelta. A stale-ish cached answer beats a 503
+	// while the upstream heals. Zero disables the degraded retry.
+	DegradedTauDelta float32
+	// MaintenanceGate, when non-nil, bounds the client's background
+	// maintenance (cache re-embedding) under a shared weighted
+	// semaphore, so migrations across many tenants yield to foreground
+	// traffic instead of competing with it. The serving layer passes one
+	// process-wide gate to every tenant factory.
+	MaintenanceGate cache.Gate
 }
 
 // Client is a MeanCache instance: one user's local semantic cache plus the
@@ -99,10 +123,11 @@ type Client struct {
 	matchBufs chan []cache.Match
 
 	// activity counters for the experiments and the serving stats API
-	llmQueries  atomic.Int64
-	cacheHits   atomic.Int64
-	searchNanos atomic.Int64
-	searchCount atomic.Int64
+	llmQueries   atomic.Int64
+	cacheHits    atomic.Int64
+	degradedHits atomic.Int64
+	searchNanos  atomic.Int64
+	searchCount  atomic.Int64
 }
 
 // New builds a Client. It panics if no encoder is supplied, because every
@@ -134,6 +159,9 @@ func NewWithCache(opts Options, cc *cache.Cache) *Client {
 	}
 	if opts.CtxTau == 0 {
 		opts.CtxTau = opts.Tau
+	}
+	if opts.MaintenanceGate != nil {
+		cc.SetGate(opts.MaintenanceGate)
 	}
 	c := &Client{
 		opts:      opts,
@@ -191,6 +219,10 @@ type Result struct {
 	// miss path can enrol the response without encoding the query a
 	// second time (the serving hot path cares).
 	ProbeEmbedding []float32
+	// Degraded marks a hit served in cache-only degraded mode: the
+	// upstream was unavailable and the match cleared only the relaxed
+	// threshold (τ − DegradedTauDelta), not τ itself.
+	Degraded bool
 }
 
 // encodeProbe embeds q, reusing a recycled probe buffer when the encoder
@@ -314,10 +346,18 @@ func (c *Client) Insert(q, response string, parent int) (int, error) {
 // Query is the full Algorithm 1 for a standalone query: Lookup, then on a
 // miss consult the LLM and enrol the result in the cache.
 func (c *Client) Query(q string) (Result, error) {
-	return c.queryWithContext(q, nil, cache.NoParent)
+	return c.queryWithContext(context.Background(), q, nil, cache.NoParent)
 }
 
-func (c *Client) queryWithContext(q string, ctxTexts []string, parent int) (Result, error) {
+// QueryContext is Query with the request's context threaded through to
+// the upstream call (when Options.LLM implements ContextLLM): client
+// disconnects cancel the in-flight LLM call, deadlines propagate, and
+// upstream shed decisions surface as *resilience.Rejection errors.
+func (c *Client) QueryContext(ctx context.Context, q string) (Result, error) {
+	return c.queryWithContext(ctx, q, nil, cache.NoParent)
+}
+
+func (c *Client) queryWithContext(ctx context.Context, q string, ctxTexts []string, parent int) (Result, error) {
 	res := c.Lookup(q, ctxTexts)
 	if res.Hit {
 		return res, nil
@@ -325,7 +365,28 @@ func (c *Client) queryWithContext(q string, ctxTexts []string, parent int) (Resu
 	if c.opts.LLM == nil {
 		return res, fmt.Errorf("core: cache miss and no LLM configured")
 	}
-	resp, took := c.opts.LLM.Query(q)
+	var (
+		resp string
+		took time.Duration
+	)
+	if cl, ok := c.opts.LLM.(ContextLLM); ok {
+		var err error
+		resp, took, err = cl.QueryContext(ctx, q)
+		if err != nil {
+			res.UpstreamTime = took
+			// Breaker open: the upstream is unreachable but the cache is
+			// not — retry the lookup at the relaxed degraded threshold
+			// before giving up on the request.
+			if rej, isRej := resilience.AsRejection(err); isRej && rej.CacheOnly {
+				if c.degradedLookup(&res, ctxTexts) {
+					return res, nil
+				}
+			}
+			return res, err
+		}
+	} else {
+		resp, took = c.opts.LLM.Query(q)
+	}
 	c.llmQueries.Add(1)
 	res.UpstreamTime = took
 	// Reuse the embedding Lookup already computed rather than paying a
@@ -348,6 +409,52 @@ func (c *Client) queryWithContext(q string, ctxTexts []string, parent int) (Resu
 	res.Entry = entry
 	res.Latency = res.SearchTime + took
 	return res, nil
+}
+
+// degradedLookup retries a missed lookup at the relaxed degraded
+// threshold (τ − DegradedTauDelta), reusing the probe embedding res
+// already carries. It mutates res into a degraded hit and returns true
+// when a context-consistent match clears the relaxed bar.
+func (c *Client) degradedLookup(res *Result, ctxTexts []string) bool {
+	if c.opts.DegradedTauDelta <= 0 || res.ProbeEmbedding == nil {
+		return false
+	}
+	tau := c.Tau() - c.opts.DegradedTauDelta
+	if tau < 0 {
+		tau = 0
+	}
+	start := time.Now()
+	var mbuf []cache.Match
+	select {
+	case mbuf = <-c.matchBufs:
+	default:
+	}
+	matches := c.cache.FindSimilarAppend(res.ProbeEmbedding, c.opts.TopK, tau, mbuf[:0])
+	for _, m := range matches {
+		if c.contextMatches(m.Entry, ctxTexts) {
+			c.cache.Touch(m.Entry.ID)
+			res.Response = m.Entry.Response
+			res.Hit = true
+			res.Degraded = true
+			res.Entry = m.Entry
+			res.Score = m.Score
+			break
+		}
+	}
+	for i := range matches {
+		matches[i] = cache.Match{}
+	}
+	select {
+	case c.matchBufs <- matches[:0]:
+	default:
+	}
+	res.SearchTime += time.Since(start)
+	res.Latency = res.SearchTime + res.UpstreamTime
+	if res.Hit {
+		c.cacheHits.Add(1)
+		c.degradedHits.Add(1)
+	}
+	return res.Hit
 }
 
 // ReportFalseHit is the user-feedback signal of §III-A.2: the user re-asked
@@ -404,8 +511,11 @@ func (c *Client) Reembed() (int, error) {
 
 // Stats summarises the client's activity.
 type Stats struct {
-	LLMQueries    int
-	CacheHits     int
+	LLMQueries int
+	CacheHits  int
+	// DegradedHits counts hits served in cache-only degraded mode (a
+	// subset of CacheHits).
+	DegradedHits  int
 	Lookups       int
 	MeanSearch    time.Duration
 	CacheEntries  int
@@ -422,6 +532,7 @@ func (c *Client) Stats() Stats {
 	s := Stats{
 		LLMQueries:    int(c.llmQueries.Load()),
 		CacheHits:     int(c.cacheHits.Load()),
+		DegradedHits:  int(c.degradedHits.Load()),
 		Lookups:       int(n),
 		CacheEntries:  c.cache.Len(),
 		StorageBytes:  c.cache.StorageBytes(),

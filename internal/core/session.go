@@ -1,6 +1,10 @@
 package core
 
-import "repro/internal/cache"
+import (
+	"context"
+
+	"repro/internal/cache"
+)
 
 // Session is a stateful conversation with the LLM service through the
 // cache. It tracks the conversation history and the cache entry of the
@@ -29,7 +33,13 @@ func (s *Session) Turns() int { return len(s.history) }
 // against cached context chains and cached with the previous turn as its
 // parent.
 func (s *Session) Ask(q string) (Result, error) {
-	res, err := s.client.queryWithContext(q, s.history, s.parent)
+	return s.AskContext(context.Background(), q)
+}
+
+// AskContext is Ask with the request's context threaded through to the
+// upstream call on a miss (see Client.QueryContext).
+func (s *Session) AskContext(ctx context.Context, q string) (Result, error) {
+	res, err := s.client.queryWithContext(ctx, q, s.history, s.parent)
 	if err != nil {
 		return res, err
 	}

@@ -15,6 +15,7 @@
 package flserve
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -86,6 +87,21 @@ type Config struct {
 	// fetch the model). The serving rollout itself stays in the raw
 	// space, because live caches are sized to the raw dimension.
 	PCADim int
+	// Gate, when non-nil, bounds the round's training/aggregation phase
+	// under a shared maintenance semaphore so FL compute yields to
+	// foreground traffic. It is held only across local training and
+	// aggregation — never across registry calls or the rollout, whose
+	// per-tenant re-embeds gate themselves through the cache's own
+	// maintenance gate (nesting the two would deadlock a capacity-1
+	// semaphore). The interface is structural; resilience.Weighted
+	// satisfies it.
+	Gate Gate
+}
+
+// Gate bounds background maintenance concurrency (see Config.Gate).
+type Gate interface {
+	Acquire(ctx context.Context, n int64) error
+	Release(n int64)
 }
 
 // Service is the online FL coordinator.
@@ -310,27 +326,45 @@ func (s *Service) RunRound() (RoundReport, error) {
 		return fail(fmt.Errorf("flserve: sampled cohort has no training data"))
 	}
 
-	// 3. Train + aggregate (plaintext FedAvg or masked secure agg).
+	// 3. Train + aggregate (plaintext FedAvg or masked secure agg). The
+	// maintenance gate is held for this phase only — the CPU-heavy part
+	// with no registry interaction — so foreground serving keeps its
+	// cores; it is released before the rollout, whose re-embeds acquire
+	// the cache-level gate themselves.
+	if s.cfg.Gate != nil {
+		if err := s.cfg.Gate.Acquire(context.Background(), 1); err != nil {
+			return fail(fmt.Errorf("flserve: maintenance gate: %w", err))
+		}
+	}
 	global := s.global.Weights()
 	var newWeights []float32
 	var newTau float64
+	var trainErr error
 	if s.cfg.Secure {
 		res, err := fl.RunSecureRound(clients, global, s.Tau(), s.cfg.Seed+int64(round), 1.0)
 		if err != nil {
-			return fail(err)
+			trainErr = err
+		} else {
+			newWeights, newTau = res.Aggregated, res.Tau
+			rep.Trained = len(clients)
+			rep.Samples = res.Samples
 		}
-		newWeights, newTau = res.Aggregated, res.Tau
-		rep.Trained = len(clients)
-		rep.Samples = res.Samples
 	} else {
 		res, err := fl.RunCohort(clients, global, s.Tau(), s.cfg.Aggregator, true)
 		if err != nil {
-			return fail(err)
+			trainErr = err
+		} else {
+			newWeights, newTau = res.Weights, res.Tau
+			rep.Trained = len(res.Trained)
+			rep.Failed = len(res.Failed)
+			rep.Samples = res.Samples
 		}
-		newWeights, newTau = res.Weights, res.Tau
-		rep.Trained = len(res.Trained)
-		rep.Failed = len(res.Failed)
-		rep.Samples = res.Samples
+	}
+	if s.cfg.Gate != nil {
+		s.cfg.Gate.Release(1)
+	}
+	if trainErr != nil {
+		return fail(trainErr)
 	}
 
 	// 4. Commit the version (with an optional PCA basis fitted on shard

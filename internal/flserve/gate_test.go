@@ -1,0 +1,73 @@
+package flserve
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"repro/internal/resilience"
+)
+
+// The production gate is a resilience.Weighted; the structural interface
+// must keep matching it.
+var _ Gate = (*resilience.Weighted)(nil)
+
+// roundGate records maintenance-gate traffic around RunRound.
+type roundGate struct {
+	mu       sync.Mutex
+	held     int64
+	maxHeld  int64
+	acquires int
+	releases int
+}
+
+func (g *roundGate) Acquire(ctx context.Context, n int64) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.acquires++
+	g.held += n
+	if g.held > g.maxHeld {
+		g.maxHeld = g.held
+	}
+	return nil
+}
+
+func (g *roundGate) Release(n int64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.releases++
+	g.held -= n
+}
+
+// TestRoundHoldsMaintenanceGate: a round's training phase takes exactly
+// one gate unit and returns it before the report lands — on success and
+// on the no-data failure path alike.
+func TestRoundHoldsMaintenanceGate(t *testing.T) {
+	h := newHarness(t, "", 0, nil)
+	g := &roundGate{}
+	h.svc.cfg.Gate = g
+
+	// No eligible tenants yet: the round fails before training, so the
+	// gate is never touched.
+	if _, err := h.svc.RunRound(); err == nil {
+		t.Fatal("round without data should fail")
+	}
+	g.mu.Lock()
+	if g.acquires != 0 {
+		t.Fatalf("failed-before-training round acquired the gate %d times", g.acquires)
+	}
+	g.mu.Unlock()
+
+	h.seedTraffic(3)
+	if _, err := h.svc.RunRound(); err != nil {
+		t.Fatalf("round: %v", err)
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.acquires != 1 || g.releases != 1 {
+		t.Fatalf("acquires=%d releases=%d, want 1/1", g.acquires, g.releases)
+	}
+	if g.held != 0 || g.maxHeld != 1 {
+		t.Fatalf("held=%d maxHeld=%d, want 0/1", g.held, g.maxHeld)
+	}
+}

@@ -48,7 +48,13 @@ func Serve(svc *Service, addr string) (*Server, error) {
 			http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
 			return
 		}
-		resp, took := svc.Query(req.Query)
+		resp, took, err := svc.QueryContext(r.Context(), req.Query)
+		if err != nil {
+			// Induced failures and abandoned inferences surface as 503 so
+			// remote callers' breakers see the outage too.
+			http.Error(w, "upstream unavailable: "+err.Error(), http.StatusServiceUnavailable)
+			return
+		}
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(QueryResponse{
 			Response:    resp,
@@ -91,23 +97,50 @@ func NewClient(addr string) *Client {
 
 // Query sends q to the remote service. took includes the network round
 // trip, which is the point: server-side caches still pay this cost on
-// every query, user-side caches do not (§I, problem 2).
+// every query, user-side caches do not (§I, problem 2). Errors are folded
+// into the response text for compatibility with the legacy LLM interface;
+// serving paths use QueryContext, which reports them properly.
 func (c *Client) Query(q string) (response string, took time.Duration) {
+	resp, took, err := c.QueryContext(context.Background(), q)
+	if err != nil {
+		return fmt.Sprintf("error: %v", err), took
+	}
+	return resp, took
+}
+
+// QueryContext sends q to the remote service under ctx's deadline and
+// surfaces transport and server failures as real errors, so the caller's
+// circuit breaker and concurrency limiter see the upstream's true health.
+func (c *Client) QueryContext(ctx context.Context, q string) (response string, took time.Duration, err error) {
 	start := time.Now()
 	body, err := json.Marshal(QueryRequest{Query: q})
 	if err != nil {
-		return fmt.Sprintf("error: %v", err), time.Since(start)
+		return "", time.Since(start), fmt.Errorf("llmsim: encoding request: %w", err)
 	}
-	resp, err := c.hc.Post(c.base+"/v1/query", "application/json", bytes.NewReader(body))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/query", bytes.NewReader(body))
 	if err != nil {
-		return fmt.Sprintf("error: %v", err), time.Since(start)
+		return "", time.Since(start), fmt.Errorf("llmsim: building request: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		// Unwrap to the context error when the deadline or the caller
+		// killed the request: errors.Is(err, context.DeadlineExceeded)
+		// must hold for the guard's timeout classification.
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return "", time.Since(start), fmt.Errorf("llmsim: query: %w", ctxErr)
+		}
+		return "", time.Since(start), fmt.Errorf("llmsim: query: %w", err)
 	}
 	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", time.Since(start), fmt.Errorf("llmsim: upstream returned %s", resp.Status)
+	}
 	var qr QueryResponse
 	if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
-		return fmt.Sprintf("error: %v", err), time.Since(start)
+		return "", time.Since(start), fmt.Errorf("llmsim: decoding response: %w", err)
 	}
 	// In virtual-time mode the server does not sleep; fold its simulated
 	// inference time into the reported latency.
-	return qr.Response, time.Since(start) + time.Duration(qr.ModelMicros)*time.Microsecond
+	return qr.Response, time.Since(start) + time.Duration(qr.ModelMicros)*time.Microsecond, nil
 }

@@ -12,11 +12,15 @@
 package llmsim
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"hash/fnv"
+	"math"
 	"math/rand"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/tokenizer"
@@ -64,15 +68,40 @@ type Service struct {
 
 	mu      sync.Mutex
 	queries int
+
+	// slowdown (float bits, default 1.0) multiplies response times, and
+	// failing forces errors — the degradation knobs the overload harness
+	// turns to brown out or kill the upstream mid-run.
+	slowdown atomic.Uint64
+	failing  atomic.Bool
 }
+
+// ErrInduced is returned while the service is in induced-failure mode
+// (SetFailing(true)) — the overload harness's stand-in for a dead upstream.
+var ErrInduced = errors.New("llmsim: induced upstream failure")
 
 // New builds a Service.
 func New(cfg Config) *Service {
 	if cfg.MaxTokens <= 0 {
 		cfg.MaxTokens = 50
 	}
-	return &Service{cfg: cfg}
+	s := &Service{cfg: cfg}
+	s.slowdown.Store(math.Float64bits(1))
+	return s
 }
+
+// SetSlowdown scales subsequent response times by factor (1 = nominal).
+// The overload harness uses it to simulate an upstream brown-out.
+func (s *Service) SetSlowdown(factor float64) {
+	if factor <= 0 {
+		factor = 1
+	}
+	s.slowdown.Store(math.Float64bits(factor))
+}
+
+// SetFailing toggles induced-failure mode: queries error immediately
+// instead of answering, as if the upstream were down.
+func (s *Service) SetFailing(v bool) { s.failing.Store(v) }
 
 // Queries reports how many queries the service has processed — the load
 // metric a cache is meant to reduce.
@@ -85,9 +114,24 @@ func (s *Service) Queries() int {
 // Query generates the response to q and the (simulated) time it took.
 // In Sleep mode the call blocks for that duration.
 func (s *Service) Query(q string) (response string, took time.Duration) {
+	response, took, _ = s.QueryContext(context.Background(), q)
+	return response, took
+}
+
+// QueryContext is Query under a caller deadline: in Sleep mode the block
+// honours ctx (returning ctx.Err() early — a timed-out inference is
+// abandoned, not delivered late), and induced-failure mode surfaces
+// ErrInduced. Virtual-time mode never blocks, so ctx only gates entry.
+func (s *Service) QueryContext(ctx context.Context, q string) (response string, took time.Duration, err error) {
+	if err := ctx.Err(); err != nil {
+		return "", 0, err
+	}
 	s.mu.Lock()
 	s.queries++
 	s.mu.Unlock()
+	if s.failing.Load() {
+		return "", s.cfg.BaseLatency, ErrInduced
+	}
 
 	response = s.respond(q)
 	tokens := len(strings.Fields(response))
@@ -97,10 +141,19 @@ func (s *Service) Query(q string) (response string, took time.Duration) {
 		j := 1 + s.cfg.JitterFrac*(2*rng.Float64()-1)
 		took = time.Duration(float64(took) * j)
 	}
-	if s.cfg.Sleep {
-		time.Sleep(took)
+	if factor := math.Float64frombits(s.slowdown.Load()); factor != 1 {
+		took = time.Duration(float64(took) * factor)
 	}
-	return response, took
+	if s.cfg.Sleep {
+		t := time.NewTimer(took)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return "", took, ctx.Err()
+		}
+	}
+	return response, took, nil
 }
 
 // respond deterministically synthesises a response whose length depends on

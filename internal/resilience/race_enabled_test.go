@@ -1,0 +1,7 @@
+//go:build race
+
+package resilience
+
+// raceEnabled disables allocation-budget assertions under the race
+// detector, where instrumentation changes allocation behaviour.
+const raceEnabled = true

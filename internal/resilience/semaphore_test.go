@@ -1,0 +1,142 @@
+package resilience
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestWeightedBasic: capacity accounting and release.
+func TestWeightedBasic(t *testing.T) {
+	w := NewWeighted(3)
+	if err := w.Acquire(context.Background(), 2); err != nil {
+		t.Fatalf("acquire 2: %v", err)
+	}
+	if !w.TryAcquire(1) {
+		t.Fatalf("try 1 with 1 free failed")
+	}
+	if w.TryAcquire(1) {
+		t.Fatalf("try 1 with 0 free succeeded")
+	}
+	w.Release(1)
+	if !w.TryAcquire(1) {
+		t.Fatalf("try after release failed")
+	}
+	w.Release(3)
+	info := w.Info()
+	if info.Held != 0 || info.Waiters != 0 {
+		t.Fatalf("info = %+v, want empty", info)
+	}
+}
+
+// TestWeightedClampsOversized: a request heavier than capacity
+// serialises against everything instead of deadlocking.
+func TestWeightedClampsOversized(t *testing.T) {
+	w := NewWeighted(2)
+	done := make(chan struct{})
+	go func() {
+		if err := w.Acquire(context.Background(), 100); err != nil {
+			t.Errorf("oversized acquire: %v", err)
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatalf("oversized acquire deadlocked")
+	}
+	if w.TryAcquire(1) {
+		t.Fatalf("clamped acquire should hold the whole semaphore")
+	}
+	w.Release(100)
+	if !w.TryAcquire(2) {
+		t.Fatalf("release did not restore capacity")
+	}
+}
+
+// TestWeightedFIFO: waiters are granted in arrival order and TryAcquire
+// never jumps the queue.
+func TestWeightedFIFO(t *testing.T) {
+	w := NewWeighted(1)
+	if err := w.Acquire(context.Background(), 1); err != nil {
+		t.Fatalf("seed acquire: %v", err)
+	}
+	var order []int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		i := i
+		go func() {
+			defer wg.Done()
+			w.Acquire(context.Background(), 1)
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+			w.Release(1)
+		}()
+		// Serialise arrival so FIFO order is observable.
+		waitFor(t, func() bool { return w.Info().Waiters == i+1 }, "waiter to queue")
+	}
+	if w.TryAcquire(1) {
+		t.Fatalf("TryAcquire jumped the waiter queue")
+	}
+	w.Release(1)
+	wg.Wait()
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("grant order %v, want FIFO", order)
+		}
+	}
+}
+
+// TestWeightedAcquireCancellation: a canceled waiter's claim is never
+// granted and capacity is conserved.
+func TestWeightedAcquireCancellation(t *testing.T) {
+	w := NewWeighted(1)
+	w.Acquire(context.Background(), 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() { errc <- w.Acquire(ctx, 1) }()
+	waitFor(t, func() bool { return w.Info().Waiters == 1 }, "waiter to queue")
+	cancel()
+	if err := <-errc; err != context.Canceled {
+		t.Fatalf("acquire returned %v, want context.Canceled", err)
+	}
+	w.Release(1)
+	if !w.TryAcquire(1) {
+		t.Fatalf("capacity leaked to canceled waiter")
+	}
+}
+
+// TestWeightedConcurrent (run with -race): capacity is never exceeded
+// under churn.
+func TestWeightedConcurrent(t *testing.T) {
+	const cap = 4
+	w := NewWeighted(cap)
+	var held atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(n int64) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if err := w.Acquire(context.Background(), n); err != nil {
+					t.Errorf("acquire: %v", err)
+					return
+				}
+				if h := held.Add(n); h > cap {
+					t.Errorf("capacity exceeded: %d held", h)
+				}
+				held.Add(-n)
+				w.Release(n)
+			}
+		}(int64(g%3 + 1))
+	}
+	wg.Wait()
+	if w.Info().Held != 0 {
+		t.Fatalf("units leaked: %+v", w.Info())
+	}
+}

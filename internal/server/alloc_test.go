@@ -11,6 +11,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/embed"
 	"repro/internal/obs"
+	"repro/internal/resilience"
 )
 
 type instantAllocLLM struct{}
@@ -79,6 +80,12 @@ func TestQueryHitAllocationBudget(t *testing.T) {
 // the pools), returning the serve closure to measure.
 func newAllocServer(t *testing.T, metrics *obs.Registry, tracer *obs.Tracer) func() {
 	t.Helper()
+	return newAllocServerGov(t, metrics, tracer, nil)
+}
+
+// newAllocServerGov is newAllocServer with an admission governor.
+func newAllocServerGov(t *testing.T, metrics *obs.Registry, tracer *obs.Tracer, gov *resilience.Governor) func() {
+	t.Helper()
 	m := embed.NewModel(embed.MPNetSim, 1)
 	reg, err := NewRegistry(RegistryConfig{
 		Factory: func(string) *core.Client {
@@ -88,7 +95,7 @@ func newAllocServer(t *testing.T, metrics *obs.Registry, tracer *obs.Tracer) fun
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv, err := New(Config{Registry: reg, Metrics: metrics, Tracer: tracer})
+	srv, err := New(Config{Registry: reg, Metrics: metrics, Tracer: tracer, Governor: gov})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,6 +152,27 @@ func TestQueryHitAllocationBudgetSampled(t *testing.T) {
 	}
 	if n := testing.AllocsPerRun(200, serve); n > 14 {
 		t.Fatalf("traced-sampled hit path allocates %v per request, budget 14", n)
+	}
+}
+
+// TestQueryHitAdmissionZeroExtra proves the governor's front-door quota
+// check adds exactly zero allocations to the PR 5 hit-path budget: an
+// admitted request on a tracked tenant costs a shard map lookup plus
+// token arithmetic, nothing heap-visible.
+func TestQueryHitAdmissionZeroExtra(t *testing.T) {
+	if raceEnabled {
+		t.Skip("pooled buffers are intentionally dropped under -race")
+	}
+	baseline := newAllocServer(t, nil, nil)
+	governed := newAllocServerGov(t, nil, nil, resilience.NewGovernor(resilience.GovernorConfig{
+		Quota:   resilience.QuotaConfig{Rate: 1e9, Burst: 1e9},
+		Limiter: resilience.LimiterConfig{MinLimit: 1, MaxLimit: 64, InitialLimit: 64},
+		Breaker: resilience.BreakerConfig{Window: 64},
+	}))
+	nBase := testing.AllocsPerRun(500, baseline)
+	nGov := testing.AllocsPerRun(500, governed)
+	if nGov != nBase {
+		t.Fatalf("governed hit path allocates %v per request, baseline %v — admission must add 0", nGov, nBase)
 	}
 }
 

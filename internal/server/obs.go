@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/resilience"
 )
 
 // serverObs is the server's observability wiring: the tracer plus
@@ -17,11 +18,12 @@ type serverObs struct {
 	tracer  *obs.Tracer
 	metrics bool
 
-	queriesHit  *obs.Counter
-	queriesMiss *obs.Counter
-	feedbacks   *obs.Counter
-	errQuery    *obs.Counter
-	errFeedback *obs.Counter
+	queriesHit      *obs.Counter
+	queriesMiss     *obs.Counter
+	queriesDegraded *obs.Counter
+	feedbacks       *obs.Counter
+	errQuery        *obs.Counter
+	errFeedback     *obs.Counter
 
 	reqDur        *obs.Histogram
 	stageDecode   *obs.Histogram
@@ -50,6 +52,8 @@ func newServerObs(cfg Config, collector *Collector) *serverObs {
 		"Queries served, by cache outcome.", obs.Label{Name: "result", Value: "hit"})
 	o.queriesMiss = reg.Counter("meancache_queries_total",
 		"Queries served, by cache outcome.", obs.Label{Name: "result", Value: "miss"})
+	o.queriesDegraded = reg.Counter("meancache_degraded_hits_total",
+		"Hits served in cache-only degraded mode (breaker open, relaxed tau).")
 	o.feedbacks = reg.Counter("meancache_feedbacks_total", "Feedback reports accepted.")
 	o.errQuery = reg.Counter("meancache_request_errors_total",
 		"Failed requests, by route.", obs.Label{Name: "route", Value: "query"})
@@ -80,6 +84,9 @@ func newServerObs(cfg Config, collector *Collector) *serverObs {
 	if cfg.Batcher != nil {
 		registerBatcherMetrics(reg, cfg.Batcher)
 	}
+	if cfg.Governor != nil {
+		registerGovernorMetrics(reg, cfg.Governor)
+	}
 	return o
 }
 
@@ -92,6 +99,9 @@ func (o *serverObs) recordQuery(t *obs.Trace, user string, res *core.Result, dec
 	if o.metrics {
 		if res.Hit {
 			o.queriesHit.Inc()
+			if res.Degraded {
+				o.queriesDegraded.Inc()
+			}
 		} else {
 			o.queriesMiss.Inc()
 		}
@@ -220,6 +230,67 @@ func registerCollectorMetrics(reg *obs.Registry, c *Collector) {
 			}
 			return 0
 		})
+}
+
+// registerGovernorMetrics exposes admission-control state: everything is
+// read from the governor's atomics at scrape time, nothing rides the
+// request path.
+func registerGovernorMetrics(reg *obs.Registry, g *resilience.Governor) {
+	if q := g.Quotas; q != nil {
+		reg.GaugeFunc("meancache_quota_tenants",
+			"Tenants with a tracked token bucket.", func() float64 {
+				return float64(q.Tenants())
+			})
+		reg.CounterFunc("meancache_admissions_total",
+			"Requests admitted past the per-tenant quota check.", func() float64 {
+				return float64(q.Allowed())
+			})
+		reg.CounterFunc("meancache_sheds_total",
+			"Requests shed, by reason.", func() float64 {
+				return float64(q.Rejected())
+			}, obs.Label{Name: "reason", Value: "quota"})
+	}
+	if l := g.Limiter; l != nil {
+		reg.GaugeFunc("meancache_limiter_limit",
+			"Current AIMD upstream concurrency limit.", l.Limit)
+		reg.GaugeFunc("meancache_limiter_inflight",
+			"Upstream calls currently in flight.", func() float64 {
+				return float64(l.Inflight())
+			})
+		reg.GaugeFunc("meancache_limiter_queue_depth",
+			"Requests waiting for an upstream slot.", func() float64 {
+				return float64(l.QueueDepth())
+			})
+		reg.CounterFunc("meancache_limiter_decreases_total",
+			"Multiplicative decreases of the concurrency limit.", func() float64 {
+				return float64(l.Stats().Decreases)
+			})
+		reg.CounterFunc("meancache_sheds_total",
+			"Requests shed, by reason.", func() float64 {
+				return float64(l.ShedCount())
+			}, obs.Label{Name: "reason", Value: "saturated"})
+	}
+	if b := g.Breaker; b != nil {
+		reg.GaugeFunc("meancache_breaker_state",
+			"Upstream circuit breaker state (0 closed, 1 half-open, 2 open).",
+			func() float64 { return float64(b.State()) })
+		reg.CounterFunc("meancache_breaker_opens_total",
+			"Circuit breaker trips.", func() float64 {
+				return float64(b.OpenCount())
+			})
+		reg.CounterFunc("meancache_sheds_total",
+			"Requests shed, by reason.", func() float64 {
+				return float64(b.ShedCount())
+			}, obs.Label{Name: "reason", Value: "breaker_open"})
+	}
+	if m := g.Maintenance; m != nil {
+		reg.GaugeFunc("meancache_maintenance_held",
+			"Weighted-semaphore units held by background maintenance.",
+			func() float64 { return float64(m.Info().Held) })
+		reg.GaugeFunc("meancache_maintenance_waiters",
+			"Background tasks waiting for maintenance capacity.",
+			func() float64 { return float64(m.Info().Waiters) })
+	}
 }
 
 func registerBatcherMetrics(reg *obs.Registry, b *Batcher) {

@@ -30,11 +30,13 @@ import (
 	"net"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/resilience"
 )
 
 // Observer receives serving-path signals. The online FL example collector
@@ -93,6 +95,12 @@ type Config struct {
 	// slow-capture) and gains a GET /v1/debug/traces route serving the
 	// recent-trace ring.
 	Tracer *obs.Tracer
+	// Governor, when non-nil, enforces admission control: per-tenant
+	// token-bucket quotas at the front door (429 + Retry-After when a
+	// bucket runs dry) and, via the resilience.Guard the upstream LLM is
+	// wrapped in, concurrency limiting and circuit breaking on the miss
+	// path. Its state is reported under /v1/stats and /metrics.
+	Governor *resilience.Governor
 }
 
 // Server is the HTTP serving process.
@@ -199,6 +207,10 @@ type QueryResponse struct {
 	Response string `json:"response"`
 	// Hit reports whether the response came from the tenant's cache.
 	Hit bool `json:"hit"`
+	// Degraded marks a hit served in cache-only degraded mode: the
+	// upstream circuit breaker was open and the match cleared only the
+	// relaxed threshold (τ − tau-degraded), not τ itself.
+	Degraded bool `json:"degraded,omitempty"`
 	// Score is the match similarity (hits only).
 	Score float32 `json:"score,omitempty"`
 	// Matched is the cached query that served a hit, so clients can cite
@@ -247,6 +259,10 @@ type StatsResponse struct {
 	// Residents lists per-resident-tenant serving state (index tier,
 	// arena occupancy), capped by Config.StatsTenants like Tenants.
 	Residents []ResidentStats `json:"residents,omitempty"`
+	// Resilience reports admission-control state (quota buckets, AIMD
+	// limiter, circuit breaker, maintenance semaphore) when a Governor
+	// is configured.
+	Resilience *resilience.GovernorStats `json:"resilience,omitempty"`
 }
 
 // ResidentStats is one resident tenant's serving-state row.
@@ -297,6 +313,14 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, req.User, routeQuery, http.StatusBadRequest, "user and query are required")
 		return
 	}
+	// Front-door admission: the tenant's token bucket is checked before
+	// any per-request work (tenant activation, encoding, search) so an
+	// over-quota tenant costs one map lookup, nothing more.
+	if rej := s.cfg.Governor.Admit(req.User); rej != nil {
+		o.dropTrace(trace)
+		s.reject(w, req.User, routeQuery, rej)
+		return
+	}
 	tenant, err := s.cfg.Registry.Get(req.User)
 	if err != nil {
 		o.dropTrace(trace)
@@ -308,13 +332,20 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if req.Session != "" {
 		ts := tenant.session(req.Session)
 		ts.mu.Lock()
-		res.Result, res.err = ts.sess.Ask(req.Query)
+		res.Result, res.err = ts.sess.AskContext(r.Context(), req.Query)
 		ts.mu.Unlock()
 	} else {
-		res.Result, res.err = tenant.Client.Query(req.Query)
+		res.Result, res.err = tenant.Client.QueryContext(r.Context(), req.Query)
 	}
 	if res.err != nil {
 		o.dropTrace(trace)
+		// Shed decisions (limiter saturated, breaker open with no
+		// degraded match) map to 429/503 + Retry-After; real upstream
+		// failures stay 502.
+		if rej, ok := resilience.AsRejection(res.err); ok {
+			s.reject(w, req.User, routeQuery, rej)
+			return
+		}
 		s.fail(w, req.User, routeQuery, http.StatusBadGateway, "querying: %v", res.err)
 		return
 	}
@@ -333,6 +364,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, QueryResponse{
 		Response:      res.Response,
 		Hit:           res.Hit,
+		Degraded:      res.Degraded,
 		Score:         res.Score,
 		Matched:       matched,
 		LatencyMicros: res.Latency.Microseconds(),
@@ -409,6 +441,10 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		bs := s.cfg.Batcher.Stats()
 		resp.Batcher = &bs
 	}
+	if s.cfg.Governor != nil {
+		gs := s.cfg.Governor.Stats()
+		resp.Resilience = &gs
+	}
 	writeJSON(w, resp)
 }
 
@@ -437,10 +473,72 @@ func (s *Server) residentStats(limit int) []ResidentStats {
 	return out
 }
 
+// ErrorResponse is the structured JSON error body every failed request
+// returns: a human-readable message, a machine-matchable code, and (for
+// load-shed responses) the backoff hint mirrored by the Retry-After
+// header.
+type ErrorResponse struct {
+	Error string `json:"error"`
+	// Code is "bad_request", "internal", "upstream_error", or a shed
+	// reason ("quota", "saturated", "breaker_open").
+	Code string `json:"code"`
+	// RetryAfterMS is the suggested backoff in milliseconds (shed
+	// responses only; the Retry-After header carries it in whole seconds).
+	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
+}
+
+// errorCode maps an HTTP status to the generic machine code for
+// non-shed failures.
+func errorCode(status int) string {
+	switch {
+	case status == http.StatusBadGateway:
+		return "upstream_error"
+	case status >= 400 && status < 500:
+		return "bad_request"
+	default:
+		return "internal"
+	}
+}
+
 func (s *Server) fail(w http.ResponseWriter, userID, route string, code int, format string, args ...any) {
 	s.collector.RecordError(userID)
 	s.obs.recordError(route)
-	http.Error(w, fmt.Sprintf(format, args...), code)
+	writeError(w, code, ErrorResponse{Error: fmt.Sprintf(format, args...), Code: errorCode(code)})
+}
+
+// reject answers a load-shed decision: 429 for per-tenant quota, 503 for
+// saturation and open-breaker sheds, both with Retry-After.
+func (s *Server) reject(w http.ResponseWriter, userID, route string, rej *resilience.Rejection) {
+	s.collector.RecordError(userID)
+	s.obs.recordError(route)
+	status := http.StatusServiceUnavailable
+	if rej.Reason == resilience.ReasonQuota {
+		status = http.StatusTooManyRequests
+	}
+	if rej.RetryAfter > 0 {
+		// Retry-After is whole seconds; round up so clients never come
+		// back early.
+		secs := (rej.RetryAfter + time.Second - 1) / time.Second
+		w.Header().Set("Retry-After", strconv.FormatInt(int64(secs), 10))
+	}
+	writeError(w, status, ErrorResponse{
+		Error:        rej.Error(),
+		Code:         rej.Reason,
+		RetryAfterMS: rej.RetryAfter.Milliseconds(),
+	})
+}
+
+// writeError writes the structured JSON error body with the given status.
+func writeError(w http.ResponseWriter, status int, body ErrorResponse) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	c := jsonCodecs.Get().(*jsonCodec)
+	defer putCodec(c)
+	c.buf.Reset()
+	if err := c.enc.Encode(body); err != nil {
+		return // headers are out; nothing useful left to do
+	}
+	w.Write(c.buf.Bytes())
 }
 
 // jsonCodec is a pooled buffer + encoder pair: the request lifecycle
