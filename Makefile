@@ -5,7 +5,7 @@ GO ?= go
 
 .PHONY: build check test race vet bench bench-json benchdiff loadtest \
 	loadtest-fl conformance fuzz-smoke loadtest-ann loadtest-cluster \
-	loadtest-overload clean
+	loadtest-overload sim clean
 
 build:
 	$(GO) build ./...
@@ -22,7 +22,8 @@ test:
 race:
 	$(GO) test -race ./internal/core/ ./internal/server/ ./internal/cache/ \
 		./internal/store/ ./internal/fl/ ./internal/flserve/ ./internal/llmsim/ \
-		./internal/index/ ./internal/cluster/ ./internal/obs/ ./internal/resilience/
+		./internal/index/ ./internal/cluster/ ./internal/obs/ ./internal/resilience/ \
+		./internal/sim/ ./internal/sim/scenario/
 
 check: vet build test race
 
@@ -33,11 +34,23 @@ conformance:
 
 # fuzz-smoke is the nightly-style fuzz check: 30s of randomized
 # Add/Remove/Search programs checked for exact Flat parity and HNSW
-# result invariants, plus 30s of arbitrary bytes against the cluster
-# wire codec (no panics, no over-allocation, canonical round trips).
+# result invariants, 30s of arbitrary bytes against the cluster wire
+# codec (no panics, no over-allocation, canonical round trips), and 30s
+# of fuzzer-shaped churn storms through the deterministic cluster
+# simulation (no panics, every safety invariant holds at settle).
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzSearchParity -fuzztime=30s -run xxx ./internal/index/
 	$(GO) test -fuzz=FuzzWireCodec -fuzztime=30s -run xxx ./internal/cluster/
+	$(GO) test -fuzz=FuzzSimScenario -fuzztime=30s -run xxx ./internal/sim/scenario/
+
+# sim is the deterministic-simulation gate: the virtual-clock and
+# simulated-network engine suites, the 100k-tenant churn-storm
+# determinism gate (same seed ⇒ bit-identical trace digest, different
+# seed diverges, < 30s wall), the randomized-churn property suite, and
+# the virtual-time runs of the production cluster Node.
+sim:
+	$(GO) test -count=1 ./internal/sim/ ./internal/sim/scenario/
+	$(GO) test -count=1 -run TestVirtualTime ./internal/cluster/
 
 # bench runs every benchmark in the repo (paper replays at the root,
 # micro-benchmarks in the internal packages).

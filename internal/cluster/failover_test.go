@@ -80,6 +80,7 @@ func TestClusterFailover(t *testing.T) {
 	}
 	stopTraffic := make(chan struct{})
 	var trafficErrs atomic.Int64
+	var trafficDone atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < 4; w++ {
 		wg.Add(1)
@@ -95,18 +96,23 @@ func TestClusterFailover(t *testing.T) {
 				if _, err := queryUser(client, survivors[i%2], names[u], userText(u, i%2)); err != nil {
 					trafficErrs.Add(1)
 				}
+				trafficDone.Add(1)
 			}
 		}(w)
 	}
 
-	time.Sleep(50 * time.Millisecond) // let traffic reach steady state
+	// Steady state means requests are demonstrably completing — wait for
+	// a batch of them rather than for a timer (the old fixed sleeps were
+	// this suite's flake source under -race scheduling).
+	waitRequests(t, &trafficDone, 25, 10*time.Second)
 	if err := h.Kill(ownerIdx, false); err != nil {
 		t.Fatal(err)
 	}
 	if err := h.WaitConverged(5 * time.Second); err != nil {
 		t.Fatal(err)
 	}
-	time.Sleep(100 * time.Millisecond) // traffic across the healed ring
+	// A batch of requests must cross the healed ring before we stop.
+	waitRequests(t, &trafficDone, 50, 10*time.Second)
 	close(stopTraffic)
 	wg.Wait()
 	if n := trafficErrs.Load(); n > 0 {

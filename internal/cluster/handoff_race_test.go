@@ -74,16 +74,25 @@ func TestClusterHandoffRace(t *testing.T) {
 	}
 
 	// Reembed worker: pins tenants on their current owner (the FL
-	// rollout's access pattern) concurrent with drains.
+	// rollout's access pattern) concurrent with drains. Paced against
+	// the query workers' progress instead of a timer, so it interleaves
+	// with real traffic on fast and slow machines alike.
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
 		rng := rand.New(rand.NewSource(77))
+		last := int64(0)
 		for {
 			select {
 			case <-stop:
 				return
 			default:
+			}
+			if cur := requests.Load(); cur == last {
+				time.Sleep(200 * time.Microsecond) // poll for worker progress
+				continue
+			} else {
+				last = cur
 			}
 			name := names[rng.Intn(users)]
 			hn := h.NodeAt(h.Owner(name))
@@ -96,21 +105,24 @@ func TestClusterHandoffRace(t *testing.T) {
 			}
 			tenant.Client.Reembed()
 			tenant.Release()
-			time.Sleep(time.Millisecond)
 		}
 	}()
 
 	// Membership flaps: kill a node (its tenants remap to survivors),
-	// revive it (survivors drain those tenants back) — twice.
+	// revive it (survivors drain those tenants back) — twice. Each flap
+	// waits for the workers to land a batch of requests under the
+	// current membership (not for a timer): the race surface provably
+	// ran, without over-sleeping on fast machines or racing on slow ones.
+	const flapAfter = 40 // requests under each membership before flapping
 	for cycle := 0; cycle < 2; cycle++ {
-		time.Sleep(150 * time.Millisecond)
+		waitRequests(t, &requests, flapAfter, 10*time.Second)
 		if err := h.Kill(2, true); err != nil {
 			t.Errorf("kill cycle %d: %v", cycle, err)
 		}
 		if err := h.WaitConverged(5 * time.Second); err != nil {
 			t.Fatal(err)
 		}
-		time.Sleep(150 * time.Millisecond)
+		waitRequests(t, &requests, flapAfter, 10*time.Second)
 		if err := h.Revive(2); err != nil {
 			t.Fatal(err)
 		}
@@ -118,7 +130,7 @@ func TestClusterHandoffRace(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	time.Sleep(150 * time.Millisecond)
+	waitRequests(t, &requests, flapAfter, 10*time.Second)
 	close(stop)
 	wg.Wait()
 
@@ -140,7 +152,22 @@ func TestClusterHandoffRace(t *testing.T) {
 		if time.Now().After(deadline) {
 			t.Fatalf("double-serve after settling: %v", violations)
 		}
-		time.Sleep(25 * time.Millisecond)
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// waitRequests blocks until the workers have issued n more requests
+// than when it was called — condition-based pacing that replaces the
+// fixed sleeps this suite used to flake on under -race scheduling.
+func waitRequests(t *testing.T, counter *atomic.Int64, n int64, timeout time.Duration) {
+	t.Helper()
+	target := counter.Load() + n
+	deadline := time.Now().Add(timeout)
+	for counter.Load() < target {
+		if time.Now().After(deadline) {
+			t.Fatalf("workers issued %d of %d requests within %v", counter.Load()-(target-n), n, timeout)
+		}
+		time.Sleep(time.Millisecond)
 	}
 }
 

@@ -17,6 +17,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/resilience"
 	"repro/internal/server"
+	"repro/internal/sim"
 )
 
 // Config assembles a cluster Node around one serving process.
@@ -87,8 +88,15 @@ type Config struct {
 	Tracer *obs.Tracer
 
 	// Client, when non-nil, is used for probes and forwards (tests
-	// inject one; production gets a pooled default).
+	// inject one; production gets a pooled default). Point its Transport
+	// at a sim.Transport to run the node over a simulated network.
 	Client *http.Client
+	// Clock is the node's time source: heartbeat and sweep tickers,
+	// hedge timers, probe/forward deadlines, and trace timestamps all
+	// run on it. Nil defaults to the wall clock (production); tests
+	// inject a sim.VirtualClock to drive membership and handoff in
+	// virtual time.
+	Clock sim.Clock
 	// Logf, when non-nil, receives membership and handoff events.
 	Logf func(format string, args ...any)
 }
@@ -105,6 +113,7 @@ type Node struct {
 
 	inner  atomic.Pointer[http.Handler] // serving mux, set by Wrap
 	client *http.Client
+	clock  sim.Clock
 
 	stop chan struct{}
 	kick chan struct{} // handoff trigger, buffered 1
@@ -203,6 +212,7 @@ func New(cfg Config) (*Node, error) {
 	n := &Node{
 		cfg:    cfg,
 		client: cfg.Client,
+		clock:  sim.Or(cfg.Clock),
 		stop:   make(chan struct{}),
 		kick:   make(chan struct{}, 1),
 	}
@@ -291,7 +301,7 @@ func (n *Node) Wrap(inner http.Handler) http.Handler {
 		}
 		var wrapStart time.Time
 		if n.cfg.Tracer.Enabled() {
-			wrapStart = time.Now()
+			wrapStart = n.clock.Now()
 		}
 		body, err := io.ReadAll(io.LimitReader(r.Body, maxWireBody+1))
 		if err != nil {
@@ -325,7 +335,7 @@ func (n *Node) Wrap(inner http.Handler) http.Handler {
 		var trace *obs.Trace
 		var decodeDur time.Duration
 		if n.cfg.Tracer.Enabled() {
-			decodeDur = time.Since(wrapStart)
+			decodeDur = n.clock.Since(wrapStart)
 			trace = n.cfg.Tracer.Start(r.URL.Path)
 			trace.User = user
 			trace.Add(obs.SpanDecode, 0, decodeDur)
@@ -334,7 +344,7 @@ func (n *Node) Wrap(inner http.Handler) http.Handler {
 		if trace != nil {
 			traceID = trace.ID
 		}
-		fwdStart := time.Now()
+		fwdStart := n.clock.Now()
 		resp, err := n.forward(r.Context(), owner, r.URL.Path, user, body, route.hedge, traceID)
 		if err != nil {
 			n.cfg.Tracer.Abandon(trace)
@@ -361,7 +371,7 @@ func (n *Node) Wrap(inner http.Handler) http.Handler {
 		if trace != nil {
 			trace.Status = int(resp.Status)
 			trace.Hit = peekHit(resp.Body)
-			trace.Add(obs.SpanForward, decodeDur, time.Since(fwdStart))
+			trace.Add(obs.SpanForward, decodeDur, n.clock.Since(fwdStart))
 			if len(resp.Spans) > 0 {
 				// Corrupt span blobs degrade the trace, never the request.
 				if spans, derr := obs.DecodeSpans(resp.Spans); derr == nil {
@@ -378,7 +388,7 @@ func (n *Node) Wrap(inner http.Handler) http.Handler {
 		w.WriteHeader(int(resp.Status))
 		w.Write(resp.Body)
 		if trace != nil {
-			n.cfg.Tracer.Finish(trace, time.Since(wrapStart))
+			n.cfg.Tracer.Finish(trace, n.clock.Since(wrapStart))
 		}
 	})
 }
@@ -507,7 +517,7 @@ func (n *Node) forward(ctx context.Context, owner, path, user string, body []byt
 // HedgeAfter. The first successful response wins; the loser's
 // connection is cancelled by context.
 func (n *Node) forwardHedged(ctx context.Context, owner string, env []byte, hedge bool) (*ForwardResponse, error) {
-	ctx, cancel := context.WithTimeout(ctx, n.cfg.ForwardTimeout)
+	ctx, cancel := sim.ContextWithTimeout(ctx, n.clock, n.cfg.ForwardTimeout)
 	defer cancel()
 	results := make(chan forwardResult, 2)
 	post := func() {
@@ -518,7 +528,7 @@ func (n *Node) forwardHedged(ctx context.Context, owner string, env []byte, hedg
 	inFlight := 1
 	var hedgeTimer <-chan time.Time
 	if hedge && n.cfg.HedgeAfter > 0 {
-		t := time.NewTimer(n.cfg.HedgeAfter)
+		t := n.clock.NewTimer(n.cfg.HedgeAfter)
 		defer t.Stop()
 		hedgeTimer = t.C
 	}
@@ -833,7 +843,7 @@ func (n *Node) RegisterMetrics(reg *obs.Registry) {
 // when the live set changes.
 func (n *Node) heartbeatLoop() {
 	defer n.wg.Done()
-	ticker := time.NewTicker(n.cfg.Heartbeat)
+	ticker := n.clock.NewTicker(n.cfg.Heartbeat)
 	defer ticker.Stop()
 	for {
 		select {
@@ -878,7 +888,7 @@ func (n *Node) probePeers() {
 
 // probe performs one health check against a peer's gossip endpoint.
 func (n *Node) probe(addr string) (*PeerStatus, error) {
-	ctx, cancel := context.WithTimeout(context.Background(), n.cfg.ProbeTimeout)
+	ctx, cancel := sim.ContextWithTimeout(context.Background(), n.clock, n.cfg.ProbeTimeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+addr+"/v1/cluster/gossip", nil)
 	if err != nil {
@@ -1014,7 +1024,7 @@ func sameMembers(sorted, candidate []string) bool {
 // degraded forward fallback).
 func (n *Node) handoffLoop() {
 	defer n.wg.Done()
-	ticker := time.NewTicker(n.cfg.SweepEvery)
+	ticker := n.clock.NewTicker(n.cfg.SweepEvery)
 	defer ticker.Stop()
 	for {
 		select {
@@ -1035,13 +1045,13 @@ func (n *Node) handoffLoop() {
 // the next sweep — a request is never dropped to make a handoff
 // deadline.
 func (n *Node) handoffSweep() {
-	deadline := time.Now().Add(n.cfg.DrainWait)
+	deadline := n.clock.Now().Add(n.cfg.DrainWait)
 	for _, id := range n.cfg.Registry.IDs() {
 		owner := n.ring.Load().Owner(id)
 		if owner == n.cfg.Self || owner == "" {
 			continue
 		}
-		wait := time.Until(deadline)
+		wait := n.clock.Until(deadline)
 		if wait < 0 {
 			wait = 0
 		}

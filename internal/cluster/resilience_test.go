@@ -13,6 +13,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/llmsim"
 	"repro/internal/resilience"
+	"repro/internal/sim"
 	"repro/internal/server"
 )
 
@@ -143,6 +144,7 @@ func TestHedgeVetoSuppressesDuplicate(t *testing.T) {
 			HedgeVeto:      func() bool { return saturated.Load() },
 		},
 		client: ts.Client(),
+		clock:  sim.Wall,
 	}
 
 	if _, err := n.forwardHedged(context.Background(), owner, []byte("env"), true); err != nil {

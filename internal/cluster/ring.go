@@ -92,10 +92,19 @@ func BuildRing(version uint64, members []string, vnodes int) *Ring {
 
 // Owner reports which member owns tenant, or "" on an empty ring.
 func (r *Ring) Owner(tenant string) string {
+	return r.OwnerHash(Hash(tenant))
+}
+
+// Hash exposes the ring's placement hash so callers that resolve the
+// same tenant repeatedly (the simulation's million-tenant sweeps) can
+// hash once and use OwnerHash per lookup.
+func Hash(tenant string) uint64 { return hash64(tenant) }
+
+// OwnerHash is Owner for a tenant hash precomputed with Hash.
+func (r *Ring) OwnerHash(h uint64) string {
 	if r == nil || len(r.points) == 0 {
 		return ""
 	}
-	h := hash64(tenant)
 	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
 	if i == len(r.points) {
 		i = 0 // wrap past the highest point

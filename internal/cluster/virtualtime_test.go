@@ -1,0 +1,212 @@
+package cluster
+
+import (
+	"net/http"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/llmsim"
+	"repro/internal/server"
+	"repro/internal/sim"
+)
+
+// vtCluster is a cluster of real Nodes — production gossip, forwarding,
+// and handoff code — wired to a sim.Transport network and a
+// sim.VirtualClock instead of sockets and the wall clock. No wall time
+// passes while membership converges: the test advances virtual time and
+// asserts how many virtual heartbeats detection actually took.
+type vtCluster struct {
+	clock *sim.VirtualClock
+	tr    *sim.Transport
+	addrs []string
+	nodes []*Node
+	regs  []*server.Registry
+}
+
+func startVirtualCluster(t *testing.T, n int) *vtCluster {
+	t.Helper()
+	vc := &vtCluster{clock: sim.NewVirtual()}
+	vc.tr = sim.NewTransport(vc.clock, 1)
+	dir := t.TempDir()
+	llm := llmsim.New(llmsim.DefaultConfig())
+	for i := 0; i < n; i++ {
+		vc.addrs = append(vc.addrs, "10.0.0."+string(rune('1'+i))+":80")
+	}
+	for i := 0; i < n; i++ {
+		reg, err := server.NewRegistry(server.RegistryConfig{
+			Shards:     4,
+			PersistDir: dir,
+			Factory: func(userID string) *core.Client {
+				return core.New(core.Options{
+					Encoder: &testEncoder{dim: 32}, LLM: llm,
+					Tau: 0.9, TopK: 4, FeedbackStep: 0.01,
+				})
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv, err := server.New(server.Config{Registry: reg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		peers := make([]string, 0, n-1)
+		for j, a := range vc.addrs {
+			if j != i {
+				peers = append(peers, a)
+			}
+		}
+		node, err := New(Config{
+			Self:      vc.addrs[i],
+			Peers:     peers,
+			VNodes:    64,
+			Registry:  reg,
+			Heartbeat: 50 * time.Millisecond,
+			DeadAfter: 3,
+			Clock:     vc.clock,
+			Client:    &http.Client{Transport: vc.tr.Bind(vc.addrs[i])},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		node.Register(srv)
+		srv.Wrap(node.Wrap)
+		vc.tr.Register(vc.addrs[i], srv.Handler())
+		node.Start()
+		t.Cleanup(node.Close)
+		vc.nodes = append(vc.nodes, node)
+		vc.regs = append(vc.regs, reg)
+	}
+	// Every node parks a heartbeat ticker and a handoff ticker on the
+	// virtual queue; wait for all of them before driving time.
+	vc.clock.BlockUntil(2 * n)
+	return vc
+}
+
+// advanceUntil drives virtual time in heartbeat-sized steps until cond
+// holds, returning how much virtual time that took. The wall sleep
+// between steps only yields to the node goroutines the tick released —
+// all timing still comes from the virtual clock.
+func (vc *vtCluster) advanceUntil(t *testing.T, budget time.Duration, cond func() bool) time.Duration {
+	t.Helper()
+	start := vc.clock.Now()
+	for {
+		for i := 0; i < 4; i++ {
+			if cond() {
+				return vc.clock.Since(start)
+			}
+			time.Sleep(500 * time.Microsecond)
+		}
+		if vc.clock.Since(start) > budget {
+			t.Fatalf("condition not reached within %v of virtual time", budget)
+		}
+		vc.clock.Advance(25 * time.Millisecond)
+	}
+}
+
+// TestVirtualTimeDeathDetection runs the production Node's gossip loop
+// entirely on virtual time: a peer is cut at the transport, and every
+// survivor must remove it from its ring within DeadAfter+1 virtual
+// heartbeats — an exact timing bound no wall-clock test can assert.
+// Revival must restore it to every ring. Wall time spent is scheduler
+// noise, not protocol waits.
+func TestVirtualTimeDeathDetection(t *testing.T) {
+	vc := startVirtualCluster(t, 3)
+	victim := vc.addrs[2]
+
+	ringsExclude := func(addr string) bool {
+		for i, node := range vc.nodes {
+			if vc.addrs[i] == addr {
+				continue
+			}
+			if node.Ring().Has(addr) {
+				return false
+			}
+		}
+		return true
+	}
+
+	// Let one round of probes establish liveness.
+	vc.advanceUntil(t, time.Second, func() bool {
+		for _, node := range vc.nodes {
+			if len(node.Ring().Members()) != 3 {
+				return false
+			}
+		}
+		return true
+	})
+
+	vc.tr.SetDown(victim, true)
+	took := vc.advanceUntil(t, 2*time.Second, func() bool { return ringsExclude(victim) })
+	// DeadAfter=3 consecutive failed probes at a 50ms heartbeat: the
+	// survivors must converge within 4 heartbeats of virtual time (one
+	// slack tick for probe phase), however long the wall scheduler took.
+	if limit := 4 * 50 * time.Millisecond; took > limit {
+		t.Fatalf("death detected after %v of virtual time, want <= %v", took, limit)
+	}
+
+	vc.tr.SetDown(victim, false)
+	took = vc.advanceUntil(t, 2*time.Second, func() bool {
+		for _, node := range vc.nodes {
+			if !node.Ring().Has(victim) {
+				return false
+			}
+		}
+		return true
+	})
+	if limit := 2 * 50 * time.Millisecond; took > limit {
+		t.Fatalf("revival detected after %v of virtual time, want <= %v (one successful probe)", took, limit)
+	}
+}
+
+// TestVirtualTimeForwarding routes a real query through the simulated
+// network: a request entering a non-owner node is forwarded to its ring
+// owner over the sim.Transport, with the hedge timer and forward
+// deadline armed on the virtual clock.
+func TestVirtualTimeForwarding(t *testing.T) {
+	vc := startVirtualCluster(t, 3)
+	vc.advanceUntil(t, time.Second, func() bool {
+		for _, node := range vc.nodes {
+			if len(node.Ring().Members()) != 3 {
+				return false
+			}
+		}
+		return true
+	})
+
+	user := "virtual-forward-user"
+	owner := vc.nodes[0].Ring().Owner(user)
+	entry := ""
+	for _, a := range vc.addrs {
+		if a != owner {
+			entry = a
+			break
+		}
+	}
+	client := &http.Client{Transport: vc.tr.Bind("")}
+	qr, err := queryUser(client, "http://"+entry, user, "a question over the simulated network")
+	if err != nil {
+		t.Fatalf("query via %s: %v", entry, err)
+	}
+	if qr.Hit {
+		t.Fatal("first query reported a cache hit")
+	}
+	var entryNode *Node
+	for i, a := range vc.addrs {
+		if a == entry {
+			entryNode = vc.nodes[i]
+		}
+	}
+	if st := entryNode.StatusSnapshot(); st.Forwards == 0 {
+		t.Error("entry node reports zero forwards over the sim transport")
+	}
+	// The tenant must be resident on its owner, not the entry node.
+	for i, a := range vc.addrs {
+		for _, id := range vc.regs[i].IDs() {
+			if id == user && a != owner {
+				t.Errorf("tenant resident on %s, owner is %s", a, owner)
+			}
+		}
+	}
+}

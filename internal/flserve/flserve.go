@@ -27,6 +27,7 @@ import (
 	"repro/internal/fl"
 	"repro/internal/pca"
 	"repro/internal/server"
+	"repro/internal/sim"
 	"repro/internal/store"
 	"repro/internal/train"
 	"repro/internal/vecmath"
@@ -96,6 +97,11 @@ type Config struct {
 	// semaphore). The interface is structural; resilience.Weighted
 	// satisfies it.
 	Gate Gate
+	// Clock is the round scheduler's time source (the Interval ticker
+	// and round wall-time reporting). Nil defaults to the wall clock;
+	// simulations inject a virtual one so FL rounds fire on virtual
+	// time.
+	Clock sim.Clock
 }
 
 // Gate bounds background maintenance concurrency (see Config.Gate).
@@ -187,6 +193,7 @@ func New(cfg Config) (*Service, error) {
 	if cfg.RolloutParallel <= 0 {
 		cfg.RolloutParallel = 4
 	}
+	cfg.Clock = sim.Or(cfg.Clock)
 	models, err := NewModelRegistry(cfg.Store, cfg.MaxVersions, cfg.Arch)
 	if err != nil {
 		return nil, err
@@ -246,7 +253,7 @@ func (s *Service) Start() {
 	s.loopWG.Add(1)
 	go func() {
 		defer s.loopWG.Done()
-		t := time.NewTicker(s.cfg.Interval)
+		t := s.cfg.Clock.NewTicker(s.cfg.Interval)
 		defer t.Stop()
 		for {
 			select {
@@ -278,12 +285,12 @@ func (s *Service) Close() error {
 func (s *Service) RunRound() (RoundReport, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	start := time.Now()
+	start := s.cfg.Clock.Now()
 	round := s.Round()
 	rep := RoundReport{Round: round, Tau: s.Tau(), Secure: s.cfg.Secure}
 	fail := func(err error) (RoundReport, error) {
 		rep.Error = err.Error()
-		rep.TookMillis = time.Since(start).Milliseconds()
+		rep.TookMillis = s.cfg.Clock.Since(start).Milliseconds()
 		s.pushHistory(rep)
 		return rep, err
 	}
@@ -402,7 +409,7 @@ func (s *Service) RunRound() (RoundReport, error) {
 	s.stateMu.Lock()
 	s.round++
 	s.stateMu.Unlock()
-	rep.TookMillis = time.Since(start).Milliseconds()
+	rep.TookMillis = s.cfg.Clock.Since(start).Milliseconds()
 	s.pushHistory(rep)
 	return rep, nil
 }

@@ -5,6 +5,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/sim"
 )
 
 // LimiterConfig parameterises the AIMD adaptive concurrency limiter.
@@ -35,7 +37,12 @@ type LimiterConfig struct {
 	// request timing out at once) counts as one congestion event, not
 	// `limit` of them. Defaults to 100ms.
 	DecreaseCooldown time.Duration
-	// Now overrides the clock (tests). Defaults to time.Now.
+	// Clock is the decrease-cooldown time source. Nil defaults to the
+	// wall clock; simulations inject a virtual one so the AIMD schedule
+	// runs on virtual time.
+	Clock sim.Clock
+	// Now overrides the clock directly (tests scripting exact
+	// timestamps). Defaults to Clock.Now.
 	Now func() time.Time
 }
 
@@ -122,7 +129,7 @@ func NewLimiter(cfg LimiterConfig) *Limiter {
 		cfg.DecreaseCooldown = 100 * time.Millisecond
 	}
 	if cfg.Now == nil {
-		cfg.Now = time.Now
+		cfg.Now = sim.Or(cfg.Clock).Now
 	}
 	return &Limiter{cfg: cfg, limit: float64(cfg.InitialLimit)}
 }

@@ -4,6 +4,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/sim"
 )
 
 // Breaker states, exposed as a gauge (StateCode) and in snapshots.
@@ -43,7 +45,12 @@ type BreakerConfig struct {
 	// HalfOpenProbes is how many trial calls half-open admits (and how
 	// many must succeed, with zero failures, to close). Defaults to 3.
 	HalfOpenProbes int
-	// Now overrides the clock (tests). Defaults to time.Now.
+	// Clock is the cool-off time source. Nil defaults to the wall
+	// clock; simulations inject a virtual one so open→half-open
+	// transitions run on virtual time.
+	Clock sim.Clock
+	// Now overrides the clock directly (tests scripting exact
+	// timestamps). Defaults to Clock.Now.
 	Now func() time.Time
 }
 
@@ -92,7 +99,7 @@ func NewBreaker(cfg BreakerConfig) *Breaker {
 		cfg.HalfOpenProbes = 3
 	}
 	if cfg.Now == nil {
-		cfg.Now = time.Now
+		cfg.Now = sim.Or(cfg.Clock).Now
 	}
 	return &Breaker{cfg: cfg, outcomes: make([]bool, cfg.Window)}
 }

@@ -5,6 +5,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/sim"
 )
 
 // QuotaConfig parameterises the per-tenant token buckets.
@@ -24,7 +26,12 @@ type QuotaConfig struct {
 	// enforcement degrades open, never blocks the request path on
 	// eviction logic). Defaults to 65536.
 	MaxTenants int
-	// Now overrides the clock (tests). Defaults to time.Now.
+	// Clock is the refill time source. Nil defaults to the wall clock;
+	// simulations inject a virtual one so bucket refill runs on virtual
+	// time.
+	Clock sim.Clock
+	// Now overrides the clock directly (tests scripting exact
+	// timestamps). Defaults to Clock.Now.
 	Now func() time.Time
 }
 
@@ -72,7 +79,7 @@ func NewTokenBuckets(cfg QuotaConfig) *TokenBuckets {
 		cfg.MaxTenants = 65536
 	}
 	if cfg.Now == nil {
-		cfg.Now = time.Now
+		cfg.Now = sim.Or(cfg.Clock).Now
 	}
 	tb := &TokenBuckets{cfg: cfg, shards: make([]bucketShard, cfg.Shards)}
 	for i := range tb.shards {

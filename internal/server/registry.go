@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/core"
+	"repro/internal/sim"
 	"repro/internal/store"
 )
 
@@ -128,6 +129,10 @@ type RegistryConfig struct {
 	// Hooks, when non-nil, observes tenant activation and contributes
 	// persisted metadata.
 	Hooks TenantHooks
+	// Clock is the time source Drain's in-flight wait polls on. Nil
+	// defaults to the wall clock; cluster simulations inject a virtual
+	// one so drain budgets elapse in virtual time.
+	Clock sim.Clock
 }
 
 // Registry is the sharded tenant table: userID → Tenant, with lazy
@@ -160,6 +165,7 @@ func NewRegistry(cfg RegistryConfig) (*Registry, error) {
 	if cfg.Shards <= 0 {
 		cfg.Shards = 16
 	}
+	cfg.Clock = sim.Or(cfg.Clock)
 	r := &Registry{cfg: cfg, shards: make([]*regShard, cfg.Shards)}
 	if cfg.MaxTenants > 0 {
 		// Ceiling split so the aggregate bound is never under MaxTenants.
@@ -285,7 +291,7 @@ var ErrTenantBusy = errors.New("server: tenant pinned by in-flight requests")
 // stays resident and ErrTenantBusy is returned.
 func (r *Registry) Drain(userID string, wait time.Duration) (bool, error) {
 	sh := r.shards[r.ShardFor(userID)]
-	deadline := time.Now().Add(wait)
+	deadline := r.cfg.Clock.Now().Add(wait)
 	for {
 		sh.mu.Lock()
 		el, ok := sh.tenants[userID]
@@ -308,10 +314,10 @@ func (r *Registry) Drain(userID string, wait time.Duration) (bool, error) {
 			return true, nil
 		}
 		sh.mu.Unlock()
-		if !time.Now().Before(deadline) {
+		if !r.cfg.Clock.Now().Before(deadline) {
 			return true, ErrTenantBusy
 		}
-		time.Sleep(time.Millisecond)
+		r.cfg.Clock.Sleep(time.Millisecond)
 	}
 }
 

@@ -1,0 +1,36 @@
+package sim
+
+import (
+	"context"
+	"time"
+)
+
+// ContextWithTimeout is the clock-aware context.WithTimeout: on Wall it
+// IS context.WithTimeout (same semantics, same allocations); on a
+// virtual clock the deadline is a virtual timer, so code holding the
+// context times out when the simulation advances past it, not when the
+// host's clock does.
+//
+// Virtual-clock caveat: ctx.Err() after a virtual expiry is
+// context.Canceled with context.Cause(ctx) == context.DeadlineExceeded
+// (the cancellation is delivered through a watcher, not the runtime
+// timer). Callers that only check Err() != nil — every seam in this
+// repo — behave identically.
+func ContextWithTimeout(parent context.Context, c Clock, d time.Duration) (context.Context, context.CancelFunc) {
+	if c == nil || c == Wall {
+		return context.WithTimeout(parent, d)
+	}
+	ctx, cancel := context.WithCancelCause(parent)
+	t := c.NewTimer(d)
+	go func() {
+		select {
+		case <-t.C:
+			cancel(context.DeadlineExceeded)
+		case <-ctx.Done():
+		}
+	}()
+	return ctx, func() {
+		t.Stop()
+		cancel(context.Canceled)
+	}
+}

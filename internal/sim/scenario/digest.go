@@ -1,0 +1,53 @@
+package scenario
+
+// Trace event kinds. The digest folds every event into one rolling
+// FNV-1a hash; any divergence in what happened, to whom, or when shifts
+// the final value, so equal digests mean bit-identical runs.
+const (
+	evKill       byte = iota + 1 // node crashed (ground truth)
+	evRevive                     // node restarted (ground truth)
+	evDeathView                  // node a declared peer b dead
+	evReviveView                 // node a observed peer b back
+	evHandoff                    // tenant c moved from node a to node b
+	evServe                      // tenant c served: entry a, serving node b
+	evFailover                   // tenant c served by entry a from store; routed owner b was down
+	evDrop                       // tenant c had no live node to serve it
+	evHydrate                    // node a loaded tenant c from the store
+	evRound                      // federated round c aggregated on coordinator a
+	evAdopt                      // node a adopted model version c
+)
+
+// digest is a rolling FNV-1a/64 over fixed-width event records.
+type digest struct {
+	h uint64
+	n int
+}
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func newDigest() *digest { return &digest{h: fnvOffset64} }
+
+// add folds one event record: kind, virtual-time offset in nanoseconds,
+// two small identifiers (node indexes; -1 when unused), and one wide
+// payload (tenant index, version, count).
+func (d *digest) add(kind byte, atNanos int64, a, b int, c uint64) {
+	d.mix(uint64(kind))
+	d.mix(uint64(atNanos))
+	d.mix(uint64(int64(a)))
+	d.mix(uint64(int64(b)))
+	d.mix(c)
+	d.n++
+}
+
+func (d *digest) mix(v uint64) {
+	h := d.h
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= fnvPrime64
+		v >>= 8
+	}
+	d.h = h
+}

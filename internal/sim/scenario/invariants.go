@@ -1,0 +1,88 @@
+package scenario
+
+import "fmt"
+
+// violations checks the settled end state and returns one message per
+// broken invariant (empty means the run was safe). The checks encode
+// the safety contract the production cluster promises after churn
+// stops: nothing dropped, remaps bounded, views and rollouts converged,
+// and every tenant in exactly one right place.
+func (r *runner) violations() []string {
+	var v []string
+
+	// 1. No request was ever dropped: with at least one live node (the
+	// schedule guarantees it) every request is served by the owner or
+	// failed over to the entry's store copy.
+	if r.res.Dropped != 0 {
+		v = append(v, fmt.Sprintf("%d requests dropped", r.res.Dropped))
+	}
+
+	// 2. Consistent-hashing remap bound: across every churn event, only
+	// tenants gained or lost by the churned node moved.
+	if r.remapViolations != 0 {
+		v = append(v, fmt.Sprintf("%d tenants remapped between two un-churned nodes", r.remapViolations))
+	}
+
+	// 3. View convergence: every live node's membership view matches
+	// ground truth after the settle tail.
+	for n, view := range r.views {
+		if !r.alive[n] {
+			continue
+		}
+		for p, dead := range view.dead {
+			if dead == r.alive[p] {
+				v = append(v, fmt.Sprintf("node %d view of peer %d: dead=%v, truth alive=%v", n, p, dead, r.alive[p]))
+			}
+		}
+	}
+
+	// 4. Residency: every tenant is in memory on at most one node, that
+	// node is live, and it is the ground-truth owner. (Zero residents is
+	// fine — the tenant lives in the durable store until next touched.)
+	badCount, badDead, badOwner := 0, 0, 0
+	for t := range r.tenants {
+		m := r.tenants[t].resident
+		if m == 0 {
+			continue
+		}
+		if popcount16(m) > 1 {
+			badCount++
+			continue
+		}
+		n := trailingNode(m)
+		if !r.alive[n] {
+			badDead++
+			continue
+		}
+		if r.byName[r.truth.OwnerHash(r.thash[t])] != n {
+			badOwner++
+		}
+	}
+	if badCount > 0 {
+		v = append(v, fmt.Sprintf("%d tenants resident on more than one node after settling", badCount))
+	}
+	if badDead > 0 {
+		v = append(v, fmt.Sprintf("%d tenants resident on a dead node", badDead))
+	}
+	if badOwner > 0 {
+		v = append(v, fmt.Sprintf("%d tenants resident on a live non-owner after settling", badOwner))
+	}
+
+	// 5. Rollout convergence: every live node runs the latest model.
+	for _, n := range r.aliveList {
+		if r.nodeVersion[n] != r.globalVersion {
+			v = append(v, fmt.Sprintf("node %d on model version %d, latest is %d", n, r.nodeVersion[n], r.globalVersion))
+		}
+	}
+	return v
+}
+
+// trailingNode maps a single-bit residency mask to its node index.
+func trailingNode(m uint16) int {
+	for i := 0; i < 16; i++ {
+		if m&(1<<i) != 0 {
+			return i
+		}
+	}
+	return -1
+}

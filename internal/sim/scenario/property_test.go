@@ -1,0 +1,94 @@
+package scenario
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// propertyConfig builds a randomized mid-size scenario: 6 nodes, 2000
+// tenants, lossy probes, federated rounds, and a seed-derived churn
+// schedule inside the pre-settle window.
+func propertyConfig(seed int64) Config {
+	rng := sim.NewRNG(seed).Fork(0x5ce9a1)
+	return Config{
+		Seed:      seed,
+		Nodes:     6,
+		Tenants:   2000,
+		ProbeLoss: 0.01 + 0.04*rng.Float64(),
+		FLEvery:   400 * time.Millisecond,
+		Duration:  8 * time.Second,
+		Churn:     RandomChurn(rng, 6, 2+rng.Intn(7), 6500*time.Millisecond),
+	}
+}
+
+// TestPropertyRandomChurnSafety drives many seed-derived churn
+// schedules and asserts the safety contract on each settled end state
+// (Run checks the invariants internally: zero drops, bounded remap,
+// converged views, single ownership, rollout convergence) plus replay
+// determinism per seed.
+func TestPropertyRandomChurnSafety(t *testing.T) {
+	for seed := int64(1); seed <= 12; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			cfg := propertyConfig(seed)
+			res, err := Run(cfg)
+			if err != nil {
+				t.Fatalf("seed %d (digest %016x, %d churn events): %v",
+					seed, res.Digest, len(cfg.Churn), err)
+			}
+			if res.Served == 0 {
+				t.Fatalf("seed %d served nothing", seed)
+			}
+			replay, err := Run(cfg)
+			if err != nil {
+				t.Fatalf("seed %d replay: %v", seed, err)
+			}
+			if replay != res {
+				t.Fatalf("seed %d replay diverged: %+v vs %+v", seed, res, replay)
+			}
+		})
+	}
+}
+
+// TestPropertyRemapBoundedByRingShare asserts the quantitative half of
+// the consistent-hashing contract: a single kill in a healthy N-node
+// ring remaps roughly 1/N of tenants — never more than a few times
+// that share (vnode variance), and never less than nothing.
+func TestPropertyRemapBoundedByRingShare(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		cfg := Config{
+			Seed:     seed,
+			Nodes:    8,
+			Tenants:  4000,
+			Duration: 5 * time.Second,
+			Churn:    []ChurnEvent{{At: time.Second, Kind: Kill, Node: int(seed) % 8}},
+		}
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		share := 1.0 / 8
+		if res.MaxRemapFraction <= 0 || res.MaxRemapFraction > 3*share {
+			t.Fatalf("seed %d: kill of one node in 8 remapped %.3f of tenants, want (0, %.3f]",
+				seed, res.MaxRemapFraction, 3*share)
+		}
+	}
+}
+
+// TestRandomChurnSchedulesAreValid pins the generator contract Run's
+// validation enforces, across many seeds and node counts.
+func TestRandomChurnSchedulesAreValid(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		rng := sim.NewRNG(seed)
+		nodes := 2 + rng.Intn(15)
+		churn := RandomChurn(rng, nodes, 1+rng.Intn(12), 3*time.Second)
+		cfg := Config{Nodes: nodes, Tenants: 1, Duration: 10 * time.Second, Churn: churn}
+		if _, err := cfg.withDefaults(); err != nil {
+			t.Fatalf("seed %d: generated invalid schedule %v: %v", seed, churn, err)
+		}
+	}
+}

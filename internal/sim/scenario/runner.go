@@ -1,0 +1,386 @@
+package scenario
+
+import (
+	"fmt"
+	"math/bits"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+)
+
+// Run executes one simulated scenario to completion and checks the end
+// state: zero dropped requests, remaps bounded to the churned node's
+// ring share, every membership view converged to ground truth, every
+// resident tenant on exactly its owner, and every live node on the
+// latest model. A violation returns the partial Result alongside the
+// error so the caller can print the seed and digest for replay.
+func Run(cfg Config) (Result, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return Result{}, err
+	}
+	r := newRunner(cfg)
+	r.schedule()
+	r.clock.Run(r.start.Add(cfg.Duration))
+	r.res.Digest = r.dig.h
+	r.res.TraceEvents = r.dig.n
+	r.res.VirtualTime = cfg.Duration
+	if v := r.violations(); len(v) > 0 {
+		return r.res, fmt.Errorf("scenario: seed %d violates %d invariant(s): %s", cfg.Seed, len(v), v[0])
+	}
+	return r.res, nil
+}
+
+// view is one node's private picture of cluster membership — the gossip
+// state the production Node keeps: consecutive probe-failure counters,
+// a dead set, and the consistent-hash ring over peers it believes live.
+type view struct {
+	fail []int
+	dead []bool
+	ver  uint64
+	ring *cluster.Ring
+}
+
+// tenantState is the per-tenant simulation state: which nodes hold it
+// in memory (a bitmask, so the transient dual-residency windows around
+// failover are representable) and the model version last stamped on it.
+type tenantState struct {
+	resident uint16
+	version  uint32
+}
+
+type runner struct {
+	cfg   Config
+	clock *sim.VirtualClock
+	rng   *sim.RNG
+	dig   *digest
+	start time.Time
+	// quiesceAt begins the settle tail: churn is already forbidden
+	// there by validation, probe loss stops, and federated rounds pause
+	// so views, residency, and rollouts can converge for the checks.
+	quiesceAt time.Time
+
+	names     []string
+	byName    map[string]int
+	alive     []bool
+	aliveList []int // live node indexes, ascending — deterministic choice order
+	views     []*view
+
+	tenants []tenantState
+	thash   []uint64 // precomputed placement hashes, one cluster.Hash per tenant
+
+	truth    *cluster.Ring // ring over the ground-truth live set
+	truthVer uint64
+
+	globalVersion uint64
+	nodeVersion   []uint64
+
+	remapViolations int64
+	res             Result
+
+	// debug, when set by a test, receives membership-transition logs.
+	debug func(format string, args ...any)
+}
+
+func (r *runner) debugf(format string, args ...any) {
+	if r.debug != nil {
+		r.debug(format, args...)
+	}
+}
+
+func newRunner(cfg Config) *runner {
+	r := &runner{
+		cfg:   cfg,
+		clock: sim.NewVirtual(),
+		rng:   sim.NewRNG(cfg.Seed),
+		dig:   newDigest(),
+	}
+	r.start = r.clock.Now()
+	r.quiesceAt = r.start.Add(cfg.Duration - cfg.Settle)
+
+	r.names = make([]string, cfg.Nodes)
+	r.byName = make(map[string]int, cfg.Nodes)
+	r.alive = make([]bool, cfg.Nodes)
+	r.views = make([]*view, cfg.Nodes)
+	r.nodeVersion = make([]uint64, cfg.Nodes)
+	for i := range r.names {
+		r.names[i] = fmt.Sprintf("n%02d", i)
+		r.byName[r.names[i]] = i
+		r.alive[i] = true
+	}
+	// Views are built only after every name exists: freshView derives
+	// its ring from r.names, so building it inside the loop above would
+	// give node i a boot ring missing nodes i+1..N.
+	for i := range r.views {
+		r.views[i] = r.freshView()
+	}
+	r.rebuildAliveList()
+	r.rebuildTruth()
+
+	r.tenants = make([]tenantState, cfg.Tenants)
+	r.thash = make([]uint64, cfg.Tenants)
+	for t := range r.thash {
+		r.thash[t] = cluster.Hash(fmt.Sprintf("t%06d", t))
+	}
+	return r
+}
+
+// freshView is the state a node boots with: everyone presumed live.
+func (r *runner) freshView() *view {
+	v := &view{
+		fail: make([]int, r.cfg.Nodes),
+		dead: make([]bool, r.cfg.Nodes),
+	}
+	r.rebuildView(v)
+	return v
+}
+
+// rebuildView recomputes a view's ring from its dead set.
+func (r *runner) rebuildView(v *view) {
+	members := make([]string, 0, r.cfg.Nodes)
+	for i, name := range r.names {
+		if !v.dead[i] {
+			members = append(members, name)
+		}
+	}
+	v.ver++
+	v.ring = cluster.BuildRing(v.ver, members, r.cfg.VNodes)
+}
+
+func (r *runner) rebuildAliveList() {
+	r.aliveList = r.aliveList[:0]
+	for i, a := range r.alive {
+		if a {
+			r.aliveList = append(r.aliveList, i)
+		}
+	}
+}
+
+// rebuildTruth recomputes the ground-truth ring over actually-live nodes.
+func (r *runner) rebuildTruth() {
+	members := make([]string, 0, len(r.aliveList))
+	for _, i := range r.aliveList {
+		members = append(members, r.names[i])
+	}
+	r.truthVer++
+	r.truth = cluster.BuildRing(r.truthVer, members, r.cfg.VNodes)
+}
+
+func (r *runner) at(now time.Time) int64 { return now.Sub(r.start).Nanoseconds() }
+
+// schedule arms the initial event set: per-node heartbeat and sweep
+// loops (phase-staggered like real processes that booted milliseconds
+// apart), the traffic injector, the federated-round loop, and the churn
+// schedule.
+func (r *runner) schedule() {
+	for n := range r.names {
+		n := n
+		stagger := time.Duration(n) * time.Millisecond
+		r.clock.Schedule(r.cfg.Heartbeat+stagger, func(now time.Time) { r.heartbeat(n, now) })
+		r.clock.Schedule(r.cfg.SweepEvery+stagger, func(now time.Time) { r.sweep(n, now) })
+	}
+	r.clock.Schedule(r.cfg.TrafficEvery, r.trafficTick)
+	if r.cfg.FLEvery > 0 {
+		r.clock.Schedule(r.cfg.FLEvery, r.flRound)
+	}
+	for _, ev := range r.cfg.Churn {
+		ev := ev
+		r.clock.Schedule(ev.At, func(now time.Time) { r.churn(ev, now) })
+	}
+}
+
+// churn applies one scheduled membership transition (ground truth) and
+// asserts the consistent-hashing remap bound across it.
+func (r *runner) churn(ev ChurnEvent, now time.Time) {
+	before := r.truth
+	switch ev.Kind {
+	case Kill:
+		r.alive[ev.Node] = false
+		// The process is gone: in-memory residency with it. The durable
+		// store still has every tenant, so nothing is lost — the next
+		// owner hydrates on demand.
+		mask := ^(uint16(1) << ev.Node)
+		for t := range r.tenants {
+			r.tenants[t].resident &= mask
+		}
+		r.dig.add(evKill, r.at(now), ev.Node, -1, 0)
+	case Revive:
+		r.alive[ev.Node] = true
+		// A restarted node boots empty, presumes everyone live, and
+		// pulls the latest rolled-out model before taking traffic.
+		r.views[ev.Node] = r.freshView()
+		r.nodeVersion[ev.Node] = r.globalVersion
+		r.dig.add(evRevive, r.at(now), ev.Node, -1, r.globalVersion)
+	}
+	r.rebuildAliveList()
+	r.rebuildTruth()
+	r.checkRemap(before, r.truth, ev)
+}
+
+// checkRemap verifies the consistent-hashing contract across one churn
+// event: the only tenants whose ground-truth owner changes are those
+// the churned node gains or loses — everyone else stays put.
+func (r *runner) checkRemap(before, after *cluster.Ring, ev ChurnEvent) {
+	churned := r.names[ev.Node]
+	moved := 0
+	for t := range r.thash {
+		was, is := before.OwnerHash(r.thash[t]), after.OwnerHash(r.thash[t])
+		if was == is {
+			continue
+		}
+		moved++
+		if was != churned && is != churned {
+			r.remapViolations++
+		}
+	}
+	if f := float64(moved) / float64(len(r.thash)); f > r.res.MaxRemapFraction {
+		r.res.MaxRemapFraction = f
+	}
+}
+
+// heartbeat is one node's gossip tick: probe every peer, count
+// consecutive failures, declare death at DeadAfter, observe revivals on
+// the first successful probe. Mirrors Node.heartbeatLoop/probe.
+func (r *runner) heartbeat(n int, now time.Time) {
+	r.clock.Schedule(r.cfg.Heartbeat, func(now time.Time) { r.heartbeat(n, now) })
+	if !r.alive[n] {
+		return
+	}
+	v := r.views[n]
+	lossy := r.cfg.ProbeLoss > 0 && now.Before(r.quiesceAt)
+	for p := range r.names {
+		if p == n {
+			continue
+		}
+		up := r.alive[p]
+		if up && lossy && r.rng.Float64() < r.cfg.ProbeLoss {
+			up = false
+		}
+		if up {
+			v.fail[p] = 0
+			if v.dead[p] {
+				v.dead[p] = false
+				r.rebuildView(v)
+				r.debugf("%v node %d heals peer %d; ring now %v", now.Sub(r.start), n, p, v.ring.Members())
+				r.res.Revivals++
+				r.dig.add(evReviveView, r.at(now), n, p, 0)
+			}
+			continue
+		}
+		if v.fail[p]++; !v.dead[p] && v.fail[p] >= r.cfg.DeadAfter {
+			v.dead[p] = true
+			r.rebuildView(v)
+			r.debugf("%v node %d declares peer %d dead; ring now %v", now.Sub(r.start), n, p, v.ring.Members())
+			r.res.Deaths++
+			r.dig.add(evDeathView, r.at(now), n, p, 0)
+		}
+	}
+}
+
+// sweep is one node's handoff pass: every resident tenant whose owner
+// (per this node's view) is someone else gets pushed to that owner —
+// state drains through the durable store exactly like the registry's
+// handoff path. A push to a node that is actually down fails and the
+// tenant stays put for the next sweep (the view will catch up).
+func (r *runner) sweep(n int, now time.Time) {
+	r.clock.Schedule(r.cfg.SweepEvery, func(now time.Time) { r.sweep(n, now) })
+	if !r.alive[n] {
+		return
+	}
+	v := r.views[n]
+	bit := uint16(1) << n
+	for t := range r.tenants {
+		if r.tenants[t].resident&bit == 0 {
+			continue
+		}
+		owner := r.byName[v.ring.OwnerHash(r.thash[t])]
+		if owner == n || !r.alive[owner] {
+			continue
+		}
+		r.tenants[t].resident = r.tenants[t].resident&^bit | uint16(1)<<owner
+		r.res.Handoffs++
+		r.dig.add(evHandoff, r.at(now), n, owner, uint64(t))
+	}
+}
+
+// trafficTick injects RequestsPerTick requests: each picks a tenant and
+// an entry node, routes by the entry's view of the ring, and forwards
+// to the owner. A forward into a dead owner fails over: the entry
+// serves from the durable store itself (opening the short dual-residency
+// window the sweeps later close).
+func (r *runner) trafficTick(now time.Time) {
+	r.clock.Schedule(r.cfg.TrafficEvery, r.trafficTick)
+	for i := 0; i < r.cfg.RequestsPerTick; i++ {
+		t := r.rng.Intn(len(r.tenants))
+		if len(r.aliveList) == 0 {
+			r.res.Dropped++
+			r.dig.add(evDrop, r.at(now), -1, -1, uint64(t))
+			continue
+		}
+		entry := r.aliveList[r.rng.Intn(len(r.aliveList))]
+		owner := r.byName[r.views[entry].ring.OwnerHash(r.thash[t])]
+		if r.alive[owner] {
+			r.serve(owner, t, now)
+			if owner != entry {
+				r.res.Forwarded++
+			}
+			r.dig.add(evServe, r.at(now), entry, owner, uint64(t))
+		} else {
+			r.serve(entry, t, now)
+			r.res.Failovers++
+			r.dig.add(evFailover, r.at(now), entry, owner, uint64(t))
+		}
+	}
+}
+
+// serve answers one request on node n, hydrating the tenant from the
+// store on first touch and stamping it with n's current model version.
+func (r *runner) serve(n, t int, now time.Time) {
+	bit := uint16(1) << n
+	if r.tenants[t].resident&bit == 0 {
+		r.tenants[t].resident |= bit
+		r.res.Hydrates++
+		r.dig.add(evHydrate, r.at(now), n, -1, uint64(t))
+	}
+	r.tenants[t].version = uint32(r.nodeVersion[n])
+	r.res.Served++
+}
+
+// flRound runs one federated round: sample FLClients participants,
+// aggregate on a live coordinator, bump the global model version, and
+// roll it out to each live node after a jittered propagation delay —
+// the flserve Start/RunRound cadence. Rounds pause during the settle
+// tail so the final rollout can finish before the invariant check.
+func (r *runner) flRound(now time.Time) {
+	if !now.Before(r.quiesceAt) {
+		return
+	}
+	r.clock.Schedule(r.cfg.FLEvery, r.flRound)
+	if len(r.aliveList) == 0 {
+		return
+	}
+	coord := r.aliveList[r.rng.Intn(len(r.aliveList))]
+	for i := 0; i < r.cfg.FLClients; i++ {
+		t := r.rng.Intn(len(r.tenants))
+		r.dig.add(evRound, r.at(now), coord, -1, uint64(t))
+	}
+	r.globalVersion++
+	r.res.Rounds++
+	r.dig.add(evRound, r.at(now), coord, -1, r.globalVersion)
+	for _, n := range r.aliveList {
+		n := n
+		jitter := time.Duration(r.rng.Duration(int64(time.Millisecond), int64(20*time.Millisecond)))
+		r.clock.Schedule(jitter, func(now time.Time) {
+			if !r.alive[n] || r.nodeVersion[n] >= r.globalVersion {
+				return
+			}
+			r.nodeVersion[n] = r.globalVersion
+			r.dig.add(evAdopt, r.at(now), n, -1, r.globalVersion)
+		})
+	}
+	r.res.ModelVersion = r.globalVersion
+}
+
+// popcount16 is bits.OnesCount16 named for the invariant messages.
+func popcount16(m uint16) int { return bits.OnesCount16(m) }

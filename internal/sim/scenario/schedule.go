@@ -1,0 +1,67 @@
+package scenario
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// RandomChurn draws a valid churn schedule: up to events transitions at
+// random instants inside window, walked in time order so every kill
+// hits a live node, every revive a dead one, and at least one node
+// stays alive throughout. The property suite and FuzzSimScenario both
+// build their storms with it; determinism follows from rng being a
+// seeded sim.RNG.
+func RandomChurn(rng *sim.RNG, nodes, events int, window time.Duration) []ChurnEvent {
+	if nodes < 2 || events <= 0 || window <= 0 {
+		return nil
+	}
+	times := make([]time.Duration, events)
+	for i := range times {
+		times[i] = time.Duration(rng.Duration(0, int64(window)))
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+
+	alive := make([]bool, nodes)
+	for i := range alive {
+		alive[i] = true
+	}
+	aliveN := nodes
+	out := make([]ChurnEvent, 0, events)
+	pick := func(want bool) int {
+		// k-th node in index order with the wanted liveness; k drawn
+		// from the schedule's RNG so the choice is seed-deterministic.
+		n := 0
+		for _, a := range alive {
+			if a == want {
+				n++
+			}
+		}
+		k := rng.Intn(n)
+		for i, a := range alive {
+			if a == want {
+				if k == 0 {
+					return i
+				}
+				k--
+			}
+		}
+		return -1 // unreachable: n counted above
+	}
+	for _, at := range times {
+		deadN := nodes - aliveN
+		if aliveN > 1 && (deadN == 0 || rng.Float64() < 0.5) {
+			n := pick(true)
+			alive[n] = false
+			aliveN--
+			out = append(out, ChurnEvent{At: at, Kind: Kill, Node: n})
+		} else if deadN > 0 {
+			n := pick(false)
+			alive[n] = true
+			aliveN++
+			out = append(out, ChurnEvent{At: at, Kind: Revive, Node: n})
+		}
+	}
+	return out
+}

@@ -1,0 +1,109 @@
+// Package sim is the deterministic-simulation toolkit: a Clock seam the
+// production layers take instead of the time package, a discrete-event
+// VirtualClock that drives the same code under virtual time, a seeded
+// in-memory Transport that stands in for the network, and an injectable
+// RNG — together they let the cluster/FL/resilience stack run churn
+// storms over hundreds of thousands of tenants in seconds of wall time,
+// bit-identically for a given seed (see internal/sim/scenario).
+//
+// Design rules, in the mgpusim discrete-event idiom:
+//
+//   - The wall clock is the default everywhere. Wall's methods delegate
+//     straight to the time package, so production behavior (and the
+//     zero-alloc hit-path budget) is unchanged when nothing is injected.
+//   - Virtual time only moves when someone calls Advance/Run: timers fire
+//     in deterministic (deadline, schedule-order) order, never "about
+//     now" — the property the seed-determinism gates are built on.
+//   - Code under test never knows which clock it has. The seams are
+//     plain Clock fields on the existing Config structs.
+package sim
+
+import "time"
+
+// Clock is the time seam threaded through cluster, flserve, resilience
+// and the registry. It mirrors the subset of the time package those
+// layers use; Wall implements it on the real clock and VirtualClock on
+// simulated time.
+type Clock interface {
+	Now() time.Time
+	Since(t time.Time) time.Duration
+	Until(t time.Time) time.Duration
+	// Sleep blocks the calling goroutine for d of this clock's time.
+	Sleep(d time.Duration)
+	// After fires once after d. Equivalent to NewTimer(d).C when the
+	// timer never needs stopping.
+	After(d time.Duration) <-chan time.Time
+	// NewTimer and NewTicker mirror time.NewTimer/time.NewTicker.
+	NewTimer(d time.Duration) *Timer
+	NewTicker(d time.Duration) *Ticker
+}
+
+// Timer is the clock-agnostic time.Timer: exactly one of rt/vt is set.
+type Timer struct {
+	C  <-chan time.Time
+	rt *time.Timer
+	vt *vevent
+}
+
+// Stop prevents the timer from firing, reporting whether it was pending.
+func (t *Timer) Stop() bool {
+	if t.rt != nil {
+		return t.rt.Stop()
+	}
+	return t.vt.cancel()
+}
+
+// Reset re-arms the timer for d, reporting whether it was still pending.
+func (t *Timer) Reset(d time.Duration) bool {
+	if t.rt != nil {
+		return t.rt.Reset(d)
+	}
+	return t.vt.reset(d)
+}
+
+// Ticker is the clock-agnostic time.Ticker: exactly one of rt/vt is set.
+type Ticker struct {
+	C  <-chan time.Time
+	rt *time.Ticker
+	vt *vevent
+}
+
+// Stop shuts the ticker down.
+func (t *Ticker) Stop() {
+	if t.rt != nil {
+		t.rt.Stop()
+		return
+	}
+	t.vt.cancel()
+}
+
+// Wall is the production clock: every method delegates to the time
+// package. It is the default for every Clock seam in the repo.
+var Wall Clock = wallClock{}
+
+type wallClock struct{}
+
+func (wallClock) Now() time.Time                         { return time.Now() }
+func (wallClock) Since(t time.Time) time.Duration        { return time.Since(t) }
+func (wallClock) Until(t time.Time) time.Duration        { return time.Until(t) }
+func (wallClock) Sleep(d time.Duration)                  { time.Sleep(d) }
+func (wallClock) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+func (wallClock) NewTimer(d time.Duration) *Timer {
+	rt := time.NewTimer(d)
+	return &Timer{C: rt.C, rt: rt}
+}
+
+func (wallClock) NewTicker(d time.Duration) *Ticker {
+	rt := time.NewTicker(d)
+	return &Ticker{C: rt.C, rt: rt}
+}
+
+// Or returns c, or Wall when c is nil — the one-line default every
+// Config plumbs through.
+func Or(c Clock) Clock {
+	if c == nil {
+		return Wall
+	}
+	return c
+}

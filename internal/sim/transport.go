@@ -1,0 +1,192 @@
+package sim
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"time"
+)
+
+// Transport is the seeded in-memory network: an http.RoundTripper that
+// routes requests to registered in-process handlers instead of sockets,
+// with configurable per-hop latency jitter, probabilistic loss, host
+// kills, and directed partitions. The cluster Node's Config.Client seam
+// accepts it directly (&http.Client{Transport: tr.Bind(self)}), so the
+// same gossip/forward/handoff code that runs over TCP in production
+// runs over simulated links in tests — under either clock.
+//
+// Latency and loss draws come from one seeded RNG consumed under the
+// transport lock, so a single-threaded driver observes a deterministic
+// network; concurrent drivers get a race-free but schedule-ordered one.
+type Transport struct {
+	clock Clock
+
+	mu      sync.Mutex
+	rng     *RNG
+	hosts   map[string]http.Handler
+	down    map[string]bool
+	blocked map[string]bool // "from|to" directed links
+
+	minLatency time.Duration
+	maxLatency time.Duration
+	loss       float64
+
+	delivered int64 // under mu
+	dropped   int64 // under mu
+}
+
+// NewTransport builds a network on clock (nil = Wall) with the given
+// RNG seed. Zero latency and loss until configured.
+func NewTransport(clock Clock, seed int64) *Transport {
+	return &Transport{
+		clock:   Or(clock),
+		rng:     NewRNG(seed),
+		hosts:   make(map[string]http.Handler),
+		down:    make(map[string]bool),
+		blocked: make(map[string]bool),
+	}
+}
+
+// Register installs addr's handler (its serving mux). Re-registering
+// replaces the handler — how a revived node comes back.
+func (tr *Transport) Register(addr string, h http.Handler) {
+	tr.mu.Lock()
+	tr.hosts[addr] = h
+	delete(tr.down, addr)
+	tr.mu.Unlock()
+}
+
+// SetDown marks addr unreachable (true) or reachable again (false)
+// without dropping its handler — an abrupt kill/revive.
+func (tr *Transport) SetDown(addr string, down bool) {
+	tr.mu.Lock()
+	tr.down[addr] = down
+	tr.mu.Unlock()
+}
+
+// SetLatency configures the per-hop latency range; each request draws
+// uniformly in [min, max] for its request leg and again for its
+// response leg.
+func (tr *Transport) SetLatency(min, max time.Duration) {
+	tr.mu.Lock()
+	tr.minLatency, tr.maxLatency = min, max
+	tr.mu.Unlock()
+}
+
+// SetLoss configures the probability in [0, 1] that any exchange is
+// dropped (surfacing to the caller as a transport error).
+func (tr *Transport) SetLoss(p float64) {
+	tr.mu.Lock()
+	tr.loss = p
+	tr.mu.Unlock()
+}
+
+// Partition blocks (or heals) the directed link from → to. Block both
+// directions for a symmetric partition.
+func (tr *Transport) Partition(from, to string, block bool) {
+	tr.mu.Lock()
+	if block {
+		tr.blocked[from+"|"+to] = true
+	} else {
+		delete(tr.blocked, from+"|"+to)
+	}
+	tr.mu.Unlock()
+}
+
+// Delivered and Dropped report cumulative exchange outcomes.
+func (tr *Transport) Delivered() int64 {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	return tr.delivered
+}
+
+func (tr *Transport) Dropped() int64 {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	return tr.dropped
+}
+
+// Bind returns the RoundTripper a node at origin dials through —
+// origin is what directed partitions match against. An empty origin
+// means an external client (never partitioned, still subject to loss).
+func (tr *Transport) Bind(origin string) http.RoundTripper {
+	return boundTransport{tr: tr, origin: origin}
+}
+
+// RoundTrip implements http.RoundTripper for unbound (external) use.
+func (tr *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	return tr.roundTrip("", req)
+}
+
+type boundTransport struct {
+	tr     *Transport
+	origin string
+}
+
+func (b boundTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	return b.tr.roundTrip(b.origin, req)
+}
+
+// netError is the transport failure shape: it unwraps like a dial/read
+// error (timeout-free), which is what the cluster layer's death
+// counters classify as a genuine transport failure.
+type netError struct{ msg string }
+
+func (e *netError) Error() string { return "sim: " + e.msg }
+
+func (tr *Transport) roundTrip(origin string, req *http.Request) (*http.Response, error) {
+	host := req.URL.Host
+	tr.mu.Lock()
+	h, ok := tr.hosts[host]
+	down := tr.down[host]
+	cut := origin != "" && tr.blocked[origin+"|"+host]
+	lost := tr.loss > 0 && tr.rng.Float64() < tr.loss
+	reqLat := time.Duration(tr.rng.Duration(int64(tr.minLatency), int64(tr.maxLatency)))
+	respLat := time.Duration(tr.rng.Duration(int64(tr.minLatency), int64(tr.maxLatency)))
+	if !ok || down || cut || lost {
+		tr.dropped++
+	}
+	tr.mu.Unlock()
+
+	// The request leg's latency is paid even for failed exchanges — a
+	// dead host looks like an unanswered dial, not an instant error.
+	if err := tr.wait(req, reqLat); err != nil {
+		return nil, err
+	}
+	switch {
+	case !ok:
+		return nil, &netError{msg: fmt.Sprintf("no route to %s", host)}
+	case down:
+		return nil, &netError{msg: fmt.Sprintf("connection refused: %s is down", host)}
+	case cut:
+		return nil, &netError{msg: fmt.Sprintf("link %s -> %s partitioned", origin, host)}
+	case lost:
+		return nil, &netError{msg: fmt.Sprintf("exchange with %s lost", host)}
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if err := tr.wait(req, respLat); err != nil {
+		return nil, err
+	}
+	tr.mu.Lock()
+	tr.delivered++
+	tr.mu.Unlock()
+	return rec.Result(), nil
+}
+
+// wait pays one latency leg on the transport's clock, honoring the
+// request's cancellation.
+func (tr *Transport) wait(req *http.Request, d time.Duration) error {
+	if d <= 0 {
+		return nil
+	}
+	t := tr.clock.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-req.Context().Done():
+		return req.Context().Err()
+	}
+}

@@ -1,0 +1,143 @@
+package sim
+
+import (
+	"io"
+	"net/http"
+	"testing"
+	"time"
+)
+
+func echoHandler(id string) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, id)
+	})
+}
+
+func get(t *testing.T, client *http.Client, url string) (string, error) {
+	t.Helper()
+	resp, err := client.Get(url)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	return string(b), err
+}
+
+func TestTransportRoutesToRegisteredHosts(t *testing.T) {
+	tr := NewTransport(Wall, 1)
+	tr.Register("a:1", echoHandler("A"))
+	tr.Register("b:1", echoHandler("B"))
+	client := &http.Client{Transport: tr.Bind("a:1")}
+	if body, err := get(t, client, "http://b:1/x"); err != nil || body != "B" {
+		t.Fatalf("b:1 answered (%q, %v), want B", body, err)
+	}
+	if _, err := get(t, client, "http://nowhere:9/x"); err == nil {
+		t.Fatal("unregistered host answered")
+	}
+	if tr.Delivered() != 1 || tr.Dropped() != 1 {
+		t.Fatalf("delivered/dropped = %d/%d, want 1/1", tr.Delivered(), tr.Dropped())
+	}
+}
+
+func TestTransportDownAndPartition(t *testing.T) {
+	tr := NewTransport(Wall, 1)
+	tr.Register("a:1", echoHandler("A"))
+	tr.Register("b:1", echoHandler("B"))
+	fromA := &http.Client{Transport: tr.Bind("a:1")}
+	fromC := &http.Client{Transport: tr.Bind("c:1")}
+
+	tr.SetDown("b:1", true)
+	if _, err := get(t, fromA, "http://b:1/x"); err == nil {
+		t.Fatal("down host answered")
+	}
+	tr.SetDown("b:1", false)
+	if _, err := get(t, fromA, "http://b:1/x"); err != nil {
+		t.Fatalf("revived host unreachable: %v", err)
+	}
+
+	tr.Partition("a:1", "b:1", true)
+	if _, err := get(t, fromA, "http://b:1/x"); err == nil {
+		t.Fatal("partitioned link delivered")
+	}
+	// The partition is directed: c → b still flows.
+	if body, err := get(t, fromC, "http://b:1/x"); err != nil || body != "B" {
+		t.Fatalf("unrelated link failed (%q, %v)", body, err)
+	}
+	tr.Partition("a:1", "b:1", false)
+	if _, err := get(t, fromA, "http://b:1/x"); err != nil {
+		t.Fatalf("healed link failed: %v", err)
+	}
+}
+
+func TestTransportLossIsSeedDeterministic(t *testing.T) {
+	outcomes := func(seed int64) []bool {
+		tr := NewTransport(Wall, seed)
+		tr.Register("a:1", echoHandler("A"))
+		tr.SetLoss(0.5)
+		client := &http.Client{Transport: tr}
+		var out []bool
+		for i := 0; i < 64; i++ {
+			_, err := get(t, client, "http://a:1/x")
+			out = append(out, err == nil)
+		}
+		return out
+	}
+	a, b, c := outcomes(42), outcomes(42), outcomes(43)
+	lost := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different loss patterns")
+		}
+		if !a[i] {
+			lost++
+		}
+	}
+	if lost == 0 || lost == len(a) {
+		t.Fatalf("loss 0.5 dropped %d of %d — not probabilistic", lost, len(a))
+	}
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical loss patterns")
+	}
+}
+
+func TestTransportVirtualLatency(t *testing.T) {
+	// Under a virtual clock the exchange blocks until the driver
+	// advances past both latency legs — no wall time passes.
+	c := NewVirtual()
+	tr := NewTransport(c, 9)
+	tr.Register("a:1", echoHandler("A"))
+	tr.SetLatency(5*time.Millisecond, 5*time.Millisecond)
+	client := &http.Client{Transport: tr}
+	done := make(chan error, 1)
+	go func() {
+		_, err := get(t, client, "http://a:1/x")
+		done <- err
+	}()
+	c.BlockUntil(1) // request leg parked
+	select {
+	case err := <-done:
+		t.Fatalf("exchange completed before virtual time passed: %v", err)
+	default:
+	}
+	c.Advance(5 * time.Millisecond) // request leg
+	c.BlockUntil(1)                 // response leg parked
+	c.Advance(5 * time.Millisecond) // response leg
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("virtual exchange failed: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("virtual exchange never completed")
+	}
+	if got := c.Since(Epoch); got != 10*time.Millisecond {
+		t.Fatalf("virtual RTT %v, want 10ms", got)
+	}
+}

@@ -1,0 +1,298 @@
+package sim
+
+import (
+	"container/heap"
+	"sync"
+	"time"
+)
+
+// VirtualClock is a discrete-event virtual clock. Time never passes on
+// its own: Advance/Step/Run move it, firing due events in deterministic
+// order — by deadline first, then by scheduling order for ties (the
+// stable tie-break the seed-determinism gates depend on).
+//
+// Two kinds of consumer share one event queue:
+//
+//   - Production code holding a Clock: Sleep/After/NewTimer/NewTicker
+//     park on channels that the driving goroutine releases by advancing
+//     the clock. BlockUntil lets a test wait for those parkers to
+//     register before advancing (the clockwork idiom).
+//   - The scenario engine (internal/sim/scenario): Schedule enqueues a
+//     closure at a virtual instant; Step/Run execute the closures
+//     inline on the driving goroutine, single-threaded, which is what
+//     makes whole-system runs bit-identical for a given seed.
+//
+// Advance/Step/Run must be called from one driving goroutine at a time,
+// and never from inside a scheduled closure.
+type VirtualClock struct {
+	mu    sync.Mutex
+	cond  *sync.Cond // broadcast when the queue grows
+	now   time.Time
+	seq   uint64
+	queue veventQueue
+}
+
+// Epoch is the instant a fresh VirtualClock starts at: an arbitrary
+// fixed point, so virtual runs never observe the host's clock.
+var Epoch = time.Date(2030, time.January, 1, 0, 0, 0, 0, time.UTC)
+
+// NewVirtual builds a virtual clock starting at Epoch.
+func NewVirtual() *VirtualClock { return NewVirtualAt(Epoch) }
+
+// NewVirtualAt builds a virtual clock starting at start.
+func NewVirtualAt(start time.Time) *VirtualClock {
+	c := &VirtualClock{now: start}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+// vevent is one queued occurrence: a timer/ticker channel send, a
+// sleeper release, or a scheduled closure.
+type vevent struct {
+	clock  *VirtualClock
+	at     time.Time
+	seq    uint64
+	idx    int           // heap index; -1 when not queued
+	period time.Duration // > 0: reschedules itself (ticker)
+	ch     chan time.Time
+	fn     func(now time.Time)
+}
+
+// Now reports the current virtual time.
+func (c *VirtualClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *VirtualClock) Since(t time.Time) time.Duration { return c.Now().Sub(t) }
+func (c *VirtualClock) Until(t time.Time) time.Duration { return t.Sub(c.Now()) }
+
+// Sleep parks the calling goroutine until the clock has advanced past d.
+// d <= 0 returns immediately.
+func (c *VirtualClock) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	<-c.After(d)
+}
+
+// After returns a channel that receives the virtual time once the clock
+// advances d past now.
+func (c *VirtualClock) After(d time.Duration) <-chan time.Time {
+	return c.NewTimer(d).C
+}
+
+// NewTimer arms a one-shot virtual timer.
+func (c *VirtualClock) NewTimer(d time.Duration) *Timer {
+	ev := &vevent{clock: c, ch: make(chan time.Time, 1)}
+	c.schedule(ev, d)
+	return &Timer{C: ev.ch, vt: ev}
+}
+
+// NewTicker arms a periodic virtual ticker. d must be positive, matching
+// time.NewTicker.
+func (c *VirtualClock) NewTicker(d time.Duration) *Ticker {
+	if d <= 0 {
+		panic("sim: non-positive interval for NewTicker")
+	}
+	ev := &vevent{clock: c, ch: make(chan time.Time, 1), period: d}
+	c.schedule(ev, d)
+	return &Ticker{C: ev.ch, vt: ev}
+}
+
+// Schedule enqueues fn to run at now+delay (immediately on the next Step
+// when delay <= 0). fn runs inline on the goroutine driving the clock
+// and may Schedule further events; it must not call Advance/Step/Run.
+func (c *VirtualClock) Schedule(delay time.Duration, fn func(now time.Time)) {
+	if fn == nil {
+		return
+	}
+	c.schedule(&vevent{clock: c, fn: fn}, delay)
+}
+
+func (c *VirtualClock) schedule(ev *vevent, delay time.Duration) {
+	if delay < 0 {
+		delay = 0
+	}
+	c.mu.Lock()
+	ev.at = c.now.Add(delay)
+	ev.seq = c.seq
+	c.seq++
+	heap.Push(&c.queue, ev)
+	c.cond.Broadcast()
+	c.mu.Unlock()
+}
+
+// cancel dequeues the event, reporting whether it was still pending.
+func (ev *vevent) cancel() bool {
+	c := ev.clock
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if ev.idx < 0 {
+		return false
+	}
+	heap.Remove(&c.queue, ev.idx)
+	return true
+}
+
+// reset re-arms the event d from the current virtual time.
+func (ev *vevent) reset(d time.Duration) bool {
+	if d < 0 {
+		d = 0
+	}
+	c := ev.clock
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	pending := ev.idx >= 0
+	if pending {
+		heap.Remove(&c.queue, ev.idx)
+	}
+	ev.at = c.now.Add(d)
+	ev.seq = c.seq
+	c.seq++
+	heap.Push(&c.queue, ev)
+	c.cond.Broadcast()
+	return pending
+}
+
+// Advance moves virtual time forward by d, firing every event due in
+// (now, now+d] in deterministic order.
+func (c *VirtualClock) Advance(d time.Duration) { c.AdvanceTo(c.Now().Add(d)) }
+
+// AdvanceTo moves virtual time to target (no-op if target is in the
+// past), firing due events in deterministic order.
+func (c *VirtualClock) AdvanceTo(target time.Time) {
+	c.mu.Lock()
+	for len(c.queue) > 0 && !c.queue[0].at.After(target) {
+		c.fireNextLocked()
+	}
+	if target.After(c.now) {
+		c.now = target
+	}
+	c.mu.Unlock()
+}
+
+// Step jumps to the next pending event and fires every event scheduled
+// at that same instant. It reports false (moving nothing) on an empty
+// queue — the scenario engine's termination condition.
+func (c *VirtualClock) Step() bool {
+	c.mu.Lock()
+	if len(c.queue) == 0 {
+		c.mu.Unlock()
+		return false
+	}
+	at := c.queue[0].at
+	for len(c.queue) > 0 && c.queue[0].at.Equal(at) {
+		c.fireNextLocked()
+	}
+	c.mu.Unlock()
+	return true
+}
+
+// Run drives the queue until it is empty or the next event lies beyond
+// horizon, leaving the clock at min(horizon, last event time). It
+// returns the number of events fired — the scenario engine's main loop.
+func (c *VirtualClock) Run(horizon time.Time) int {
+	fired := 0
+	c.mu.Lock()
+	for len(c.queue) > 0 && !c.queue[0].at.After(horizon) {
+		c.fireNextLocked()
+		fired++
+	}
+	if horizon.After(c.now) {
+		c.now = horizon
+	}
+	c.mu.Unlock()
+	return fired
+}
+
+// fireNextLocked pops and fires the earliest event. Channel sends are
+// non-blocking (time.Timer semantics: a consumer that has not drained
+// the previous tick misses this one); closures run outside the lock so
+// they can schedule.
+func (c *VirtualClock) fireNextLocked() {
+	ev := heap.Pop(&c.queue).(*vevent)
+	if ev.at.After(c.now) {
+		c.now = ev.at
+	}
+	now := c.now
+	if ev.period > 0 {
+		ev.at = ev.at.Add(ev.period)
+		ev.seq = c.seq
+		c.seq++
+		heap.Push(&c.queue, ev)
+	}
+	if ev.ch != nil {
+		select {
+		case ev.ch <- now:
+		default:
+		}
+	}
+	if ev.fn != nil {
+		c.mu.Unlock()
+		ev.fn(now)
+		c.mu.Lock()
+	}
+}
+
+// Pending reports how many events are queued (tickers count once).
+func (c *VirtualClock) Pending() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.queue)
+}
+
+// NextAt reports the earliest queued deadline.
+func (c *VirtualClock) NextAt() (time.Time, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.queue) == 0 {
+		return time.Time{}, false
+	}
+	return c.queue[0].at, true
+}
+
+// BlockUntil waits until at least n events are queued — how a test
+// knows the goroutines under test have parked on their timers/tickers
+// before it advances the clock (the clockwork idiom).
+func (c *VirtualClock) BlockUntil(n int) {
+	c.mu.Lock()
+	for len(c.queue) < n {
+		c.cond.Wait()
+	}
+	c.mu.Unlock()
+}
+
+// veventQueue is a min-heap by (deadline, scheduling order).
+type veventQueue []*vevent
+
+func (q veventQueue) Len() int { return len(q) }
+
+func (q veventQueue) Less(i, j int) bool {
+	if !q[i].at.Equal(q[j].at) {
+		return q[i].at.Before(q[j].at)
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q veventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].idx, q[j].idx = i, j
+}
+
+func (q *veventQueue) Push(x any) {
+	ev := x.(*vevent)
+	ev.idx = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *veventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.idx = -1
+	*q = old[:n-1]
+	return ev
+}

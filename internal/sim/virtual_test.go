@@ -1,0 +1,223 @@
+package sim
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestVirtualClockAdvanceFiresInOrder(t *testing.T) {
+	c := NewVirtual()
+	var order []string
+	c.Schedule(30*time.Millisecond, func(time.Time) { order = append(order, "c") })
+	c.Schedule(10*time.Millisecond, func(time.Time) { order = append(order, "a") })
+	c.Schedule(20*time.Millisecond, func(time.Time) { order = append(order, "b") })
+	c.Advance(25 * time.Millisecond)
+	if got := len(order); got != 2 || order[0] != "a" || order[1] != "b" {
+		t.Fatalf("after 25ms: fired %v, want [a b]", order)
+	}
+	c.Advance(10 * time.Millisecond)
+	if len(order) != 3 || order[2] != "c" {
+		t.Fatalf("after 35ms: fired %v, want [a b c]", order)
+	}
+	if got := c.Since(Epoch); got != 35*time.Millisecond {
+		t.Fatalf("virtual now advanced %v, want 35ms", got)
+	}
+}
+
+func TestVirtualClockStableTieOrdering(t *testing.T) {
+	// Events scheduled for the same instant fire in scheduling order —
+	// the tie-break the determinism digests rely on.
+	c := NewVirtual()
+	var order []int
+	for i := 0; i < 16; i++ {
+		i := i
+		c.Schedule(time.Millisecond, func(time.Time) { order = append(order, i) })
+	}
+	if !c.Step() {
+		t.Fatal("Step found no events")
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("tie ordering broke: fired %v", order)
+		}
+	}
+	if len(order) != 16 {
+		t.Fatalf("Step fired %d of 16 same-instant events", len(order))
+	}
+}
+
+func TestVirtualClockScheduledCascade(t *testing.T) {
+	// A closure scheduling follow-up events models the engine's whole
+	// lifetime: Run drains the cascade up to the horizon.
+	c := NewVirtual()
+	count := 0
+	var tick func(now time.Time)
+	tick = func(now time.Time) {
+		count++
+		c.Schedule(time.Second, tick)
+	}
+	c.Schedule(time.Second, tick)
+	c.Run(Epoch.Add(10*time.Second + 500*time.Millisecond))
+	if count != 10 {
+		t.Fatalf("cascade fired %d times in 10.5s, want 10", count)
+	}
+	if got := c.Now(); !got.Equal(Epoch.Add(10*time.Second + 500*time.Millisecond)) {
+		t.Fatalf("Run left clock at %v", got)
+	}
+}
+
+func TestVirtualTimerStopAndReset(t *testing.T) {
+	c := NewVirtual()
+	tm := c.NewTimer(10 * time.Millisecond)
+	if !tm.Stop() {
+		t.Fatal("Stop on a pending timer reported not-pending")
+	}
+	c.Advance(20 * time.Millisecond)
+	select {
+	case <-tm.C:
+		t.Fatal("stopped timer fired")
+	default:
+	}
+	if tm.Reset(5 * time.Millisecond) {
+		t.Fatal("Reset on a stopped timer reported pending")
+	}
+	c.Advance(5 * time.Millisecond)
+	select {
+	case at := <-tm.C:
+		if want := Epoch.Add(25 * time.Millisecond); !at.Equal(want) {
+			t.Fatalf("timer fired at %v, want %v", at, want)
+		}
+	default:
+		t.Fatal("reset timer did not fire")
+	}
+}
+
+func TestVirtualTickerTicksEachPeriod(t *testing.T) {
+	c := NewVirtual()
+	tk := c.NewTicker(time.Second)
+	ticks := 0
+	for i := 0; i < 5; i++ {
+		c.Advance(time.Second)
+		select {
+		case <-tk.C:
+			ticks++
+		default:
+		}
+	}
+	if ticks != 5 {
+		t.Fatalf("got %d ticks over 5 periods, want 5", ticks)
+	}
+	tk.Stop()
+	c.Advance(3 * time.Second)
+	select {
+	case <-tk.C:
+		t.Fatal("stopped ticker ticked")
+	default:
+	}
+}
+
+func TestVirtualSleepParksUntilAdvance(t *testing.T) {
+	c := NewVirtual()
+	done := make(chan time.Duration, 1)
+	go func() {
+		start := c.Now()
+		c.Sleep(42 * time.Millisecond)
+		done <- c.Since(start)
+	}()
+	c.BlockUntil(1) // the sleeper has parked
+	select {
+	case <-done:
+		t.Fatal("Sleep returned before the clock advanced")
+	default:
+	}
+	c.Advance(42 * time.Millisecond)
+	select {
+	case d := <-done:
+		if d != 42*time.Millisecond {
+			t.Fatalf("sleeper observed %v, want 42ms", d)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("sleeper never woke after Advance")
+	}
+}
+
+func TestVirtualContextTimeout(t *testing.T) {
+	c := NewVirtual()
+	ctx, cancel := ContextWithTimeout(context.Background(), c, 100*time.Millisecond)
+	defer cancel()
+	if ctx.Err() != nil {
+		t.Fatalf("fresh context already done: %v", ctx.Err())
+	}
+	c.Advance(100 * time.Millisecond)
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("context did not expire when virtual time passed its deadline")
+	}
+	if cause := context.Cause(ctx); cause != context.DeadlineExceeded {
+		t.Fatalf("context cause = %v, want DeadlineExceeded", cause)
+	}
+}
+
+func TestWallContextTimeoutIsRealWithTimeout(t *testing.T) {
+	ctx, cancel := ContextWithTimeout(context.Background(), Wall, time.Minute)
+	defer cancel()
+	if _, ok := ctx.Deadline(); !ok {
+		t.Fatal("wall-clock path should carry a real deadline")
+	}
+}
+
+func TestVirtualClockConcurrentTimersAreRaceFree(t *testing.T) {
+	// Not a determinism test — goroutine consumption order is the OS
+	// scheduler's business — just the -race surface for the shared queue.
+	c := NewVirtual()
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				c.Sleep(time.Duration(w+1) * time.Millisecond)
+			}
+		}(w)
+	}
+	stop := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				c.Advance(time.Millisecond)
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+}
+
+func TestRNGDeterminismAndFork(t *testing.T) {
+	a, b := NewRNG(7), NewRNG(7)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("equal seeds diverged")
+		}
+	}
+	if NewRNG(7).Uint64() == NewRNG(8).Uint64() {
+		t.Fatal("different seeds produced the same first draw")
+	}
+	f1, f2 := NewRNG(7).Fork(1), NewRNG(7).Fork(2)
+	if f1.Uint64() == f2.Uint64() {
+		t.Fatal("forks with different labels produced the same first draw")
+	}
+	p := NewRNG(3).Perm(10)
+	q := NewRNG(3).Perm(10)
+	for i := range p {
+		if p[i] != q[i] {
+			t.Fatal("Perm not deterministic")
+		}
+	}
+}
