@@ -5,7 +5,7 @@ GO ?= go
 
 .PHONY: build check test race vet bench bench-json benchdiff loadtest \
 	loadtest-fl conformance fuzz-smoke loadtest-ann loadtest-cluster \
-	loadtest-overload sim clean
+	loadtest-overload loadtest-hotspot sim clean
 
 build:
 	$(GO) build ./...
@@ -34,12 +34,15 @@ conformance:
 
 # fuzz-smoke is the nightly-style fuzz check: 30s of randomized
 # Add/Remove/Search programs checked for exact Flat parity and HNSW
-# result invariants, 30s of arbitrary bytes against the cluster wire
-# codec (no panics, no over-allocation, canonical round trips), and 30s
-# of fuzzer-shaped churn storms through the deterministic cluster
-# simulation (no panics, every safety invariant holds at settle).
+# result invariants, 30s of the same programs with batched searches
+# checked for exact MultiSearch-vs-sequential parity, 30s of arbitrary
+# bytes against the cluster wire codec (no panics, no over-allocation,
+# canonical round trips), and 30s of fuzzer-shaped churn storms through
+# the deterministic cluster simulation (no panics, every safety
+# invariant holds at settle).
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzSearchParity -fuzztime=30s -run xxx ./internal/index/
+	$(GO) test -fuzz=FuzzMultiSearchParity -fuzztime=30s -run xxx ./internal/index/
 	$(GO) test -fuzz=FuzzWireCodec -fuzztime=30s -run xxx ./internal/cluster/
 	$(GO) test -fuzz=FuzzSimScenario -fuzztime=30s -run xxx ./internal/sim/scenario/
 
@@ -119,6 +122,17 @@ loadtest-cluster:
 loadtest-overload:
 	$(GO) run ./cmd/loadgen -scenario overload -users 60 -cached 6 -probes 10 \
 		-concurrency 16 -overload-accept
+
+# loadtest-hotspot is the search-batching acceptance run: Zipf-skewed
+# traffic hammers one hot tenant through two in-process stacks, one with
+# the per-tenant search batcher wired in and one without. The batched
+# stack must demonstrably coalesce (mean search pass > 1), duplicate
+# hits must match across the stacks (end-to-end MultiSearch parity), and
+# the batched hit-path p99 must not exceed the unbatched p99 (a 1.1×
+# allowance absorbs run-to-run scheduler noise on shared runners; the
+# win is typically 5-25%).
+loadtest-hotspot:
+	$(GO) run ./cmd/loadgen -scenario hotspot -hotspot-latency-x 1.1 -hotspot-accept
 
 clean:
 	rm -rf bin

@@ -31,6 +31,7 @@ var diffSubset = []string{
 	"CacheFindSimilar768x1000",
 	"IndexScan64x20k",
 	"ServerQueryHit",
+	"ServerQueryHitBatched",
 	"ServerQueryHitTraced",
 }
 
@@ -42,6 +43,13 @@ func runBenchDiff(baselinePath string) error {
 	var baseline benchReport
 	if err := json.Unmarshal(raw, &baseline); err != nil {
 		return fmt.Errorf("parsing baseline: %w", err)
+	}
+	// The calibration row is what makes cross-machine comparison sound;
+	// without it every ratio below would silently gate on hardware
+	// instead of code. Hard-fail up front rather than degrade: every
+	// division by CalibrationNs downstream is then safe by construction.
+	if baseline.CalibrationNs <= 0 {
+		return fmt.Errorf("benchdiff: baseline %s has no calibration_ns row — regenerate it with `make bench-json` and commit the result", baselinePath)
 	}
 	committed := make(map[string]benchResult, len(baseline.Results))
 	for _, r := range baseline.Results {
@@ -55,17 +63,11 @@ func runBenchDiff(baselinePath string) error {
 	// committed expectations to the current machine. speedFactor is
 	// re-measured per attempt because shared runners throttle over time.
 	speedFactor := func() float64 {
-		if baseline.CalibrationNs <= 0 {
-			return 1
-		}
 		cur := calibrate()
 		speed := cur / baseline.CalibrationNs
 		fmt.Fprintf(os.Stderr, "[benchdiff] calibration: %.0f ns now vs %.0f committed — machine speed factor %.2f\n",
 			cur, baseline.CalibrationNs, speed)
 		return speed
-	}
-	if baseline.CalibrationNs <= 0 {
-		fmt.Fprintf(os.Stderr, "[benchdiff] baseline has no calibration row; comparing raw ns (same-machine assumption)\n")
 	}
 
 	byName := make(map[string]servingBench, len(servingBenches()))

@@ -128,6 +128,7 @@ func servingBenches() []servingBench {
 		{"CacheFindSimilar768x1000", benchFindSimilar},
 		{"CacheReembed768x500", benchReembed},
 		{"ServerQueryHit", benchServerQueryHit},
+		{"ServerQueryHitBatched", benchServerQueryHitBatched},
 		{"ServerQueryHitDirect", benchServerQueryHitDirect},
 		{"ServerQueryHitTraced", benchServerQueryHitTraced},
 		{"IndexScan64x20k", benchIndexTier("scan")},
@@ -219,14 +220,16 @@ type instantLLM struct{}
 func (instantLLM) Query(q string) (string, time.Duration) { return "r", 0 }
 
 // newHitServer assembles the single-tenant hit-path fixture: untrained
-// encoder, instant upstream, one warmed cached query. mod, when non-nil,
-// adjusts the server config before construction (the traced row turns
-// observability on with it).
-func newHitServer(b *testing.B, mod func(*server.Config)) (*server.Server, *httptest.Server, []byte) {
+// encoder, instant upstream, one warmed cached query. searcher, when
+// non-nil, routes tenant lookups through it (the batched row wires the
+// search batcher in with it); mod, when non-nil, adjusts the server
+// config before construction (the traced row turns observability on with
+// it).
+func newHitServer(b *testing.B, searcher cache.Searcher, mod func(*server.Config)) (*server.Server, *httptest.Server, []byte) {
 	m := embed.NewModel(embed.MPNetSim, 1)
 	reg, err := server.NewRegistry(server.RegistryConfig{
 		Factory: func(string) *core.Client {
-			return core.New(core.Options{Encoder: m, LLM: instantLLM{}, Tau: 0.8, TopK: 5})
+			return core.New(core.Options{Encoder: m, LLM: instantLLM{}, Tau: 0.8, TopK: 5, Searcher: searcher})
 		},
 	})
 	if err != nil {
@@ -260,7 +263,7 @@ func newHitServer(b *testing.B, mod func(*server.Config)) (*server.Server, *http
 // is the server; the remaining per-op allocations are the server's
 // accept-to-respond path.
 func benchServerQueryHit(b *testing.B) {
-	_, ts, body := newHitServer(b, nil)
+	_, ts, body := newHitServer(b, nil, nil)
 	conn, err := net.Dial("tcp", ts.Listener.Addr().String())
 	if err != nil {
 		b.Fatal(err)
@@ -304,10 +307,39 @@ func benchServerQueryHit(b *testing.B) {
 	}
 }
 
+// benchServerQueryHitBatched is the handler hit path with the per-tenant
+// search batcher wired in, driven in parallel so concurrent requests
+// against the one tenant genuinely coalesce into multi-probe index
+// passes (drain mode: no gather wait). Pinned in benchdiff so the
+// batched route's latency and allocation count stay budgeted alongside
+// the direct route's.
+func benchServerQueryHitBatched(b *testing.B) {
+	sb := server.NewSearchBatcher(server.BatcherConfig{})
+	b.Cleanup(sb.Close)
+	srv, _, body := newHitServer(b, sb, func(cfg *server.Config) {
+		cfg.SearchBatcher = sb
+	})
+	h := srv.Handler()
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		rdr := bytes.NewReader(body)
+		req := httptest.NewRequest("POST", "/v1/query", rdr)
+		req.Header.Set("Content-Type", "application/json")
+		rc := readerNopCloser{rdr}
+		w := &discardResponseWriter{h: make(http.Header)}
+		for pb.Next() {
+			rdr.Seek(0, 0)
+			req.Body = rc
+			h.ServeHTTP(w, req)
+		}
+	})
+}
+
 // benchServerQueryHitDirect measures the uninstrumented handler (see
 // benchHandlerHit).
 func benchServerQueryHitDirect(b *testing.B) {
-	srv, _, body := newHitServer(b, nil)
+	srv, _, body := newHitServer(b, nil, nil)
 	benchHandlerHit(b, srv, body)
 }
 
@@ -316,7 +348,7 @@ func benchServerQueryHitDirect(b *testing.B) {
 // 1, the worst case: each query records spans and publishes into the
 // ring). Pinned in benchdiff so instrumentation overhead stays bounded.
 func benchServerQueryHitTraced(b *testing.B) {
-	srv, _, body := newHitServer(b, func(cfg *server.Config) {
+	srv, _, body := newHitServer(b, nil, func(cfg *server.Config) {
 		cfg.Metrics = obs.NewRegistry()
 		cfg.Tracer = obs.NewTracer(obs.TracerConfig{Node: "bench", SampleRate: 1})
 	})

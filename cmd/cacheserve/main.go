@@ -30,7 +30,15 @@
 // int8-quantized with -hnsw-int8), or adaptive — which starts every
 // tenant on the exact scan and promotes to IVF and then HNSW as the
 // cache grows (-tier-flat-max / -tier-ivf-max), migrating in the
-// background. Indexed tenants stay indexed across evict/revive cycles.
+// background. -tier-auto replaces those hard-coded thresholds with ones
+// derived from a startup micro-calibration of this machine's scan speed.
+// Indexed tenants stay indexed across evict/revive cycles.
+//
+// Concurrent searches against one hot tenant coalesce into single
+// multi-probe index passes through the per-tenant search batcher
+// (-search-batch / -search-batch-wait; -no-search-batch disables it).
+// The default zero wait means batching adds no latency: requests share a
+// pass only when they genuinely overlap.
 //
 // Resilience: -quota-rate enforces per-tenant token-bucket admission
 // (429 + Retry-After past the burst), -limit-max puts an AIMD adaptive
@@ -116,6 +124,7 @@ func main() {
 		ivfNProbe  = flag.Int("ivf-nprobe", 8, "IVF lists probed per query")
 		tierFlat   = flag.Int("tier-flat-max", 4096, "adaptive: promote Flat→IVF past this entry count")
 		tierIVF    = flag.Int("tier-ivf-max", 65536, "adaptive: promote IVF→HNSW past this entry count")
+		tierAuto   = flag.Bool("tier-auto", false, "adaptive: derive the promotion thresholds from a startup micro-calibration of scan speed (overrides -tier-flat-max/-tier-ivf-max)")
 
 		shards     = flag.Int("shards", 16, "tenant registry shards")
 		maxTenants = flag.Int("max-tenants", 0, "resident tenant bound (0 = unbounded)")
@@ -130,6 +139,10 @@ func main() {
 		batch     = flag.Int("batch", 32, "embedding micro-batch size cap")
 		batchWait = flag.Duration("batch-wait", 200*time.Microsecond, "micro-batch gather window")
 		noBatch   = flag.Bool("no-batch", false, "disable the embedding micro-batcher")
+
+		searchBatch     = flag.Int("search-batch", 32, "per-tenant search batch size cap")
+		searchBatchWait = flag.Duration("search-batch-wait", 0, "search-batch gather window (0 = coalesce only already-queued searches, adding no latency)")
+		noSearchBatch   = flag.Bool("no-search-batch", false, "disable the per-tenant search batcher")
 
 		statsTenants = flag.Int("stats-tenants", 20, "per-tenant rows in /v1/stats (-1 = all)")
 
@@ -218,6 +231,20 @@ func main() {
 		enc = batcher
 	}
 
+	// The search batcher coalesces concurrent probes against one hot
+	// tenant into single multi-probe index passes. Tenants reach it via
+	// core.Options.Searcher; the structural nil dance keeps a disabled
+	// batcher a true nil interface.
+	var searchBatcher *server.SearchBatcher
+	var searcher cache.Searcher
+	if !*noSearchBatch {
+		searchBatcher = server.NewSearchBatcher(server.BatcherConfig{
+			MaxBatch: *searchBatch, MaxWait: *searchBatchWait,
+		})
+		defer searchBatcher.Close()
+		searcher = searchBatcher
+	}
+
 	var llm core.LLM
 	var upstreamCaller resilience.Caller
 	if *upstream != "" {
@@ -264,14 +291,27 @@ func main() {
 		flHooks = &flserve.LateHooks{}
 	}
 
+	tierFlatMax, tierIVFMax := *tierFlat, *tierIVF
+	if *tierAuto {
+		calNs := index.Calibrate()
+		if fm, im := index.TierThresholds(calNs, enc.Dim()); fm > 0 {
+			tierFlatMax, tierIVFMax = fm, im
+			log.Printf("tier auto-calibration: %.0f ns per 4096×64 sweep → tier-flat-max=%d tier-ivf-max=%d (dim %d)",
+				calNs, fm, im, enc.Dim())
+		} else {
+			log.Printf("tier auto-calibration produced no usable measurement; keeping -tier-flat-max=%d -tier-ivf-max=%d",
+				tierFlatMax, tierIVFMax)
+		}
+	}
+
 	idxFactory, err := indexFactory(*indexKind, indexParams{
 		hnsw: index.HNSWConfig{
 			M: *hnswM, EfConstruction: *hnswEfCons, EfSearch: *hnswEf,
 			Seed: *seed, Quantized: *hnswInt8,
 		},
 		ivf:     index.IVFConfig{NList: *ivfNList, NProbe: *ivfNProbe, Seed: *seed},
-		flatMax: *tierFlat,
-		ivfMax:  *tierIVF,
+		flatMax: tierFlatMax,
+		ivfMax:  tierIVFMax,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -293,6 +333,7 @@ func main() {
 				IndexFactory:     idxFactory,
 				DegradedTauDelta: float32(*tauDegraded),
 				MaintenanceGate:  maintGate,
+				Searcher:         searcher,
 			})
 		},
 		Hooks: tenantHooks(flHooks),
@@ -354,13 +395,14 @@ func main() {
 	})
 
 	srv, err := server.New(server.Config{
-		Registry:     reg,
-		Batcher:      batcher,
-		StatsTenants: *statsTenants,
-		Observer:     observer(collector),
-		Metrics:      obsReg,
-		Tracer:       tracer,
-		Governor:     gov,
+		Registry:      reg,
+		Batcher:       batcher,
+		SearchBatcher: searchBatcher,
+		StatsTenants:  *statsTenants,
+		Observer:      observer(collector),
+		Metrics:       obsReg,
+		Tracer:        tracer,
+		Governor:      gov,
 	})
 	if err != nil {
 		log.Fatal(err)

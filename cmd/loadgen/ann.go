@@ -200,4 +200,3 @@ func annBuildIndex(name string, cfg annConfig) (index.Index, error) {
 		return nil, fmt.Errorf("unknown index %q (want flat, ivf, hnsw, hnsw8 or adaptive)", name)
 	}
 }
-

@@ -1,0 +1,364 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/embed"
+	"repro/internal/llmsim"
+	"repro/internal/metrics"
+	"repro/internal/server"
+)
+
+// The hotspot scenario is the search-batcher acceptance run: traffic is
+// skewed onto one hot tenant with a Zipf draw, so concurrent queries
+// pile up against a single large cache — exactly the shape the
+// per-tenant search batcher exists for. The same warmup and probe
+// stream is driven twice through two in-process cacheserve stacks,
+// identical except that one wires the SearchBatcher into the lookup
+// path, and the runs are compared head to head.
+//
+// The gate (-hotspot-accept): both runs are clean, the batched stack
+// demonstrably coalesces (mean search pass > 1 request with Coalesced >
+// 0, read from /v1/stats), duplicate probes hit identically in both
+// stacks (MultiSearch parity observed end to end, not just in unit
+// tests), and the batched hit-path p99 does not exceed the unbatched
+// p99 (times an optional slack multiplier for noisy CI machines).
+
+// hotspotConfig carries the -hotspot-* flags plus the shared workload
+// knobs.
+type hotspotConfig struct {
+	tenants     int
+	cached      int // warmup entries per cold tenant
+	hotCached   int // warmup entries for the hot tenant (bigger = longer scans)
+	probes      int // total measured probes across all tenants
+	dup         float64
+	tau         float64
+	concurrency int
+	skew        float64       // Zipf s parameter (>1; higher = hotter hot tenant)
+	batch       int           // batched stack's group-size cap (MaxBatch)
+	wait        time.Duration // batched stack's gather window (MaxWait)
+	seed        int64
+	timeout     time.Duration
+	accept      bool
+	latX        float64 // batched p99 ceiling, × the unbatched p99
+}
+
+// hotspotPhase aggregates one driven run.
+type hotspotPhase struct {
+	mu       sync.Mutex
+	requests int
+	hits     int
+	dupHits  int // hits on probes whose duplicate was warmed up-front
+	errors   int
+	firstBad string
+	hitLat   metrics.LatencyRecorder // server-reported hit serving time
+	hitRTT   metrics.LatencyRecorder // client-observed hit round trip
+	duration time.Duration
+}
+
+func (p *hotspotPhase) report(name string) {
+	fmt.Printf("%-9s %6d req  %5d hits (%d dup)  %3d errors  %8.0f req/s  hit RTT p50 %v  p99 %v  (server-side p99 %v)\n",
+		name, p.requests, p.hits, p.dupHits, p.errors,
+		float64(p.requests)/p.duration.Seconds(),
+		p.hitRTT.Percentile(50).Round(time.Microsecond),
+		p.hitRTT.Percentile(99).Round(time.Microsecond),
+		p.hitLat.Percentile(99).Round(time.Microsecond))
+}
+
+// hotspotStack is one in-process cacheserve instance; batched selects
+// whether the SearchBatcher is wired into the tenant factory.
+type hotspotStack struct {
+	hts *httptest.Server
+	sb  *server.SearchBatcher
+}
+
+func newHotspotStack(cfg hotspotConfig, batched bool) *hotspotStack {
+	simCfg := llmsim.DefaultConfig() // virtual time: misses cost no wall clock
+	simCfg.Seed = cfg.seed
+	sim := llmsim.New(simCfg)
+	enc := embed.NewModel(embed.MPNetSim, cfg.seed)
+
+	var sb *server.SearchBatcher
+	var searcher cache.Searcher
+	if batched {
+		sb = server.NewSearchBatcher(server.BatcherConfig{MaxBatch: cfg.batch, MaxWait: cfg.wait})
+		searcher = sb
+	}
+	// Capacity holds every warmed entry plus every novel probe the hot
+	// tenant can absorb, so hit parity cannot be skewed by eviction.
+	capacity := cfg.hotCached + cfg.probes + 64
+	reg, err := server.NewRegistry(server.RegistryConfig{
+		Shards: 8,
+		Factory: func(userID string) *core.Client {
+			return core.New(core.Options{
+				Encoder:      enc,
+				LLM:          sim,
+				Tau:          float32(cfg.tau),
+				TopK:         5,
+				Capacity:     capacity,
+				FeedbackStep: 0.01,
+				Searcher:     searcher,
+			})
+		},
+	})
+	if err != nil {
+		log.Fatalf("hotspot: registry: %v", err)
+	}
+	srv, err := server.New(server.Config{Registry: reg, SearchBatcher: sb})
+	if err != nil {
+		log.Fatalf("hotspot: server: %v", err)
+	}
+	return &hotspotStack{hts: httptest.NewServer(srv.Handler()), sb: sb}
+}
+
+func (s *hotspotStack) close() {
+	s.hts.Close()
+	if s.sb != nil {
+		s.sb.Close()
+	}
+}
+
+func runHotspot(cfg hotspotConfig) {
+	// Per-tenant workloads: the hot tenant (index 0) gets a much larger
+	// warmed cache so its scans are long enough to overlap under burst;
+	// every tenant's probe pool is sized for the worst case (the Zipf
+	// draw routing every probe to it).
+	type tenantWork struct {
+		user   string
+		cached []string
+		probes []dataset.Probe
+	}
+	works := make([]tenantWork, cfg.tenants)
+	for u := 0; u < cfg.tenants; u++ {
+		n := cfg.cached
+		if u == 0 {
+			n = cfg.hotCached
+		}
+		wcfg := dataset.DefaultConfig()
+		wcfg.Seed = cfg.seed + int64(u)*7919
+		w := dataset.GenerateCacheWorkload(wcfg, n, cfg.probes, cfg.dup)
+		works[u] = tenantWork{
+			user:   fmt.Sprintf("user-%04d", u),
+			cached: w.Cached,
+			probes: w.Probes,
+		}
+	}
+
+	var warmup []job
+	for _, w := range works {
+		for _, q := range w.cached {
+			warmup = append(warmup, job{user: w.user, text: q})
+		}
+	}
+	rng := rand.New(rand.NewSource(cfg.seed))
+	rng.Shuffle(len(warmup), func(i, j int) { warmup[i], warmup[j] = warmup[j], warmup[i] })
+
+	// The probe stream: tenant choice per probe is a Zipf draw, so the
+	// hot tenant soaks up most of the burst while the tail keeps the
+	// cross-tenant mix honest (groups must partition by cache).
+	zipf := rand.NewZipf(rng, cfg.skew, 1, uint64(cfg.tenants-1))
+	cursor := make([]int, cfg.tenants)
+	hotProbes := 0
+	var probeJobs []job
+	for i := 0; i < cfg.probes; i++ {
+		t := int(zipf.Uint64())
+		if t == 0 {
+			hotProbes++
+		}
+		w := works[t]
+		p := w.probes[cursor[t]%len(w.probes)]
+		cursor[t]++
+		probeJobs = append(probeJobs, job{user: w.user, text: p.Text, dup: p.DupOf >= 0, probe: true})
+	}
+
+	log.Printf("hotspot scenario: %d tenants, hot tenant holds %d entries and draws %.0f%% of %d probes (skew %.2f), %d workers",
+		cfg.tenants, cfg.hotCached, 100*float64(hotProbes)/float64(cfg.probes), cfg.probes, cfg.skew, cfg.concurrency)
+
+	// Identical warmup + probe stream through both stacks; unbatched
+	// first so its numbers anchor the comparison.
+	run := func(name string, batched bool) (*hotspotPhase, *server.BatcherStats) {
+		stack := newHotspotStack(cfg, batched)
+		defer stack.close()
+		d := &hotspotDriver{client: &http.Client{Timeout: cfg.timeout}, base: stack.hts.URL}
+		warm := &hotspotPhase{}
+		d.drive(warmup, cfg.concurrency, warm)
+		if warm.errors > 0 {
+			log.Fatalf("hotspot: %s warmup failed (%d errors, first: %s)", name, warm.errors, warm.firstBad)
+		}
+		phase := &hotspotPhase{}
+		d.drive(probeJobs, cfg.concurrency, phase)
+		return phase, d.searchBatcherStats()
+	}
+	direct, _ := run("unbatched", false)
+	batched, sbStats := run("batched", true)
+
+	fmt.Printf("\n=== hotspot search-batching report (%d tenants, %d probes) ===\n", cfg.tenants, cfg.probes)
+	direct.report("unbatched")
+	batched.report("batched")
+	if sbStats != nil {
+		fmt.Printf("batcher          %d searches in %d passes (mean %.2f, %d coalesced)\n",
+			sbStats.Requests, sbStats.Batches, sbStats.MeanBatch, sbStats.Coalesced)
+	}
+
+	// The p99 gate compares the client-observed hit round trip: on an
+	// oversubscribed box the batcher's channel handoffs move queueing
+	// that clients pay anyway from the accept queue into the server-side
+	// measurement window, so the server-reported serving time would
+	// penalise batching for latency the client never sees twice.
+	directP99 := direct.hitRTT.Percentile(99)
+	batchedP99 := batched.hitRTT.Percentile(99)
+	gates := []struct {
+		name   string
+		pass   bool
+		detail string
+	}{
+		{"clean run", direct.errors == 0 && batched.errors == 0,
+			fmt.Sprintf("%d + %d errors (first: %s%s)", direct.errors, batched.errors, direct.firstBad, batched.firstBad)},
+		{"coalescing", sbStats != nil && sbStats.Coalesced > 0 && sbStats.MeanBatch > 1,
+			func() string {
+				if sbStats == nil {
+					return "no search_batcher block in /v1/stats"
+				}
+				return fmt.Sprintf("mean pass %.2f requests, %d coalesced (gate > 1 mean, > 0 coalesced)",
+					sbStats.MeanBatch, sbStats.Coalesced)
+			}()},
+		// Duplicate probes target entries warmed before any probe ran, so
+		// their hits are arrival-order independent — except for the handful
+		// of near-τ paraphrases that only hit via a novel probe inserted
+		// earlier in the same phase, whose presence depends on closed-loop
+		// arrival order. The parity bar therefore allows 1% drift; a
+		// batching correctness bug (wrong scores, dropped matches) moves
+		// hits by far more.
+		{"hit parity", parityDrift(batched.dupHits, direct.dupHits) <= 0.01 && batched.dupHits > 0,
+			fmt.Sprintf("%d batched vs %d unbatched duplicate hits (gate ≤ 1%% drift)", batched.dupHits, direct.dupHits)},
+		{"hit-path p99", directP99 > 0 && float64(batchedP99) <= cfg.latX*float64(directP99),
+			fmt.Sprintf("%v batched vs %v unbatched (gate ≤ %.2f×)", batchedP99, directP99, cfg.latX)},
+	}
+	fail := false
+	for _, g := range gates {
+		verdict := "PASS"
+		if !g.pass {
+			verdict = "FAIL"
+			fail = true
+		}
+		fmt.Printf("%s %-18s %s\n", verdict, g.name, g.detail)
+	}
+	if cfg.accept && fail {
+		fmt.Println("ACCEPT FAIL: the search-batching gate did not hold")
+		os.Exit(1)
+	}
+	if cfg.accept {
+		fmt.Printf("ACCEPT PASS: coalesced %.2f searches per pass with hit-path p99 %v vs %v unbatched\n",
+			sbStats.MeanBatch, batchedP99, directP99)
+	}
+}
+
+// parityDrift is the relative duplicate-hit disagreement between the
+// two stacks.
+func parityDrift(a, b int) float64 {
+	diff := a - b
+	if diff < 0 {
+		diff = -diff
+	}
+	if b == 0 {
+		return 1
+	}
+	return float64(diff) / float64(b)
+}
+
+// hotspotDriver is the closed-loop worker pool for one stack.
+type hotspotDriver struct {
+	client *http.Client
+	base   string
+}
+
+func (d *hotspotDriver) drive(jobs []job, concurrency int, st *hotspotPhase) {
+	start := time.Now()
+	ch := make(chan job)
+	var wg sync.WaitGroup
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range ch {
+				d.one(j, st)
+			}
+		}()
+	}
+	for _, j := range jobs {
+		ch <- j
+	}
+	close(ch)
+	wg.Wait()
+	st.duration = time.Since(start)
+}
+
+func (d *hotspotDriver) one(j job, st *hotspotPhase) {
+	body, _ := json.Marshal(server.QueryRequest{User: j.user, Query: j.text})
+	start := time.Now()
+	resp, err := d.client.Post(d.base+"/v1/query", "application/json", bytes.NewReader(body))
+	rtt := time.Since(start)
+	if err != nil {
+		d.fail(st, fmt.Sprintf("transport: %v", err))
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		d.fail(st, fmt.Sprintf("status %d", resp.StatusCode))
+		return
+	}
+	var qr server.QueryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+		d.fail(st, fmt.Sprintf("decoding response: %v", err))
+		return
+	}
+	st.mu.Lock()
+	st.requests++
+	if qr.Hit {
+		st.hits++
+		if j.dup {
+			st.dupHits++
+		}
+		st.hitRTT.Record(rtt)
+		st.hitLat.Record(time.Duration(qr.LatencyMicros) * time.Microsecond)
+	}
+	st.mu.Unlock()
+}
+
+func (d *hotspotDriver) fail(st *hotspotPhase, msg string) {
+	st.mu.Lock()
+	st.requests++
+	st.errors++
+	if st.firstBad == "" {
+		st.firstBad = msg
+	}
+	st.mu.Unlock()
+}
+
+// searchBatcherStats reads the batched stack's coalescing counters from
+// /v1/stats — the same surface operators see, so the gate asserts the
+// observable contract rather than process internals.
+func (d *hotspotDriver) searchBatcherStats() *server.BatcherStats {
+	resp, err := d.client.Get(d.base + "/v1/stats")
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	var st server.StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil
+	}
+	return st.SearchBatcher
+}

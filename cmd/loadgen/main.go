@@ -38,12 +38,22 @@
 // cache-only serving and re-closes, and hit throughput/latency hold
 // (-overload-accept gates on it).
 //
+// With -scenario hotspot the generator runs the search-batching
+// acceptance run in process: a Zipf draw skews probe traffic onto one
+// hot tenant, and the same stream is driven through two otherwise
+// identical stacks — one with the per-tenant search batcher wired in,
+// one without. The gate (-hotspot-accept) asserts both runs are clean,
+// the batched stack coalesces (mean search pass > 1 via /v1/stats),
+// duplicate hits match exactly across the stacks, and the batched
+// hit-path p99 does not exceed the unbatched p99.
+//
 // Usage:
 //
 //	loadgen -addr 127.0.0.1:8090 -users 100 -probes 12 -concurrency 32
 //	loadgen -addr 127.0.0.1:8090 -users 50 -fl 3
 //	loadgen -scenario ann -ann-n 200000 -ann-accept
 //	loadgen -scenario overload -users 60 -overload-accept
+//	loadgen -scenario hotspot -hotspot-accept
 package main
 
 import (
@@ -116,6 +126,19 @@ func main() {
 		clusterAccept    = flag.Bool("cluster-accept", false, "cluster: exit non-zero if the failover gate fails")
 		clusterRetention = flag.Float64("cluster-retention", 0.9, "cluster: dup-hit-rate retention floor after failover")
 
+		hotTenants     = flag.Int("hotspot-tenants", 12, "hotspot: simulated tenants (tenant 0 is the hot one)")
+		hotCached      = flag.Int("hotspot-cached", 48, "hotspot: warmup entries per cold tenant")
+		hotCachedHot   = flag.Int("hotspot-hot-cached", 4096, "hotspot: warmup entries for the hot tenant")
+		hotProbes      = flag.Int("hotspot-probes", 4000, "hotspot: total measured probes across all tenants")
+		hotDup         = flag.Float64("hotspot-dup", 0.95, "hotspot: duplicate fraction of probe traffic")
+		hotTau         = flag.Float64("hotspot-tau", 0.80, "hotspot: serving similarity threshold (higher prunes more of the scan)")
+		hotConcurrency = flag.Int("hotspot-concurrency", 24, "hotspot: concurrent in-flight requests (the burst)")
+		hotSkew        = flag.Float64("hotspot-skew", 2.5, "hotspot: Zipf skew of the tenant draw (>1)")
+		hotBatch       = flag.Int("hotspot-batch", 8, "hotspot: batched stack's group-size cap (-search-batch equivalent)")
+		hotWait        = flag.Duration("hotspot-wait", 200*time.Microsecond, "hotspot: batched stack's gather window (-search-batch-wait equivalent)")
+		hotLatX        = flag.Float64("hotspot-latency-x", 1.0, "hotspot: batched hit-path p99 ceiling, × the unbatched p99")
+		hotAccept      = flag.Bool("hotspot-accept", false, "hotspot: exit non-zero if the search-batching gate fails")
+
 		overloadFactor    = flag.Int("overload-factor", 10, "overload: offered-load multiple of healthy capacity the outage phase must reach")
 		overloadDup       = flag.Float64("overload-dup", 0.6, "overload: duplicate fraction of probe traffic (cache-only serving needs hits to serve)")
 		overloadRetention = flag.Float64("overload-retention", 0.9, "overload: served-throughput floor during the outage, as a fraction of healthy capacity")
@@ -150,8 +173,17 @@ func main() {
 		})
 		return
 	}
+	if *scenario == "hotspot" {
+		runHotspot(hotspotConfig{
+			tenants: *hotTenants, cached: *hotCached, hotCached: *hotCachedHot,
+			probes: *hotProbes, dup: *hotDup, tau: *hotTau, concurrency: *hotConcurrency,
+			skew: *hotSkew, batch: *hotBatch, wait: *hotWait, seed: *seed, timeout: *timeout,
+			accept: *hotAccept, latX: *hotLatX,
+		})
+		return
+	}
 	if *scenario != "serve" {
-		log.Fatalf("unknown -scenario %q (want serve, ann, cluster or overload)", *scenario)
+		log.Fatalf("unknown -scenario %q (want serve, ann, cluster, overload or hotspot)", *scenario)
 	}
 
 	r := &runner{

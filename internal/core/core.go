@@ -81,6 +81,14 @@ type Options struct {
 	// at τ − DegradedTauDelta. A stale-ish cached answer beats a 503
 	// while the upstream heals. Zero disables the degraded retry.
 	DegradedTauDelta float32
+	// Searcher, when non-nil, routes Lookup's similarity search (a
+	// batching searcher coalesces concurrent probes against one hot
+	// tenant into a single multi-probe index pass). Nil means the direct
+	// per-call FindSimilarAppend path. Results must be identical either
+	// way; only lock/scan amortisation differs. The degraded (cache-only)
+	// retry path always searches directly — it runs when the system is
+	// shedding load, exactly when a batching window would add harm.
+	Searcher cache.Searcher
 	// MaintenanceGate, when non-nil, bounds the client's background
 	// maintenance (cache re-embedding) under a shared weighted
 	// semaphore, so migrations across many tenants yield to foreground
@@ -162,6 +170,9 @@ func NewWithCache(opts Options, cc *cache.Cache) *Client {
 	}
 	if opts.MaintenanceGate != nil {
 		cc.SetGate(opts.MaintenanceGate)
+	}
+	if opts.Searcher == nil {
+		opts.Searcher = cache.DirectSearcher{}
 	}
 	c := &Client{
 		opts:      opts,
@@ -270,7 +281,7 @@ func (c *Client) Lookup(q string, ctxTexts []string) Result {
 	case mbuf = <-c.matchBufs:
 	default:
 	}
-	matches := c.cache.FindSimilarAppend(eq, c.opts.TopK, c.Tau(), mbuf[:0])
+	matches := c.opts.Searcher.FindSimilar(c.cache, eq, c.opts.TopK, c.Tau(), mbuf[:0])
 	var res Result
 	for _, m := range matches {
 		if c.contextMatches(m.Entry, ctxTexts) {

@@ -59,8 +59,11 @@ type AdaptiveConfig struct {
 	// IVF. Default 4096.
 	FlatMax int
 	// IVFMax is the entry count past which the IVF tier promotes to
-	// HNSW. Default 65536. Set IVFMax <= FlatMax to skip the IVF tier
-	// entirely: Flat then promotes straight to HNSW at FlatMax.
+	// HNSW. Default 65536 (raised to 4·FlatMax when FlatMax alone is set
+	// at or past it, so the default never silently disables IVF). Set
+	// IVFMax explicitly at or below FlatMax — negative values are
+	// normalised to FlatMax — to skip the IVF tier entirely: Flat then
+	// promotes straight to HNSW at FlatMax.
 	IVFMax int
 	// IVF configures the middle tier (NList/TrainSize are sized from
 	// FlatMax when zero, so the promoted index trains immediately).
@@ -78,7 +81,19 @@ func NewAdaptive(dim int, cfg AdaptiveConfig) *Adaptive {
 		cfg.FlatMax = 4096
 	}
 	if cfg.IVFMax == 0 {
+		// Default the second threshold — but never let the default itself
+		// imply skip-IVF: a caller raising only FlatMax past 65536 would
+		// otherwise silently lose the middle tier. Skipping IVF stays an
+		// explicit choice (IVFMax set at or below FlatMax).
 		cfg.IVFMax = 65536
+		if cfg.IVFMax <= cfg.FlatMax {
+			cfg.IVFMax = 4 * cfg.FlatMax
+		}
+	}
+	if cfg.IVFMax < 0 {
+		// Negative values are normalised to the canonical skip-IVF marker
+		// so the promotion state machine only ever compares sane counts.
+		cfg.IVFMax = cfg.FlatMax
 	}
 	if cfg.IVF.NList <= 0 {
 		// ~√FlatMax lists at promotion time; the index grows past that,
@@ -128,6 +143,13 @@ func (a *Adaptive) ArenaStats() ArenaStats {
 		return rep.ArenaStats()
 	}
 	return ArenaStats{}
+}
+
+// Thresholds reports the normalised promotion thresholds: the entry
+// counts past which Flat promotes (to IVF, or straight to HNSW when
+// skip-IVF is in effect) and past which IVF promotes to HNSW.
+func (a *Adaptive) Thresholds() (flatMax, ivfMax int) {
+	return a.cfg.FlatMax, a.cfg.IVFMax
 }
 
 // Migrating reports whether a background promotion is in flight.
@@ -181,6 +203,21 @@ func (a *Adaptive) Remove(id int) {
 // — the search finishes against the (complete) old tier.
 func (a *Adaptive) Search(vec []float32, k int, tau float32) []Hit {
 	return a.cur.Load().idx.Search(vec, k, tau)
+}
+
+// MultiSearchAppend implements MultiSearcher with the same lock-free
+// tier resolution as Search: one atomic load pins the serving tier for
+// the whole batch, so every probe in the batch answers against the same
+// index even if a migration swaps tiers mid-call.
+func (a *Adaptive) MultiSearchAppend(probes *vecmath.Matrix, k int, tau float32, dst [][]Hit) {
+	idx := a.cur.Load().idx
+	if ms, ok := idx.(MultiSearcher); ok {
+		ms.MultiSearchAppend(probes, k, tau, dst)
+		return
+	}
+	for p := 0; p < probes.Rows; p++ {
+		dst[p] = append(dst[p], idx.Search(probes.Row(p), k, tau)...)
+	}
 }
 
 // forEach implements iterable.

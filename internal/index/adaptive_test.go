@@ -1,0 +1,158 @@
+package index
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestAdaptiveThresholdNormalization pins the NewAdaptive threshold
+// hardening: the IVFMax default must never silently disable the IVF
+// tier just because FlatMax was raised past it, and negative IVFMax is
+// normalised to the canonical skip-IVF marker.
+func TestAdaptiveThresholdNormalization(t *testing.T) {
+	cases := []struct {
+		name            string
+		cfg             AdaptiveConfig
+		flatMax, ivfMax int
+	}{
+		{"defaults", AdaptiveConfig{}, 4096, 65536},
+		{"flatmax-below-default-ivfmax", AdaptiveConfig{FlatMax: 10000}, 10000, 65536},
+		{"flatmax-at-default-ivfmax", AdaptiveConfig{FlatMax: 65536}, 65536, 4 * 65536},
+		{"flatmax-past-default-ivfmax", AdaptiveConfig{FlatMax: 100000}, 100000, 400000},
+		{"explicit-skip-equal", AdaptiveConfig{FlatMax: 150, IVFMax: 150}, 150, 150},
+		{"explicit-skip-below", AdaptiveConfig{FlatMax: 150, IVFMax: 10}, 150, 10},
+		{"negative-skip", AdaptiveConfig{FlatMax: 150, IVFMax: -1}, 150, 150},
+		{"negative-skip-default-flatmax", AdaptiveConfig{IVFMax: -7}, 4096, 4096},
+		{"full-ladder", AdaptiveConfig{FlatMax: 150, IVFMax: 500}, 150, 500},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a := NewAdaptive(8, tc.cfg)
+			flatMax, ivfMax := a.Thresholds()
+			if flatMax != tc.flatMax || ivfMax != tc.ivfMax {
+				t.Fatalf("Thresholds() = (%d, %d), want (%d, %d)", flatMax, ivfMax, tc.flatMax, tc.ivfMax)
+			}
+		})
+	}
+}
+
+// TestAdaptiveSkipIVFBoundary drives the skip-IVF mode at the exact
+// boundary count: FlatMax entries stay flat, one more promotes straight
+// to HNSW with no intermediate IVF tier.
+func TestAdaptiveSkipIVFBoundary(t *testing.T) {
+	const dim, flatMax = 8, 150
+	rng := rand.New(rand.NewSource(11))
+	a := NewAdaptive(dim, AdaptiveConfig{
+		FlatMax: flatMax,
+		IVFMax:  -1, // skip IVF
+		HNSW:    HNSWConfig{M: 8, EfConstruction: 60, EfSearch: 80, Seed: 7},
+	})
+	for id := 0; id < flatMax; id++ {
+		if err := a.Add(id, unit(rng, dim)); err != nil {
+			t.Fatalf("Add(%d): %v", id, err)
+		}
+	}
+	a.WaitMigration()
+	if tier := a.Tier(); tier != "flat" {
+		t.Fatalf("at exactly FlatMax entries: tier = %q, want flat", tier)
+	}
+	if err := a.Add(flatMax, unit(rng, dim)); err != nil {
+		t.Fatalf("Add(%d): %v", flatMax, err)
+	}
+	a.WaitMigration()
+	if tier := a.Tier(); tier != "hnsw" {
+		t.Fatalf("one past FlatMax in skip-IVF mode: tier = %q, want hnsw", tier)
+	}
+	if n := a.Len(); n != flatMax+1 {
+		t.Fatalf("Len after promotion = %d, want %d", n, flatMax+1)
+	}
+}
+
+// TestAdaptiveDoublePromotionChain is the satellite regression for the
+// promotion state machine: a burst of Adds (and Removes) landing while
+// the Flat→IVF migration is in flight pushes the entry count past
+// IVFMax at the exact boundary, so the chained IVF→HNSW promotion fires
+// from inside migrate's under-lock tail. Every journaled write must
+// survive both hops — the final ID set is compared exactly against an
+// oracle. Run under -race this also exercises journal/migrate
+// synchronisation.
+func TestAdaptiveDoublePromotionChain(t *testing.T) {
+	const dim, flatMax, ivfMax = 8, 150, 500
+	rng := rand.New(rand.NewSource(23))
+	a := NewAdaptive(dim, AdaptiveConfig{
+		FlatMax: flatMax,
+		IVFMax:  ivfMax,
+		IVF:     IVFConfig{NList: 12, NProbe: 8, Seed: 7},
+		HNSW:    HNSWConfig{M: 8, EfConstruction: 60, EfSearch: 80, Seed: 7},
+	})
+	oracle := map[int][]float32{}
+	add := func(id int) {
+		v := unit(rng, dim)
+		if err := a.Add(id, v); err != nil {
+			t.Fatalf("Add(%d): %v", id, err)
+		}
+		oracle[id] = v
+	}
+	// Cross FlatMax: the IVF build kicks off in the background.
+	for id := 0; id <= flatMax; id++ {
+		add(id)
+	}
+	// Burst while (likely) migrating: remove a mix of snapshot-era and
+	// burst-era IDs, and add exactly enough to land one past IVFMax so
+	// the chained promotion triggers at the boundary. The interleaving
+	// with the background build is timing-dependent — journal replay and
+	// direct post-swap writes are both valid paths and both must
+	// preserve the ID set.
+	for id := flatMax + 1; len(oracle) <= ivfMax; id++ {
+		add(id)
+		if id%17 == 0 {
+			victim := id - 13
+			a.Remove(victim)
+			delete(oracle, victim)
+		}
+	}
+	a.WaitMigration()
+	if tier := a.Tier(); tier != "hnsw" {
+		t.Fatalf("after double promotion: tier = %q, want hnsw (len %d)", tier, a.Len())
+	}
+	if n := a.Len(); n != len(oracle) {
+		t.Fatalf("Len = %d, want %d", n, len(oracle))
+	}
+	got := a.idList()
+	sort.Ints(got)
+	want := make([]int, 0, len(oracle))
+	for id := range oracle {
+		want = append(want, id)
+	}
+	sort.Ints(want)
+	if len(got) != len(want) {
+		t.Fatalf("idList has %d entries, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("idList[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+	// The surviving entries must be searchable: exact self-hit for a
+	// sample (HNSW is approximate, so probe with a generous k).
+	misses := 0
+	for id, v := range oracle {
+		if id%50 != 0 {
+			continue
+		}
+		found := false
+		for _, h := range a.Search(v, 10, 0.99) {
+			if h.ID == id {
+				found = true
+				break
+			}
+		}
+		if !found {
+			misses++
+		}
+	}
+	if misses > 1 {
+		t.Fatalf("%d sampled self-lookups missed after promotion chain", misses)
+	}
+}

@@ -33,11 +33,11 @@ type HNSW struct {
 	mult float64 // level multiplier 1/ln(M)
 	rng  *rand.Rand
 
-	nodes    []*hnswNode   // slot-addressed; tombstoned slots recycled
+	nodes    []*hnswNode    // slot-addressed; tombstoned slots recycled
 	codes    *quantize.Slab // per-slot int8 codes, Quantized mode only
-	slots    map[int]int32 // external id → slot
-	freeList []int32       // tombstoned slots awaiting reuse
-	entry    int32         // slot of the top-level entry point, -1 when empty
+	slots    map[int]int32  // external id → slot
+	freeList []int32        // tombstoned slots awaiting reuse
+	entry    int32          // slot of the top-level entry point, -1 when empty
 	maxLevel int
 	live     int
 
@@ -594,6 +594,13 @@ func (h *HNSW) Search(vec []float32, k int, tau float32) []Hit {
 	if h.live == 0 || k <= 0 || h.entry < 0 {
 		return nil
 	}
+	return h.searchLocked(vec, k, tau, nil)
+}
+
+// searchLocked is the traversal body shared by Search and
+// MultiSearchAppend, appending its hits to dst. Callers hold the read
+// lock and have handled the empty-index cases.
+func (h *HNSW) searchLocked(vec []float32, k int, tau float32, dst []Hit) []Hit {
 	ef := h.cfg.EfSearch
 	if ef < k {
 		ef = k
@@ -603,7 +610,7 @@ func (h *HNSW) Search(vec []float32, k int, tau float32) []Hit {
 		ep = h.greedyStep(vec, ep, l)
 	}
 	cands := h.searchLayer(vec, ep, ef, 0)
-	hits := make([]Hit, 0, len(cands))
+	base := len(dst)
 	for _, c := range cands {
 		n := h.nodes[c.slot]
 		s := c.score
@@ -611,8 +618,37 @@ func (h *HNSW) Search(vec []float32, k int, tau float32) []Hit {
 			s = vecmath.Dot(vec, n.vec) // exact rescore
 		}
 		if s >= tau {
-			hits = append(hits, Hit{ID: n.id, Score: s})
+			dst = append(dst, Hit{ID: n.id, Score: s})
 		}
 	}
-	return topKHits(hits, k)
+	tail := topKHits(dst[base:], k)
+	return dst[:base+len(tail)]
+}
+
+// MultiSearchAppend implements MultiSearcher: each probe runs the full
+// graph traversal, but the whole batch shares one read-lock acquisition
+// and the pooled visited sets stay hot across probes (in quantized mode
+// the int8 code slab likewise stays cache-resident for the batch). A
+// graph traversal visits probe-dependent nodes, so unlike Flat/IVF there
+// is no shared full-matrix pass — batching amortises the fixed costs and
+// keeps results exactly per-probe identical to Search.
+func (h *HNSW) MultiSearchAppend(probes *vecmath.Matrix, k int, tau float32, dst [][]Hit) {
+	if probes.Cols != h.dim {
+		panic(fmt.Sprintf("index: MultiSearch dim %d, want %d", probes.Cols, h.dim))
+	}
+	m := probes.Rows
+	if m == 0 {
+		return
+	}
+	if len(dst) < m {
+		panic(fmt.Sprintf("index: MultiSearch dst len %d, need %d", len(dst), m))
+	}
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	if h.live == 0 || k <= 0 || h.entry < 0 {
+		return
+	}
+	for p := 0; p < m; p++ {
+		dst[p] = h.searchLocked(probes.Row(p), k, tau, dst[p])
+	}
 }

@@ -51,12 +51,15 @@ type listRef struct {
 }
 
 // ivfScratch is the pooled per-search working set: centroid scores, the
-// ranked probe selection, and score/hit buffers.
+// ranked probe selection, and score/hit buffers. multi is the batched
+// extension (the m×nlist centroid score matrix), sized lazily so
+// single-probe searches never pay for it.
 type ivfScratch struct {
 	scores []float32
 	probes []int
 	list   []float32
 	hits   []Hit
+	multi  []float32
 }
 
 // IVFConfig tunes the index.
@@ -338,15 +341,33 @@ func (x *IVF) SearchAppend(vec []float32, k int, tau float32, dst []Hit) []Hit {
 	defer x.scratch.Put(sc)
 
 	// Score every centroid with one blocked pass, then select the nprobe
-	// best (ties to the lower list index, matching the historical full
-	// insertion sort, so probe sets — and therefore recall — are stable).
+	// best.
 	scores := sc.scores[:x.centroids.Rows]
 	vecmath.ScanDot(vec, x.centroids.Data, scores)
+	sel := x.selectProbes(scores, sc.probes[:0])
+
+	pnorm := vecmath.Norm(vec)
+	thr := tau - boundMargin
+	hits := sc.hits[:0]
+	for _, li := range sel {
+		hits = x.lists[li].scanBounded(vec, x.dim, scores[li], pnorm, tau, thr, &sc.list, hits)
+	}
+	top := topKHits(hits, k)
+	dst = append(dst, top...)
+	sc.hits = hits[:0]
+	return dst
+}
+
+// selectProbes ranks the nprobe best centroid scores into sel (ties to
+// the lower list index, matching the historical full insertion sort, so
+// probe sets — and therefore recall — are stable). Both the single- and
+// multi-probe searches route through this one selection so their probe
+// sets cannot drift apart.
+func (x *IVF) selectProbes(scores []float32, sel []int) []int {
 	probes := x.nprobe
 	if probes > len(scores) {
 		probes = len(scores)
 	}
-	sel := sc.probes[:0]
 	for li := range scores {
 		i := len(sel)
 		if i < probes {
@@ -361,19 +382,58 @@ func (x *IVF) SearchAppend(vec []float32, k int, tau float32, dst []Hit) []Hit {
 			sel[i], sel[i-1] = sel[i-1], sel[i]
 		}
 	}
-
-	pnorm := vecmath.Norm(vec)
-	thr := tau - boundMargin
-	hits := sc.hits[:0]
-	for _, li := range sel {
-		hits = x.lists[li].scanBounded(vec, x.dim, scores[li], pnorm, tau, thr, &sc.list, hits)
-	}
-	top := topKHits(hits, k)
-	dst = append(dst, top...)
-	sc.hits = hits[:0]
-	return dst
+	return sel
 }
 
+// MultiSearchAppend implements MultiSearcher: the centroid matrix is
+// scored once for the whole batch with the multi-probe kernel (the
+// kernel is accumulation-order-identical to the per-probe ScanDot, so
+// probe selection cannot drift), then each probe runs its own
+// bound-pruned list scans and appends its hits to dst[p]. One read lock
+// covers the batch; all scratch is pooled.
+func (x *IVF) MultiSearchAppend(probes *vecmath.Matrix, k int, tau float32, dst [][]Hit) {
+	if probes.Cols != x.dim {
+		panic(fmt.Sprintf("index: MultiSearch dim %d, want %d", probes.Cols, x.dim))
+	}
+	m := probes.Rows
+	if m == 0 {
+		return
+	}
+	if len(dst) < m {
+		panic(fmt.Sprintf("index: MultiSearch dst len %d, need %d", len(dst), m))
+	}
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	if !x.trained {
+		x.bootstrap.MultiSearchAppend(probes, k, tau, dst)
+		return
+	}
+	if k <= 0 || len(x.where) == 0 {
+		return
+	}
+	sc := x.getScratch()
+	defer x.scratch.Put(sc)
+	nc := x.centroids.Rows
+	if cap(sc.multi) < m*nc {
+		sc.multi = make([]float32, m*nc+(m*nc)/2+8)
+	}
+	all := sc.multi[:m*nc]
+	vecmath.ScanDotMulti(probes.Data, x.centroids.Data, all, m)
+	thr := tau - boundMargin
+	for p := 0; p < m; p++ {
+		vec := probes.Row(p)
+		scores := all[p*nc : (p+1)*nc]
+		sel := x.selectProbes(scores, sc.probes[:0])
+		pnorm := vecmath.Norm(vec)
+		hits := sc.hits[:0]
+		for _, li := range sel {
+			hits = x.lists[li].scanBounded(vec, x.dim, scores[li], pnorm, tau, thr, &sc.list, hits)
+		}
+		top := topKHits(hits, k)
+		dst[p] = append(dst[p], top...)
+		sc.hits = hits[:0]
+	}
+}
 
 // sphericalKMeans clusters unit vectors by cosine with k-means++ style
 // seeding, re-normalising centroids each iteration.

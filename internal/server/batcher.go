@@ -1,8 +1,6 @@
 package server
 
 import (
-	"sync"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/embed"
@@ -17,14 +15,16 @@ type batchCapable interface {
 	EncodeBatch(texts []string) *vecmath.Matrix
 }
 
-// BatcherConfig tunes the micro-batching window.
+// BatcherConfig tunes a micro-batching window (shared by the encode and
+// search batchers; each applies its own defaults).
 type BatcherConfig struct {
-	// MaxBatch caps how many pending encode requests are folded into one
-	// EncodeBatch call. Defaults to 32.
+	// MaxBatch caps how many pending requests are folded into one batch.
 	MaxBatch int
 	// MaxWait bounds how long the first request of a batch waits for
-	// company before the batch is dispatched anyway. Defaults to 200µs —
-	// small against the ~ms encode cost it amortises.
+	// company before the batch is dispatched anyway. Zero or negative
+	// selects drain mode: dispatch immediately with whatever has already
+	// queued, so batching adds no latency and coalescing happens only
+	// under genuine concurrency.
 	MaxWait time.Duration
 }
 
@@ -38,28 +38,9 @@ type BatcherConfig struct {
 // It is safe for unrestricted concurrent use. Close stops the dispatcher;
 // Encode calls after Close fall back to direct single encodes.
 type Batcher struct {
-	enc embed.Encoder
-	cfg BatcherConfig
-
-	reqs    chan encodeReq
-	done    chan struct{}
+	enc     embed.Encoder
+	core    *batchCore[encodeReq]
 	replies chan chan []float32 // recycled one-shot reply channels
-
-	// mu/senders fence Close against in-flight Encode sends, so reqs is
-	// only closed once no sender can touch it again.
-	mu      sync.RWMutex
-	closing bool
-	senders sync.WaitGroup
-
-	// stats
-	requests atomic.Int64
-	batches  atomic.Int64
-	batched  atomic.Int64 // requests that shared a batch of size ≥ 2
-
-	// onBatch, when set, observes each dispatched batch's size (the
-	// metrics hook). Atomic so it can be installed after the dispatcher
-	// is already running.
-	onBatch atomic.Pointer[func(size int)]
 }
 
 type encodeReq struct {
@@ -72,6 +53,8 @@ type encodeReq struct {
 }
 
 // NewBatcher wraps enc in a micro-batcher and starts its dispatcher.
+// MaxBatch defaults to 32 and MaxWait to 200µs — small against the ~ms
+// encode cost it amortises.
 func NewBatcher(enc embed.Encoder, cfg BatcherConfig) *Batcher {
 	if cfg.MaxBatch <= 0 {
 		cfg.MaxBatch = 32
@@ -81,12 +64,9 @@ func NewBatcher(enc embed.Encoder, cfg BatcherConfig) *Batcher {
 	}
 	b := &Batcher{
 		enc:     enc,
-		cfg:     cfg,
-		reqs:    make(chan encodeReq, cfg.MaxBatch*4),
-		done:    make(chan struct{}),
 		replies: make(chan chan []float32, cfg.MaxBatch*4),
 	}
-	go b.dispatch()
+	b.core = newBatchCore[encodeReq](cfg, b.run)
 	return b
 }
 
@@ -109,20 +89,14 @@ func (b *Batcher) EncodeInto(text string, dst []float32) []float32 {
 }
 
 func (b *Batcher) encode(text string, dst []float32) []float32 {
-	b.requests.Add(1)
-	b.mu.RLock()
-	if b.closing {
-		b.mu.RUnlock()
+	req := encodeReq{text: text, dst: dst, reply: b.getReply()}
+	if !b.core.submit(req) {
+		b.putReply(req.reply)
 		if dst != nil {
 			return append(dst[:0], b.enc.Encode(text)...)
 		}
 		return b.enc.Encode(text)
 	}
-	b.senders.Add(1)
-	b.mu.RUnlock()
-	req := encodeReq{text: text, dst: dst, reply: b.getReply()}
-	b.reqs <- req
-	b.senders.Done()
 	out := <-req.reply
 	b.putReply(req.reply)
 	return out
@@ -155,27 +129,16 @@ func (b *Batcher) Name() string { return b.enc.Name() + "+batch" }
 // Close stops the dispatcher after draining in-flight requests. Encode
 // calls that arrive during or after Close encode directly; redundant
 // Close calls just wait for the first to finish.
-func (b *Batcher) Close() {
-	b.mu.Lock()
-	if b.closing {
-		b.mu.Unlock()
-		<-b.done
-		return
-	}
-	b.closing = true
-	b.mu.Unlock()
-	b.senders.Wait()
-	close(b.reqs)
-	<-b.done
-}
+func (b *Batcher) Close() { b.core.close() }
 
 // BatcherStats snapshots coalescing effectiveness.
 type BatcherStats struct {
-	// Requests is the number of Encode calls served.
+	// Requests is the number of calls served.
 	Requests int64
-	// Batches is the number of dispatches (batch calls or single encodes).
+	// Batches is the number of batched passes dispatched (including
+	// singleton passes).
 	Batches int64
-	// Coalesced is the number of requests that shared a batch with at
+	// Coalesced is the number of requests that shared a pass with at
 	// least one other request.
 	Coalesced int64
 	// MeanBatch is Requests/Batches.
@@ -184,63 +147,27 @@ type BatcherStats struct {
 
 // QueueDepth reports encode requests currently waiting for the
 // dispatcher — the live backlog behind the batching window.
-func (b *Batcher) QueueDepth() int { return len(b.reqs) }
+func (b *Batcher) QueueDepth() int { return b.core.queueDepth() }
 
 // OnBatch installs fn to run on the dispatcher goroutine after each
 // batch is gathered, with the batch's size. At most one hook; later
 // calls replace earlier ones. fn must be fast and safe for concurrent
 // use with the caller.
-func (b *Batcher) OnBatch(fn func(size int)) { b.onBatch.Store(&fn) }
+func (b *Batcher) OnBatch(fn func(size int)) { b.core.setOnBatch(fn) }
 
 // Stats reports coalescing counters.
-func (b *Batcher) Stats() BatcherStats {
-	s := BatcherStats{
-		Requests:  b.requests.Load(),
-		Batches:   b.batches.Load(),
-		Coalesced: b.batched.Load(),
-	}
-	if s.Batches > 0 {
-		s.MeanBatch = float64(s.Requests) / float64(s.Batches)
-	}
-	return s
-}
-
-// dispatch is the batching loop: take one request, linger up to MaxWait
-// collecting more (up to MaxBatch), then encode the lot in one call.
-func (b *Batcher) dispatch() {
-	defer close(b.done)
-	for first := range b.reqs {
-		batch := []encodeReq{first}
-		timer := time.NewTimer(b.cfg.MaxWait)
-	gather:
-		for len(batch) < b.cfg.MaxBatch {
-			select {
-			case req, ok := <-b.reqs:
-				if !ok {
-					break gather
-				}
-				batch = append(batch, req)
-			case <-timer.C:
-				break gather
-			}
-		}
-		timer.Stop()
-		b.run(batch)
-	}
-}
+func (b *Batcher) Stats() BatcherStats { return b.core.stats() }
 
 // run encodes one gathered batch and delivers the rows, each into its
 // request's recycled buffer when one was supplied.
 func (b *Batcher) run(batch []encodeReq) {
-	b.batches.Add(1)
-	if fn := b.onBatch.Load(); fn != nil {
-		(*fn)(len(batch))
-	}
+	b.core.batches.Add(1)
+	b.core.fireOnBatch(len(batch))
 	if len(batch) == 1 {
 		batch[0].reply <- b.encodeOne(batch[0])
 		return
 	}
-	b.batched.Add(int64(len(batch)))
+	b.core.batched.Add(int64(len(batch)))
 	if bc, ok := b.enc.(batchCapable); ok {
 		texts := make([]string, len(batch))
 		for i, req := range batch {

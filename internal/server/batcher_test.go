@@ -130,6 +130,60 @@ func TestBatcherEncodeAfterClose(t *testing.T) {
 	}
 }
 
+// TestBatcherSingleRequestNotStranded pins the no-stranding guarantee: a
+// lone request with a huge MaxBatch must come back once MaxWait expires,
+// not wait for company that never arrives. (This is the classic flusher
+// wake-race failure mode in timer-based batchers; the channel-based
+// dispatcher starts its timer only after receiving the request, so the
+// race cannot happen — this test keeps it that way.)
+func TestBatcherSingleRequestNotStranded(t *testing.T) {
+	enc := &stubEncoder{dim: 8}
+	b := NewBatcher(enc, BatcherConfig{MaxBatch: 1024, MaxWait: 5 * time.Millisecond})
+	defer b.Close()
+	start := time.Now()
+	got := b.Encode("lonely")
+	elapsed := time.Since(start)
+	if len(got) != 8 {
+		t.Fatalf("Encode returned %d dims, want 8", len(got))
+	}
+	// Generous bound: MaxWait is 5ms; a stranded request would block until
+	// the next Encode (forever, here).
+	if elapsed > 2*time.Second {
+		t.Fatalf("single request took %v: stranded past MaxWait", elapsed)
+	}
+}
+
+// TestBatcherCloseReleasesGatheringBatch pins the Close-drains guarantee
+// from the other side: a request already gathering under an effectively
+// infinite MaxWait must be released promptly when Close lands, with the
+// correct result — Close's channel close aborts the gather.
+func TestBatcherCloseReleasesGatheringBatch(t *testing.T) {
+	enc := &stubEncoder{dim: 8}
+	b := NewBatcher(enc, BatcherConfig{MaxBatch: 1024, MaxWait: time.Hour})
+	done := make(chan []float32, 1)
+	go func() { done <- b.Encode("in flight") }()
+	// Wait for the request to reach the dispatcher's gather loop.
+	for i := 0; b.QueueDepth() > 0 && i < 1000; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	start := time.Now()
+	b.Close()
+	select {
+	case got := <-done:
+		want := enc.embed("in flight")
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("drained Encode mismatch at %d", i)
+			}
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Encode still blocked 10s after Close: request stranded in gather")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("Close took %v to release the gathering batch", elapsed)
+	}
+}
+
 func TestBatcherConcurrentEncodeAndClose(t *testing.T) {
 	enc := &stubEncoder{dim: 8}
 	b := NewBatcher(enc, BatcherConfig{MaxBatch: 4, MaxWait: 100 * time.Microsecond})

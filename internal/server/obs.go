@@ -84,6 +84,9 @@ func newServerObs(cfg Config, collector *Collector) *serverObs {
 	if cfg.Batcher != nil {
 		registerBatcherMetrics(reg, cfg.Batcher)
 	}
+	if cfg.SearchBatcher != nil {
+		registerSearchBatcherMetrics(reg, cfg.SearchBatcher)
+	}
 	if cfg.Governor != nil {
 		registerGovernorMetrics(reg, cfg.Governor)
 	}
@@ -313,4 +316,27 @@ func registerBatcherMetrics(reg *obs.Registry, b *Batcher) {
 	reg.CounterFunc("meancache_batch_coalesced_total",
 		"Encode calls that shared a batch with at least one other.",
 		bstat(func(s BatcherStats) float64 { return float64(s.Coalesced) }))
+}
+
+func registerSearchBatcherMetrics(reg *obs.Registry, sb *SearchBatcher) {
+	reg.GaugeFunc("meancache_search_batch_queue_depth",
+		"Searches queued for the search-batch dispatcher.", func() float64 {
+			return float64(sb.QueueDepth())
+		})
+	sizes := reg.Histogram("meancache_search_batch_size",
+		"Per-tenant search group sizes (1 = handed back for direct execution).",
+		obs.DefBatchBounds)
+	sb.OnBatch(func(size int) { sizes.Observe(float64(size)) })
+	sstat := func(get func(BatcherStats) float64) func() float64 {
+		return func() float64 { return get(sb.Stats()) }
+	}
+	reg.CounterFunc("meancache_search_batch_requests_total",
+		"Searches routed through the search batcher.",
+		sstat(func(s BatcherStats) float64 { return float64(s.Requests) }))
+	reg.CounterFunc("meancache_search_batch_batches_total",
+		"Search passes (coalesced groups plus handed-back singletons).",
+		sstat(func(s BatcherStats) float64 { return float64(s.Batches) }))
+	reg.CounterFunc("meancache_search_batch_coalesced_total",
+		"Searches that shared a multi-probe index pass.",
+		sstat(func(s BatcherStats) float64 { return float64(s.Coalesced) }))
 }

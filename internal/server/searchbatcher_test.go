@@ -1,0 +1,227 @@
+package server
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/vecmath"
+)
+
+// newSearchTestCache builds a cache with n deterministic unit-vector
+// entries and returns it alongside the entry embeddings (probe fodder).
+func newSearchTestCache(t *testing.T, dim, n int, seed int64) (*cache.Cache, [][]float32) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	c := cache.New(dim, 0, cache.LRU{})
+	embs := make([][]float32, n)
+	for i := 0; i < n; i++ {
+		v := make([]float32, dim)
+		for d := range v {
+			v[d] = float32(rng.NormFloat64())
+		}
+		vecmath.Normalize(v)
+		embs[i] = v
+		if _, err := c.Put(fmt.Sprintf("q%d", i), fmt.Sprintf("r%d", i), v, cache.NoParent); err != nil {
+			t.Fatalf("Put(%d): %v", i, err)
+		}
+	}
+	return c, embs
+}
+
+func matchesEqual(got, want []cache.Match) error {
+	if len(got) != len(want) {
+		return fmt.Errorf("got %d matches, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Entry != want[i].Entry || got[i].Score != want[i].Score {
+			return fmt.Errorf("match[%d] = (%d, %v), want (%d, %v)",
+				i, got[i].Entry.ID, got[i].Score, want[i].Entry.ID, want[i].Score)
+		}
+	}
+	return nil
+}
+
+// TestSearchBatcherMatchesDirect drives a concurrent burst against one
+// cache through the batcher and checks every reply is bit-identical —
+// same entries, same scores, same order — to the direct FindSimilarAppend
+// path. MaxWait is large so the burst genuinely coalesces.
+func TestSearchBatcherMatchesDirect(t *testing.T) {
+	const dim, n, k = 16, 200, 5
+	const tau = float32(0.1)
+	c, embs := newSearchTestCache(t, dim, n, 31)
+	sb := NewSearchBatcher(BatcherConfig{MaxBatch: 64, MaxWait: 20 * time.Millisecond})
+	defer sb.Close()
+
+	want := make([][]cache.Match, len(embs))
+	for i, e := range embs {
+		want[i] = c.FindSimilarAppend(e, k, tau, nil)
+	}
+
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	errs := make(chan error, len(embs))
+	for i, e := range embs {
+		wg.Add(1)
+		go func(i int, e []float32) {
+			defer wg.Done()
+			<-start
+			got := sb.FindSimilar(c, e, k, tau, nil)
+			if err := matchesEqual(got, want[i]); err != nil {
+				errs <- fmt.Errorf("probe %d: %w", i, err)
+			}
+		}(i, e)
+	}
+	close(start)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	st := sb.Stats()
+	if st.Requests != int64(len(embs)) {
+		t.Fatalf("Requests = %d, want %d", st.Requests, len(embs))
+	}
+	if st.Coalesced == 0 {
+		t.Error("Coalesced = 0: the concurrent burst never shared a pass")
+	}
+	if st.Batches >= st.Requests {
+		t.Errorf("Batches = %d of %d requests: no coalescing", st.Batches, st.Requests)
+	}
+}
+
+// TestSearchBatcherMixedGroups interleaves two caches and two (k, tau)
+// settings in one burst: the dispatcher must split the window into
+// per-(cache, k, tau) groups and every reply must still match its own
+// direct path.
+func TestSearchBatcherMixedGroups(t *testing.T) {
+	const dim = 16
+	c1, embs1 := newSearchTestCache(t, dim, 100, 7)
+	c2, embs2 := newSearchTestCache(t, dim, 100, 8)
+	sb := NewSearchBatcher(BatcherConfig{MaxBatch: 64, MaxWait: 20 * time.Millisecond})
+	defer sb.Close()
+
+	type job struct {
+		c   *cache.Cache
+		emb []float32
+		k   int
+		tau float32
+	}
+	var jobs []job
+	for i := 0; i < 50; i++ {
+		jobs = append(jobs,
+			job{c1, embs1[i], 5, 0.1},
+			job{c2, embs2[i], 5, 0.1},
+			job{c1, embs1[i+50], 3, 0.5},
+			job{c2, embs2[i+50], 3, 0.5},
+		)
+	}
+	want := make([][]cache.Match, len(jobs))
+	for i, j := range jobs {
+		want[i] = j.c.FindSimilarAppend(j.emb, j.k, j.tau, nil)
+	}
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	errs := make(chan error, len(jobs))
+	for i, j := range jobs {
+		wg.Add(1)
+		go func(i int, j job) {
+			defer wg.Done()
+			<-start
+			got := sb.FindSimilar(j.c, j.emb, j.k, j.tau, nil)
+			if err := matchesEqual(got, want[i]); err != nil {
+				errs <- fmt.Errorf("job %d: %w", i, err)
+			}
+		}(i, j)
+	}
+	close(start)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestSearchBatcherSingletonHandback pins drain mode's zero-latency
+// promise: a lone request must come straight back (handed to the caller
+// for direct execution), not linger hoping for company.
+func TestSearchBatcherSingletonHandback(t *testing.T) {
+	c, embs := newSearchTestCache(t, 8, 50, 13)
+	sb := NewSearchBatcher(BatcherConfig{}) // MaxWait 0: drain mode
+	defer sb.Close()
+	start := time.Now()
+	got := sb.FindSimilar(c, embs[3], 5, 0.1, nil)
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("lone drain-mode search took %v", elapsed)
+	}
+	want := c.FindSimilarAppend(embs[3], 5, 0.1, nil)
+	if err := matchesEqual(got, want); err != nil {
+		t.Fatal(err)
+	}
+	st := sb.Stats()
+	if st.Requests != 1 || st.Coalesced != 0 {
+		t.Fatalf("Stats = %+v, want 1 request, 0 coalesced", st)
+	}
+}
+
+// TestSearchBatcherAppendsToDst pins the append contract: matches land
+// after the caller's existing elements, whichever route the request took.
+func TestSearchBatcherAppendsToDst(t *testing.T) {
+	c, embs := newSearchTestCache(t, 8, 50, 17)
+	sb := NewSearchBatcher(BatcherConfig{MaxBatch: 8, MaxWait: 10 * time.Millisecond})
+	defer sb.Close()
+	sentinel := cache.Match{Score: -42}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			dst := append(make([]cache.Match, 0, 16), sentinel)
+			got := sb.FindSimilar(c, embs[i], 3, 0.1, dst)
+			if len(got) < 1 || got[0].Score != -42 {
+				t.Errorf("probe %d: sentinel lost: %+v", i, got)
+				return
+			}
+			want := c.FindSimilarAppend(embs[i], 3, 0.1, nil)
+			if err := matchesEqual(got[1:], want); err != nil {
+				t.Errorf("probe %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+// TestSearchBatcherConcurrentSearchAndClose races searches against Close
+// under -race: every call must return correct results via one route or
+// the other, with no send-on-closed-channel and no stranded caller.
+func TestSearchBatcherConcurrentSearchAndClose(t *testing.T) {
+	c, embs := newSearchTestCache(t, 8, 50, 19)
+	sb := NewSearchBatcher(BatcherConfig{MaxBatch: 4, MaxWait: 100 * time.Microsecond})
+	want := c.FindSimilarAppend(embs[0], 5, 0.1, nil)
+	var wg sync.WaitGroup
+	var served atomic.Int64
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got := sb.FindSimilar(c, embs[0], 5, 0.1, nil)
+			if err := matchesEqual(got, want); err != nil {
+				t.Errorf("racing search: %v", err)
+				return
+			}
+			served.Add(1)
+		}()
+	}
+	sb.Close()
+	wg.Wait()
+	if served.Load() != 64 {
+		t.Fatalf("served %d of 64 racing searches", served.Load())
+	}
+	// Close is idempotent.
+	sb.Close()
+}

@@ -83,6 +83,10 @@ type Config struct {
 	// Batcher, when non-nil, is reported under /v1/stats. (Tenants use it
 	// through their encoder; the server itself never encodes.)
 	Batcher *Batcher
+	// SearchBatcher, when non-nil, is reported under /v1/stats. (Tenants
+	// use it through core.Options.Searcher; the server itself never
+	// searches.)
+	SearchBatcher *SearchBatcher
 	// StatsTenants caps how many per-tenant rows /v1/stats returns,
 	// largest traffic first. Defaults to 20; -1 means all.
 	StatsTenants int
@@ -254,6 +258,9 @@ type StatsResponse struct {
 	Tenants   map[string]TenantMetrics `json:"tenants"`
 	Registry  RegistryStats            `json:"registry"`
 	Batcher   *BatcherStats            `json:"batcher,omitempty"`
+	// SearchBatcher reports per-tenant search coalescing when a search
+	// batcher is configured.
+	SearchBatcher *BatcherStats `json:"search_batcher,omitempty"`
 	// Collector reports the per-tenant counter map's saturation state.
 	Collector CollectorStatus `json:"collector"`
 	// Residents lists per-resident-tenant serving state (index tier,
@@ -440,6 +447,10 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	if s.cfg.Batcher != nil {
 		bs := s.cfg.Batcher.Stats()
 		resp.Batcher = &bs
+	}
+	if s.cfg.SearchBatcher != nil {
+		sbs := s.cfg.SearchBatcher.Stats()
+		resp.SearchBatcher = &sbs
 	}
 	if s.cfg.Governor != nil {
 		gs := s.cfg.Governor.Stats()
