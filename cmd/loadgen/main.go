@@ -139,6 +139,14 @@ func main() {
 		hotLatX        = flag.Float64("hotspot-latency-x", 1.0, "hotspot: batched hit-path p99 ceiling, × the unbatched p99")
 		hotAccept      = flag.Bool("hotspot-accept", false, "hotspot: exit non-zero if the search-batching gate fails")
 
+		crashBin        = flag.String("crash-bin", "./bin/cacheserve", "crash: cacheserve binary to run and kill")
+		crashDir        = flag.String("crash-dir", "bin/crashtenants", "crash: persist dir shared across incarnations")
+		crashAddr       = flag.String("crash-addr", "127.0.0.1:18095", "crash: address the spawned server listens on")
+		crashCycles     = flag.Int("crash-cycles", 26, "crash: restart cycles (every 6th is a clean shutdown, the rest SIGKILL)")
+		crashUsers      = flag.Int("crash-users", 24, "crash: simulated tenants")
+		crashMaxTenants = flag.Int("crash-max-tenants", 8, "crash: server resident-tenant bound (< users forces eviction churn)")
+		crashAccept     = flag.Bool("crash-accept", false, "crash: exit non-zero if the crash-loop gate fails")
+
 		overloadFactor    = flag.Int("overload-factor", 10, "overload: offered-load multiple of healthy capacity the outage phase must reach")
 		overloadDup       = flag.Float64("overload-dup", 0.6, "overload: duplicate fraction of probe traffic (cache-only serving needs hits to serve)")
 		overloadRetention = flag.Float64("overload-retention", 0.9, "overload: served-throughput floor during the outage, as a fraction of healthy capacity")
@@ -182,8 +190,17 @@ func main() {
 		})
 		return
 	}
+	if *scenario == "crash" {
+		runCrash(crashConfig{
+			bin: *crashBin, dir: *crashDir, addr: *crashAddr,
+			cycles: *crashCycles, users: *crashUsers, maxTenants: *crashMaxTenants,
+			concurrency: *concurrency, seed: *seed, timeout: *timeout,
+			accept: *crashAccept,
+		})
+		return
+	}
 	if *scenario != "serve" {
-		log.Fatalf("unknown -scenario %q (want serve, ann, cluster, overload or hotspot)", *scenario)
+		log.Fatalf("unknown -scenario %q (want serve, ann, cluster, overload, hotspot or crash)", *scenario)
 	}
 
 	r := &runner{

@@ -181,6 +181,15 @@ func registerRegistryMetrics(reg *obs.Registry, r *Registry) {
 	reg.CounterFunc("meancache_registry_evict_errors_total",
 		"Eviction persistence failures.",
 		stat(func(s RegistryStats) float64 { return float64(s.EvictErrors) }))
+	reg.CounterFunc("meancache_store_recovered_truncations_total",
+		"Tenant reloads that repaired a torn log tail (crash recovery).",
+		stat(func(s RegistryStats) float64 { return float64(s.RecoveredTruncations) }))
+	reg.CounterFunc("meancache_store_salvaged_records_total",
+		"Records salvaged past mid-log corruption during tenant reloads.",
+		stat(func(s RegistryStats) float64 { return float64(s.SalvagedRecords) }))
+	reg.CounterFunc("meancache_store_quarantines_total",
+		"Unreadable tenant snapshots quarantined at activation.",
+		stat(func(s RegistryStats) float64 { return float64(s.Quarantines) }))
 
 	// Arena occupancy and tier distribution are computed by walking the
 	// resident tenants at scrape time — one cheap pass per gauge, nothing

@@ -8,7 +8,6 @@ import (
 	"fmt"
 	"hash/fnv"
 	"math"
-	"os"
 	"path/filepath"
 	"strings"
 	"sync"
@@ -129,10 +128,18 @@ type RegistryConfig struct {
 	// Hooks, when non-nil, observes tenant activation and contributes
 	// persisted metadata.
 	Hooks TenantHooks
-	// Clock is the time source Drain's in-flight wait polls on. Nil
-	// defaults to the wall clock; cluster simulations inject a virtual
-	// one so drain budgets elapse in virtual time.
+	// Clock is the time source Drain's in-flight wait polls on and
+	// eviction-retry backoff elapses against. Nil defaults to the wall
+	// clock; cluster simulations inject a virtual one so drain budgets
+	// elapse in virtual time.
 	Clock sim.Clock
+	// FS is the filesystem persistence runs on. Nil defaults to the real
+	// one (store.OS); fault-injection tests inject faultfs.
+	FS store.FS
+	// Logf, when non-nil, receives persistence-recovery events: damaged
+	// snapshots repaired at reload, quarantined snapshots, eviction
+	// persist failures entering backoff.
+	Logf func(format string, args ...any)
 }
 
 // Registry is the sharded tenant table: userID → Tenant, with lazy
@@ -141,6 +148,8 @@ type RegistryConfig struct {
 // never contend.
 type Registry struct {
 	cfg      RegistryConfig
+	fs       store.FS
+	logf     func(format string, args ...any)
 	perShard int
 	shards   []*regShard
 
@@ -149,13 +158,32 @@ type Registry struct {
 	reloads     atomic.Int64
 	evictErrors atomic.Int64
 	drains      atomic.Int64
+	// Persistence-recovery counters: snapshots quarantined as
+	// unreadable, reloads that repaired a truncated tail, records
+	// salvaged past mid-log corruption.
+	quarantines          atomic.Int64
+	recoveredTruncations atomic.Int64
+	salvagedRecords      atomic.Int64
 }
 
 type regShard struct {
 	mu      sync.Mutex
 	tenants map[string]*list.Element // userID → element in lru
 	lru     *list.List               // front = most recently used; values are *Tenant
+
+	// Eviction-persist failure backoff: after a failed evict persist the
+	// shard stays over its resident bound and retries no sooner than
+	// evictRetryAt (exponential in evictFails), instead of hammering a
+	// failing disk on every request. Guarded by mu.
+	evictFails   int
+	evictRetryAt time.Time
 }
+
+// Eviction-persist retry backoff bounds.
+const (
+	evictBackoffBase = 100 * time.Millisecond
+	evictBackoffMax  = 10 * time.Second
+)
 
 // NewRegistry builds a registry.
 func NewRegistry(cfg RegistryConfig) (*Registry, error) {
@@ -166,7 +194,14 @@ func NewRegistry(cfg RegistryConfig) (*Registry, error) {
 		cfg.Shards = 16
 	}
 	cfg.Clock = sim.Or(cfg.Clock)
-	r := &Registry{cfg: cfg, shards: make([]*regShard, cfg.Shards)}
+	if cfg.FS == nil {
+		cfg.FS = store.OS
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	r := &Registry{cfg: cfg, fs: cfg.FS, logf: logf, shards: make([]*regShard, cfg.Shards)}
 	if cfg.MaxTenants > 0 {
 		// Ceiling split so the aggregate bound is never under MaxTenants.
 		r.perShard = (cfg.MaxTenants + cfg.Shards - 1) / cfg.Shards
@@ -175,10 +210,10 @@ func NewRegistry(cfg RegistryConfig) (*Registry, error) {
 		r.shards[i] = &regShard{tenants: make(map[string]*list.Element), lru: list.New()}
 	}
 	if cfg.PersistDir != "" {
-		if err := os.MkdirAll(cfg.PersistDir, 0o755); err != nil {
+		if err := r.fs.MkdirAll(cfg.PersistDir, 0o755); err != nil {
 			return nil, fmt.Errorf("server: creating persist dir: %w", err)
 		}
-		sweepOrphanedTemps(cfg.PersistDir)
+		sweepOrphanedTemps(r.fs, cfg.PersistDir)
 	}
 	return r, nil
 }
@@ -187,15 +222,18 @@ func NewRegistry(cfg RegistryConfig) (*Registry, error) {
 // between CreateTemp and rename, which would otherwise accumulate in a
 // long-lived persist dir. Only stale temps go: in cluster mode the dir
 // is shared, and a young temp may be a live peer's in-flight persist.
-func sweepOrphanedTemps(dir string) {
+func sweepOrphanedTemps(fsys store.FS, dir string) {
 	const staleAfter = time.Hour
-	matches, err := filepath.Glob(filepath.Join(dir, "*.cache.tmp-*"))
+	entries, err := fsys.ReadDir(dir)
 	if err != nil {
 		return
 	}
-	for _, path := range matches {
-		if info, err := os.Stat(path); err == nil && time.Since(info.ModTime()) > staleAfter {
-			os.Remove(path)
+	for _, e := range entries {
+		if e.IsDir() || !strings.Contains(e.Name(), ".cache.tmp-") {
+			continue
+		}
+		if info, err := e.Info(); err == nil && time.Since(info.ModTime()) > staleAfter {
+			fsys.Remove(filepath.Join(dir, e.Name()))
 		}
 	}
 }
@@ -238,15 +276,29 @@ func (r *Registry) Get(userID string) (*Tenant, error) {
 	sh.tenants[userID] = sh.lru.PushFront(t)
 	r.activations.Add(1)
 	for r.perShard > 0 && sh.lru.Len() > r.perShard {
+		if !sh.evictRetryAt.IsZero() && r.cfg.Clock.Now().Before(sh.evictRetryAt) {
+			break // recent eviction-persist failure; retry after backoff
+		}
 		before := sh.lru.Len()
 		if err := r.evictLocked(sh); err != nil {
-			// Eviction failure (e.g. persist I/O) must not fail this
-			// request — the requested tenant activated fine and its
-			// reference is already held. The victim stays resident and a
-			// later activation retries.
+			// Eviction failure (persist I/O) must not fail this request —
+			// the requested tenant activated fine and its reference is
+			// already held. The victim keeps its adapted state resident
+			// (never dropped unpersisted) and the shard retries with
+			// exponential backoff, temporarily exceeding its bound.
 			r.evictErrors.Add(1)
+			backoff := evictBackoffBase << min(sh.evictFails, 10)
+			if backoff > evictBackoffMax {
+				backoff = evictBackoffMax
+			}
+			sh.evictFails++
+			sh.evictRetryAt = r.cfg.Clock.Now().Add(backoff)
+			r.logf("server: registry: eviction persist failed (attempt %d, next retry in %v): %v",
+				sh.evictFails, backoff, err)
 			break
 		}
+		sh.evictFails = 0
+		sh.evictRetryAt = time.Time{}
 		if sh.lru.Len() == before {
 			break // every tenant is pinned by in-flight requests
 		}
@@ -322,17 +374,21 @@ func (r *Registry) Drain(userID string, wait time.Duration) (bool, error) {
 }
 
 // activate builds a tenant, reviving its persisted cache when present.
+// A snapshot that cannot be reloaded is quarantined and the tenant is
+// served cold: one tenant's corrupt file must cost that tenant its cache
+// warmth, not its availability.
 func (r *Registry) activate(userID string) (*Tenant, error) {
 	client := r.cfg.Factory(userID)
 	var meta map[string][]byte
 	if path := r.persistPath(userID); path != "" {
-		if _, err := os.Stat(path); err == nil {
+		if _, err := r.fs.Stat(path); err == nil {
 			revived, m, err := r.reload(userID, client)
 			if err != nil {
-				return nil, err
+				r.quarantine(userID, path, err)
+			} else {
+				client, meta = revived, m
+				r.reloads.Add(1)
 			}
-			client, meta = revived, m
-			r.reloads.Add(1)
 		}
 	}
 	t := &Tenant{ID: userID, Client: client, sessions: make(map[string]*tenantSession)}
@@ -348,11 +404,19 @@ func (r *Registry) activate(userID string) (*Tenant, error) {
 // The factory-built client supplies everything else (encoder, LLM,
 // context threshold).
 func (r *Registry) reload(userID string, fresh *core.Client) (*core.Client, map[string][]byte, error) {
-	st, err := store.Open(r.persistPath(userID))
+	st, err := store.OpenFS(r.fs, r.persistPath(userID))
 	if err != nil {
 		return nil, nil, fmt.Errorf("server: opening persisted cache for %q: %w", userID, err)
 	}
 	defer st.Close()
+	if rep := st.Report(); rep.Dirty() {
+		if rep.TailTruncated > 0 {
+			r.recoveredTruncations.Add(1)
+		}
+		r.salvagedRecords.Add(int64(rep.SalvagedRecords))
+		r.logf("server: registry: recovered damaged cache for %q: %d tail bytes truncated, %d corrupt regions (%d bytes) skipped, %d records salvaged",
+			userID, rep.TailTruncated, rep.CorruptRegions, rep.CorruptSkipped, rep.SalvagedRecords)
+	}
 	opts := fresh.Options()
 	dim, capacity := fresh.Cache().Dim(), fresh.Cache().Capacity()
 	var cc *cache.Cache
@@ -376,6 +440,23 @@ func (r *Registry) reload(userID string, fresh *core.Client) (*core.Client, map[
 		}
 	}
 	return core.NewWithCache(opts, cc), meta, nil
+}
+
+// quarantine moves a snapshot that failed to reload out of the way
+// (path → path.quarantine) so the next activation starts cold instead
+// of tripping over the same corrupt file, and the bytes stay on disk
+// for forensics. Best effort: if even the rename fails, the tenant
+// still activates cold and the next activation retries.
+func (r *Registry) quarantine(userID, path string, cause error) {
+	qpath := path + ".quarantine"
+	r.fs.Remove(qpath)
+	if err := r.fs.Rename(path, qpath); err != nil {
+		r.logf("server: registry: snapshot for %q unreadable (%v) and quarantine rename failed: %v", userID, cause, err)
+		return
+	}
+	r.fs.SyncDir(filepath.Dir(path))
+	r.quarantines.Add(1)
+	r.logf("server: registry: quarantined unreadable snapshot for %q to %s: %v", userID, qpath, cause)
 }
 
 // evictLocked removes the shard's least recently used tenant with no
@@ -426,15 +507,14 @@ const tauKey = metaPrefix + "tau"
 // construction, so repeated evict/revive cycles do not grow the log.
 func (r *Registry) persist(t *Tenant, path string) error {
 	dir, base := filepath.Split(path)
-	tmpf, err := os.CreateTemp(dir, base+".tmp-*")
+	tmp, tmpf, err := store.CreateTemp(r.fs, dir, base+".tmp-*")
 	if err != nil {
 		return fmt.Errorf("server: creating temp store for %q: %w", t.ID, err)
 	}
-	tmp := tmpf.Name()
 	tmpf.Close()
-	st, err := store.Open(tmp)
+	st, err := store.OpenFS(r.fs, tmp)
 	if err != nil {
-		os.Remove(tmp)
+		r.fs.Remove(tmp)
 		return fmt.Errorf("server: opening persist store for %q: %w", t.ID, err)
 	}
 	err = t.Client.Cache().SaveTo(st)
@@ -460,15 +540,18 @@ func (r *Registry) persist(t *Tenant, path string) error {
 		err = cerr
 	}
 	if err == nil {
-		err = os.Rename(tmp, path)
+		err = r.fs.Rename(tmp, path)
 	}
 	if err != nil {
-		os.Remove(tmp)
+		r.fs.Remove(tmp)
 		return fmt.Errorf("server: persisting evicted tenant %q: %w", t.ID, err)
 	}
-	if d, derr := os.Open(dir); derr == nil {
-		d.Sync() // best-effort directory fsync so the rename itself is durable
-		d.Close()
+	// The rename must itself be durable before the caller is allowed to
+	// drop the tenant: without the directory fsync an OS crash may
+	// resurrect the previous (stale or absent) snapshot, which for a
+	// drain would mean releasing ownership of state that never landed.
+	if err := r.fs.SyncDir(dir); err != nil {
+		return fmt.Errorf("server: fsyncing persist dir for %q: %w", t.ID, err)
 	}
 	return nil
 }
@@ -503,6 +586,10 @@ type RegistryStats struct {
 	Reloads     int64 `json:"reloads"`
 	EvictErrors int64 `json:"evict_errors,omitempty"`
 	Drains      int64 `json:"drains,omitempty"`
+	// Persistence-recovery activity (see Registry counter docs).
+	Quarantines          int64 `json:"quarantines,omitempty"`
+	RecoveredTruncations int64 `json:"recovered_truncations,omitempty"`
+	SalvagedRecords      int64 `json:"salvaged_records,omitempty"`
 }
 
 // Stats snapshots registry counters.
@@ -515,6 +602,10 @@ func (r *Registry) Stats() RegistryStats {
 		Reloads:     r.reloads.Load(),
 		EvictErrors: r.evictErrors.Load(),
 		Drains:      r.drains.Load(),
+
+		Quarantines:          r.quarantines.Load(),
+		RecoveredTruncations: r.recoveredTruncations.Load(),
+		SalvagedRecords:      r.salvagedRecords.Load(),
 	}
 }
 
